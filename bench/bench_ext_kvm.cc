@@ -1,0 +1,91 @@
+// Extension experiment: the Xen port vs. the KVM port (Sec. 5.3 / Sec. 9
+// future work). Same guest size, same clone semantics, different platform
+// mechanics:
+//   * Xen: explicit CLONEOP, private pages (rings/buffers/PTs) duplicated,
+//     Xenstore second stage.
+//   * KVM: VMM fork — whole-memory COW, no private classes, kvmcloned
+//     re-registers vhost and attaches the tap.
+
+#include <cstdio>
+
+#include "src/apps/udp_ready_app.h"
+#include "src/guest/guest_manager.h"
+#include "src/kvm/kvmcloned.h"
+#include "src/sim/series.h"
+
+namespace nephele {
+namespace {
+
+struct PortResult {
+  double clone_ms = 0;
+  double upfront_mb = 0;
+};
+
+PortResult MeasureXen(std::size_t memory_mb, int clones) {
+  SystemConfig scfg;
+  scfg.hypervisor.pool_frames = 512 * 1024;
+  NepheleSystem system(scfg);
+  GuestManager guests(system);
+  DomainConfig cfg;
+  cfg.name = "xen-guest";
+  cfg.memory_mb = memory_mb;
+  cfg.max_clones = static_cast<std::uint32_t>(clones);
+  auto dom = guests.Launch(cfg, std::make_unique<UdpReadyApp>(UdpReadyConfig{}));
+  system.Settle();
+  std::size_t free_before = system.hypervisor().FreePoolFrames();
+  SimTime t0 = system.Now();
+  for (int i = 0; i < clones; ++i) {
+    (void)guests.ContextOf(*dom)->Fork(1, nullptr);
+    system.Settle();
+  }
+  PortResult r;
+  r.clone_ms = (system.Now() - t0).ToMillis() / clones;
+  r.upfront_mb = static_cast<double>(free_before - system.hypervisor().FreePoolFrames()) *
+                 kPageSize / clones / (1 << 20);
+  return r;
+}
+
+PortResult MeasureKvm(std::size_t memory_mb, int clones) {
+  EventLoop loop;
+  KvmHost host(loop, DefaultCostModel(), 512 * 1024);
+  Bridge bridge;
+  Kvmcloned daemon(host, bridge);
+  auto vm = host.CreateVm("kvm-guest", 1);
+  (void)host.SetUserMemoryRegion(*vm, memory_mb * kMiB / kPageSize);
+  host.Find(*vm)->max_clones = static_cast<std::uint32_t>(clones);
+  (void)host.Run(*vm);
+  (void)daemon.SetupNet(*vm, 0xAA, MakeIpv4(10, 9, 0, 2));
+  std::size_t free_before = host.FreePoolFrames();
+  SimTime t0 = loop.Now();
+  for (int i = 0; i < clones; ++i) {
+    (void)host.CloneVm(*vm);
+    loop.Run();  // kvmcloned second stage
+  }
+  PortResult r;
+  r.clone_ms = (loop.Now() - t0).ToMillis() / clones;
+  r.upfront_mb = static_cast<double>(free_before - host.FreePoolFrames()) * kPageSize / clones /
+                 (1 << 20);
+  return r;
+}
+
+}  // namespace
+}  // namespace nephele
+
+int main() {
+  using namespace nephele;
+  std::printf("# Platform-port comparison: Xen CLONEOP vs KVM_CLONE_VM (10 clones each)\n");
+  SeriesTable table("Extension: clone cost per platform",
+                    {"guest_mb", "xen_clone_ms", "xen_upfront_mb", "kvm_clone_ms",
+                     "kvm_upfront_mb"});
+  for (std::size_t mb : {4ul, 16ul, 64ul, 256ul}) {
+    PortResult xen = MeasureXen(mb, 10);
+    PortResult kvm = MeasureKvm(mb, 10);
+    table.AddRow({static_cast<double>(mb), xen.clone_ms, xen.upfront_mb, kvm.clone_ms,
+                  kvm.upfront_mb});
+  }
+  table.Print();
+  std::printf("# KVM pays no private-page tax upfront (fork-COW covers rings too), but\n");
+  std::printf("# defers the cost to first-write faults; Xen's second stage carries the\n");
+  std::printf("# Xenstore/udev work that KVM's kvmcloned replaces with vhost re-registration.\n");
+  return 0;
+}

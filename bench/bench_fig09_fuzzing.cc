@@ -1,0 +1,92 @@
+// Figure 9 — Fuzzing throughput over time (Sec. 7.2).
+//
+// Seven series, each a 300 s campaign sampled every 10 s:
+//   * Unikraft (KFX+AFL), no cloning: a fresh VM per input   (~2 exec/s)
+//   * Unikraft (KFX+AFL) with Nephele cloning                (~470 exec/s)
+//   * the two corresponding getppid baselines
+//   * native Linux process under plain AFL                   (~590 exec/s)
+//   * its getppid baseline
+//   * Linux VM kernel module under KFX (legacy VM forks)     (~320 exec/s)
+//
+// Usage: bench_fig09_fuzzing [seconds]   (default 300)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/fuzz/fuzz_session.h"
+#include "src/sim/series.h"
+
+namespace nephele {
+namespace {
+
+FuzzSessionResult RunOne(FuzzMode mode, bool baseline, int seconds) {
+  SystemConfig scfg;
+  scfg.hypervisor.pool_frames = 64 * 1024;
+  NepheleSystem system(scfg);
+  GuestManager guests(system);
+  FuzzSessionConfig cfg;
+  cfg.mode = mode;
+  cfg.getppid_baseline = baseline;
+  cfg.duration = SimDuration::Seconds(seconds);
+  cfg.sample_every = SimDuration::Seconds(10);
+  return RunFuzzSession(guests, cfg);
+}
+
+}  // namespace
+}  // namespace nephele
+
+int main(int argc, char** argv) {
+  using namespace nephele;
+  int seconds = argc > 1 ? std::atoi(argv[1]) : 300;
+
+  struct Series {
+    const char* name;
+    FuzzMode mode;
+    bool baseline;
+    FuzzSessionResult result;
+  };
+  Series runs[] = {
+      {"unikraft_baseline", FuzzMode::kUnikraftNoClone, true, {}},
+      {"unikraft", FuzzMode::kUnikraftNoClone, false, {}},
+      {"unikraft_cloning_baseline", FuzzMode::kUnikraftClone, true, {}},
+      {"unikraft_cloning", FuzzMode::kUnikraftClone, false, {}},
+      {"linux_process_baseline", FuzzMode::kLinuxProcess, true, {}},
+      {"linux_process", FuzzMode::kLinuxProcess, false, {}},
+      {"linux_kernel_module_baseline", FuzzMode::kLinuxKernelModule, true, {}},
+  };
+  for (auto& run : runs) {
+    run.result = RunOne(run.mode, run.baseline, seconds);
+  }
+
+  std::vector<std::string> columns{"seconds"};
+  for (const auto& run : runs) {
+    columns.push_back(run.name);
+  }
+  SeriesTable table("Figure 9: fuzzing throughput over time (executions/s)", columns);
+  std::size_t rows = runs[0].result.series.size();
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<double> row{runs[0].result.series[i].t_seconds};
+    for (const auto& run : runs) {
+      row.push_back(i < run.result.series.size() ? run.result.series[i].execs_per_second : 0);
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+
+  for (const auto& run : runs) {
+    PrintSummary(std::string(run.name) + " average", run.result.average_execs_per_second,
+                 "exec/s");
+  }
+  double with_cloning = runs[3].result.average_execs_per_second;
+  double native = runs[5].result.average_execs_per_second;
+  double module = runs[6].result.average_execs_per_second;
+  PrintSummary("cloning vs native Linux process gap", (native - with_cloning) / native * 100.0,
+               "%");
+  PrintSummary("kernel-module KFX vs cloning gap", (with_cloning - module) / with_cloning * 100.0,
+               "%");
+  PrintSummary("edges covered (unikraft_cloning)",
+               static_cast<double>(runs[3].result.edges_covered));
+  PrintSummary("crashes found (unikraft_cloning)",
+               static_cast<double>(runs[3].result.crashes));
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 11 — Reaction of containers vs. unikernels to increasing demand.
+//
+// Sec. 7.3: an ab-style generator (8 workers, effectively saturating the
+// deployment at ~1450 req/s) hits the function while the autoscaler adds
+// instances. Containers serve 600 req/s each but become ready late;
+// unikernel clones serve 300 req/s each but track the load closely.
+//
+// Usage: bench_fig11_faas_scaling [seconds]   (default 150)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/faas/gateway.h"
+#include "src/sim/series.h"
+
+namespace nephele {
+namespace {
+
+constexpr double kSaturationRps = 1450.0;  // ab with 8 workers, Sec. 7.3
+
+}  // namespace
+}  // namespace nephele
+
+int main(int argc, char** argv) {
+  using namespace nephele;
+  int seconds = argc > 1 ? std::atoi(argv[1]) : 150;
+  auto demand = [](double) { return kSaturationRps; };
+
+  EventLoop closs;
+  ContainerBackend containers(closs, ContainerBackend::Config{});
+  OpenFaasGateway cgw(closs, containers, GatewayConfig{});
+  GatewayRunResult cres = cgw.Run(SimDuration::Seconds(seconds), demand);
+
+  SystemConfig scfg;
+  scfg.hypervisor.pool_frames = 1024 * 1024;
+  NepheleSystem system(scfg);
+  GuestManager guests(system);
+  (void)system.devices().hostfs().CreateFile("/srv/guest-root/python3");
+  UnikernelBackend unikernels(guests, UnikernelBackend::Config{});
+  OpenFaasGateway ugw(system.loop(), unikernels, GatewayConfig{});
+  GatewayRunResult ures = ugw.Run(SimDuration::Seconds(seconds), demand);
+
+  SeriesTable table("Figure 11: throughput at increasing function-call demand (req/s)",
+                    {"seconds", "containers", "unikernels"});
+  std::size_t rows = std::min(cres.series.size(), ures.series.size());
+  for (std::size_t i = 0; i < rows; i += 2) {
+    table.AddRow({cres.series[i].t_seconds, cres.series[i].served_rps,
+                  ures.series[i].served_rps});
+  }
+  table.Print();
+
+  auto print_readiness = [](const char* name, const std::vector<double>& times) {
+    std::printf("# %s instance-ready times (s):", name);
+    for (std::size_t i = 0; i < times.size() && i < 6; ++i) {
+      std::printf(" %.0f", times[i]);
+    }
+    std::printf("\n");
+  };
+  print_readiness("containers", cres.readiness_times);
+  print_readiness("unikernels", ures.readiness_times);
+
+  PrintSummary("requests served in first 60 s, containers",
+               [&] {
+                 double sum = 0;
+                 for (std::size_t i = 0; i < 60 && i < cres.series.size(); ++i) {
+                   sum += cres.series[i].served_rps;
+                 }
+                 return sum;
+               }());
+  PrintSummary("requests served in first 60 s, unikernels",
+               [&] {
+                 double sum = 0;
+                 for (std::size_t i = 0; i < 60 && i < ures.series.size(); ++i) {
+                   sum += ures.series[i].served_rps;
+                 }
+                 return sum;
+               }());
+  PrintSummary("final throughput, containers", cres.series[rows - 1].served_rps, "req/s");
+  PrintSummary("final throughput, unikernels", ures.series[rows - 1].served_rps, "req/s");
+  return 0;
+}

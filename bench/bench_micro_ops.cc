@@ -1,0 +1,146 @@
+// Micro-benchmarks (google-benchmark) of the simulator's primitive
+// operations. These measure HOST wall-clock cost of the implementation —
+// how fast the simulation itself executes — complementing the virtual-time
+// figures benches. Useful for keeping the 1000-instance sweeps fast.
+
+#include <benchmark/benchmark.h>
+
+#include "src/apps/udp_ready_app.h"
+#include "src/guest/guest_manager.h"
+#include "src/guest/ipc.h"
+
+namespace nephele {
+namespace {
+
+void BM_FrameAllocRelease(benchmark::State& state) {
+  FrameTable frames(1024);
+  for (auto _ : state) {
+    auto mfn = frames.Alloc(1);
+    benchmark::DoNotOptimize(mfn);
+    (void)frames.Release(*mfn);
+  }
+}
+BENCHMARK(BM_FrameAllocRelease);
+
+void BM_CowShareResolve(benchmark::State& state) {
+  FrameTable frames(1024);
+  for (auto _ : state) {
+    auto mfn = frames.Alloc(1);
+    (void)frames.ShareFirst(*mfn);
+    auto res = frames.ResolveCowWrite(*mfn, 2);
+    benchmark::DoNotOptimize(res);
+    (void)frames.Release(res->mfn);
+    (void)frames.Release(*mfn);
+  }
+}
+BENCHMARK(BM_CowShareResolve);
+
+void BM_XenstoreWrite(benchmark::State& state) {
+  EventLoop loop;
+  XenstoreDaemon xs(loop, DefaultCostModel());
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    (void)xs.Write("/bench/key" + std::to_string(i++ % 512), "value");
+  }
+}
+BENCHMARK(BM_XenstoreWrite);
+
+void BM_XsCloneDirectory(benchmark::State& state) {
+  EventLoop loop;
+  XenstoreDaemon xs(loop, DefaultCostModel());
+  for (int i = 0; i < 30; ++i) {
+    (void)xs.Write("/local/domain/1/k" + std::to_string(i), std::to_string(i));
+  }
+  (void)xs.IntroduceDomain(1);
+  std::uint64_t c = 2;
+  for (auto _ : state) {
+    (void)xs.IntroduceDomain(static_cast<DomId>(c));
+    (void)xs.XsClone(1, static_cast<DomId>(c), XsCloneOp::kDevVif, "/local/domain/1",
+                     "/local/domain/" + std::to_string(c));
+    ++c;
+  }
+}
+BENCHMARK(BM_XsCloneDirectory);
+
+void BM_EvtchnSendDeliver(benchmark::State& state) {
+  EventLoop loop;
+  Hypervisor hv(loop, DefaultCostModel(), HypervisorConfig{.pool_frames = 64});
+  auto a = hv.CreateDomain("a", 1);
+  auto b = hv.CreateDomain("b", 1);
+  (void)hv.UnpauseDomain(*a);
+  (void)hv.UnpauseDomain(*b);
+  auto port_b = hv.EvtchnAllocUnbound(*b, *a);
+  auto port_a = hv.EvtchnBindInterdomain(*a, *b, *port_b);
+  hv.SetEvtchnHandler(*b, [](EvtchnPort) {});
+  for (auto _ : state) {
+    (void)hv.EvtchnSend(*a, *port_a);
+    loop.Run();
+  }
+}
+BENCHMARK(BM_EvtchnSendDeliver);
+
+void BM_FullGuestBoot(benchmark::State& state) {
+  SystemConfig cfg;
+  cfg.hypervisor.pool_frames = 8 * 1024 * 1024;
+  NepheleSystem system(cfg);
+  GuestManager guests(system);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    DomainConfig dcfg;
+    dcfg.name = "vm-" + std::to_string(i++);
+    auto dom = guests.Launch(dcfg, std::make_unique<UdpReadyApp>(UdpReadyConfig{}));
+    system.Settle();
+    benchmark::DoNotOptimize(dom);
+  }
+}
+BENCHMARK(BM_FullGuestBoot)->Unit(benchmark::kMicrosecond);
+
+void BM_FullClone(benchmark::State& state) {
+  SystemConfig cfg;
+  cfg.hypervisor.pool_frames = 16 * 1024 * 1024;
+  NepheleSystem system(cfg);
+  GuestManager guests(system);
+  DomainConfig dcfg;
+  dcfg.name = "parent";
+  dcfg.max_clones = 2'000'000;  // clamped by pool anyway
+  auto dom = guests.Launch(dcfg, std::make_unique<UdpReadyApp>(UdpReadyConfig{}));
+  system.Settle();
+  for (auto _ : state) {
+    Status s = guests.ContextOf(*dom)->Fork(1, nullptr);
+    system.Settle();
+    if (!s.ok()) {
+      state.SkipWithError("pool exhausted");
+      break;
+    }
+  }
+}
+BENCHMARK(BM_FullClone)->Unit(benchmark::kMicrosecond);
+
+void BM_IdcPipeRoundTrip(benchmark::State& state) {
+  SystemConfig cfg;
+  cfg.hypervisor.pool_frames = 64 * 1024;
+  NepheleSystem system(cfg);
+  GuestManager guests(system);
+  DomainConfig dcfg;
+  dcfg.name = "p";
+  dcfg.max_clones = 2;
+  dcfg.with_vif = false;
+  auto dom = guests.Launch(dcfg, std::make_unique<UdpReadyApp>(UdpReadyConfig{}));
+  system.Settle();
+  auto pipe = IdcPipe::Create(system.hypervisor(), *dom);
+  (void)guests.ContextOf(*dom)->Fork(1, nullptr);
+  system.Settle();
+  DomId child = system.hypervisor().FindDomain(*dom)->children.front();
+  std::vector<std::uint8_t> payload(256, 0x55);
+  for (auto _ : state) {
+    (void)(*pipe)->Write(*dom, payload);
+    auto out = (*pipe)->Read(child, 256);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_IdcPipeRoundTrip);
+
+}  // namespace
+}  // namespace nephele
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// KFX-style fuzzing with cloning (the Sec. 7.2 use case): clone the target
+// once, instrument the clone with clone_cow, run AFL inputs against it and
+// restore its memory with clone_reset between iterations.
+//
+//   $ ./examples/fuzz_session
+
+#include <cstdio>
+
+#include "src/apps/fuzz_target_app.h"
+#include "src/fuzz/kfx.h"
+#include "src/guest/guest_manager.h"
+
+using namespace nephele;
+
+int main() {
+  NepheleSystem system;
+  GuestManager guests(system);
+
+  DomainConfig cfg;
+  cfg.name = "syscall-target";
+  cfg.memory_mb = 8;
+  cfg.max_clones = 16;
+  cfg.with_vif = false;  // the adapter feeds on AFL bytes, not packets
+  auto target = guests.Launch(cfg, std::make_unique<FuzzTargetApp>(FuzzTargetConfig{}));
+  if (!target.ok()) {
+    std::fprintf(stderr, "launch failed: %s\n", target.status().ToString().c_str());
+    return 1;
+  }
+  system.Settle();
+
+  AflEngine afl(/*seed=*/1234);
+  afl.AddSeed({0, 0, 0, 0, 4, 2, 0, 0});
+  KfxHarness harness(guests, afl);
+  if (Status s = harness.Setup(*target); !s.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("fuzzing dom%u through instrumented clone dom%u\n", *target,
+              harness.clone_dom());
+
+  SimTime t0 = system.Now();
+  const int kIterations = 5000;
+  std::size_t crashes = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    auto it = harness.RunIteration();
+    if (!it.ok()) {
+      std::fprintf(stderr, "iteration failed: %s\n", it.status().ToString().c_str());
+      return 1;
+    }
+    crashes += it->crashed ? 1 : 0;
+    if ((i + 1) % 1000 == 0) {
+      std::printf("  %5d execs | %4zu edges | %4zu crashing inputs | queue %zu\n", i + 1,
+                  afl.edges_covered(), crashes, afl.queue_size());
+    }
+  }
+  double execs_per_s = kIterations / (system.Now() - t0).ToSeconds();
+  std::printf("throughput: %.0f executions/s (paper: ~470 exec/s with cloning,\n",
+              execs_per_s);
+  std::printf("            vs ~2 exec/s when re-booting a VM per input)\n");
+  return 0;
+}

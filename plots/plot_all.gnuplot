@@ -1,0 +1,70 @@
+# Renders every reproduced figure from the bench outputs.
+# Usage:
+#   for b in build/bench/bench_fig*; do $b > plots/$(basename $b).dat; done
+#   gnuplot plots/plot_all.gnuplot        # writes plots/fig*.png
+set terminal pngcairo size 900,600 font "sans,11"
+set datafile commentschars "#"
+set key top left
+
+set output "plots/fig04_instantiation.png"
+set title "Figure 4: Instantiation times for Mini-OS UDP server"
+set xlabel "# of instances"; set ylabel "Milliseconds"
+plot "plots/bench_fig04_instantiation.dat" using 1:2 with lines title "boot", \
+     "" using 1:3 with lines title "restore", \
+     "" using 1:4 with lines title "clone + XS deep copy", \
+     "" using 1:5 with lines title "clone"
+
+set output "plots/fig05_density.png"
+set title "Figure 5: Memory consumption, booting vs cloning"
+set xlabel "# of instances"; set ylabel "Free memory (GB)"
+plot "plots/bench_fig05_memory_density.dat" using 1:($2>=0?$2:1/0) with lines title "Booting Hyp free", \
+     "" using 1:($3>=0?$3:1/0) with lines title "Booting Dom0 free", \
+     "" using 1:($4>=0?$4:1/0) with lines title "Cloning Hyp free", \
+     "" using 1:($5>=0?$5:1/0) with lines title "Cloning Dom0 free"
+
+set output "plots/fig06_fork_clone.png"
+set title "Figure 6: fork and cloning duration vs memory size"
+set xlabel "Memory allocation size (MB)"; set ylabel "Milliseconds"
+set logscale xy
+plot "plots/bench_fig06_fork_clone_memsize.dat" using 1:2 with linespoints title "process 1st fork", \
+     "" using 1:3 with linespoints title "process 2nd fork", \
+     "" using 1:4 with linespoints title "Unikraft 1st clone", \
+     "" using 1:5 with linespoints title "Unikraft 2nd clone", \
+     "" using 1:6 with linespoints title "userspace operations"
+unset logscale
+
+set output "plots/fig07_nginx.png"
+set title "Figure 7: NGINX HTTP request throughput"
+set xlabel "# Workers"; set ylabel "Requests/sec"
+set style data histogram; set style fill solid 0.6; set boxwidth 0.3
+plot "plots/bench_fig07_nginx_throughput.dat" using 2:xtic(1) title "nginx processes", \
+     "" using 4 title "nginx clones"
+set style data lines
+
+set output "plots/fig08_redis.png"
+set title "Figure 8: Redis database saving times"
+set xlabel "Keys number"; set ylabel "Milliseconds"
+set logscale y; set logscale x
+plot "plots/bench_fig08_redis_save.dat" using ($1+1):2 with linespoints title "VM process fork", \
+     "" using ($1+1):3 with linespoints title "VM process save", \
+     "" using ($1+1):4 with linespoints title "Unikraft clone", \
+     "" using ($1+1):5 with linespoints title "Unikraft save", \
+     "" using ($1+1):6 with linespoints title "userspace operations"
+unset logscale
+
+set output "plots/fig09_fuzzing.png"
+set title "Figure 9: Fuzzing throughput"
+set xlabel "Time elapsed (s)"; set ylabel "Throughput (executions/s)"
+plot for [i=2:8] "plots/bench_fig09_fuzzing.dat" using 1:i with lines title columnheader(i)
+
+set output "plots/fig10_faas_memory.png"
+set title "Figure 10: OpenFaaS memory, containers vs unikernels"
+set xlabel "Seconds"; set ylabel "Memory (MB)"
+plot "plots/bench_fig10_faas_memory.dat" using 1:2 with lines title "containers", \
+     "" using 1:4 with lines title "unikernels"
+
+set output "plots/fig11_faas_scaling.png"
+set title "Figure 11: Reaction to increasing function-call demand"
+set xlabel "Seconds"; set ylabel "Throughput (reqs/sec)"
+plot "plots/bench_fig11_faas_scaling.dat" using 1:2 with steps title "containers", \
+     "" using 1:3 with steps title "unikernels"

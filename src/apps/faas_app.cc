@@ -1,0 +1,24 @@
+#include "src/apps/faas_app.h"
+
+namespace nephele {
+
+void FaasApp::OnBoot(GuestContext& ctx) { (void)ctx.TcpListen(config_.port); }
+
+void FaasApp::OnPacket(GuestContext& ctx, const Packet& packet) {
+  if (packet.proto != IpProto::kTcp || packet.dst_port != config_.port) {
+    return;
+  }
+  SimTime now = ctx.Now();
+  SimTime start = busy_until_ < now ? now : busy_until_;
+  busy_until_ = start + config_.service_time;
+  ++requests_served_;
+  Packet request = packet;
+  ctx.Post(busy_until_ - now, [request](GuestContext& pctx) {
+    static const char kBody[] = "Hello World";
+    (void)pctx.TcpReply(request, std::vector<std::uint8_t>(kBody, kBody + sizeof(kBody) - 1));
+  });
+}
+
+std::unique_ptr<GuestApp> FaasApp::CloneApp() const { return std::make_unique<FaasApp>(*this); }
+
+}  // namespace nephele

@@ -1,0 +1,39 @@
+// FaaS function runner (Sec. 7.3): a Python-interpreter-on-Unikraft image
+// whose runtime is shared via the 9pfs root; serves "Hello World" over HTTP.
+// Capacity is a single-core busy model (~300 req/s on the lwip stack per the
+// paper, vs ~600 req/s for the container's native stack).
+
+#ifndef SRC_APPS_FAAS_APP_H_
+#define SRC_APPS_FAAS_APP_H_
+
+#include "src/guest/guest_app.h"
+#include "src/guest/guest_context.h"
+
+namespace nephele {
+
+struct FaasAppConfig {
+  std::uint16_t port = 8080;
+  // ~300 requests/s per unikernel instance (Fig. 11).
+  SimDuration service_time = SimDuration::Micros(3333);
+};
+
+class FaasApp : public GuestApp {
+ public:
+  explicit FaasApp(FaasAppConfig config) : config_(config) {}
+
+  void OnBoot(GuestContext& ctx) override;
+  void OnPacket(GuestContext& ctx, const Packet& packet) override;
+  std::unique_ptr<GuestApp> CloneApp() const override;
+  std::string_view app_name() const override { return "faas-fn"; }
+
+  std::uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  FaasAppConfig config_;
+  std::uint64_t requests_served_ = 0;
+  SimTime busy_until_;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_APPS_FAAS_APP_H_

@@ -1,0 +1,131 @@
+#include "src/apps/forkjoin_app.h"
+
+#include <cstring>
+
+#include "src/base/log.h"
+#include "src/base/units.h"
+#include "src/core/system.h"
+#include "src/guest/guest_manager.h"
+
+namespace nephele {
+
+namespace {
+// Deterministic dataset byte: cheap to recompute for verification.
+std::uint8_t DatasetByte(std::size_t i) {
+  return static_cast<std::uint8_t>((i * 131) ^ (i >> 7));
+}
+}  // namespace
+
+void ForkJoinApp::OnBoot(GuestContext& ctx) {
+  Status s = Run(ctx);
+  if (!s.ok()) {
+    NEPHELE_LOG(kError, "forkjoin") << "run failed: " << s.ToString();
+  }
+}
+
+std::uint64_t ForkJoinApp::ExpectedSum() const {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < config_.dataset_kb * kKiB; ++i) {
+    sum += DatasetByte(i);
+  }
+  return sum;
+}
+
+Status ForkJoinApp::Run(GuestContext& ctx) {
+  // 1. Load the dataset into guest heap pages (dirtying them for real).
+  NEPHELE_ASSIGN_OR_RETURN(ArenaBlock block,
+                           ctx.arena().Allocate(config_.dataset_kb * kKiB, /*resident=*/true));
+  dataset_ = block;
+  std::vector<std::uint8_t> chunk(kKiB);
+  for (std::size_t off = 0; off < config_.dataset_kb * kKiB; off += chunk.size()) {
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      chunk[i] = DatasetByte(off + i);
+    }
+    NEPHELE_RETURN_IF_ERROR(ctx.arena().Write(block.offset + off, chunk.data(), chunk.size()));
+  }
+
+  // 2. IDC plumbing, created BEFORE the fork so every clone inherits it.
+  Hypervisor& hv = ctx.manager().system().hypervisor();
+  NEPHELE_ASSIGN_OR_RETURN(auto mq, IdcMessageQueue::Create(hv, ctx.id(), 64));
+  results_ = std::move(mq);
+  NEPHELE_ASSIGN_OR_RETURN(auto sem, IdcSemaphore::Create(hv, ctx.id(), 0));
+  reported_ = std::move(sem);
+
+  // 3. fork() the workers. Each child derives its shard index from its
+  // position in the family (the real app would use the domid array the
+  // hypervisor filled in for the parent).
+  return ctx.Fork(config_.workers,
+                  [](GuestContext& fctx, GuestApp& self, const ForkResult& r) {
+                    auto& app = static_cast<ForkJoinApp&>(self);
+                    if (r.is_child) {
+                      Hypervisor& hyp = fctx.manager().system().hypervisor();
+                      const Domain* me = hyp.FindDomain(fctx.id());
+                      const Domain* parent = hyp.FindDomain(me->parent);
+                      unsigned index = 0;
+                      for (std::size_t i = 0; i < parent->children.size(); ++i) {
+                        if (parent->children[i] == fctx.id()) {
+                          index = static_cast<unsigned>(i);
+                          break;
+                        }
+                      }
+                      app.WorkerBody(fctx, index);
+                    } else {
+                      app.ParentCollect(fctx);
+                    }
+                  });
+}
+
+std::unique_ptr<GuestApp> ForkJoinApp::CloneApp() const {
+  return std::make_unique<ForkJoinApp>(*this);
+}
+
+void ForkJoinApp::WorkerBody(GuestContext& ctx, unsigned index) {
+  // Checksum this worker's shard of the COW-shared dataset.
+  const std::size_t total_bytes = config_.dataset_kb * kKiB;
+  const std::size_t shard = (total_bytes + config_.workers - 1) / config_.workers;
+  const std::size_t begin = index * shard;
+  const std::size_t end = std::min(total_bytes, begin + shard);
+  std::uint64_t sum = 0;
+  std::vector<std::uint8_t> buf(kKiB);
+  for (std::size_t off = begin; off < end; off += buf.size()) {
+    std::size_t n = std::min(buf.size(), end - off);
+    if (!ctx.arena().Read(dataset_->offset + off, buf.data(), n).ok()) {
+      return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += buf[i];
+    }
+  }
+  // Report over IDC and exit, fork+exit style.
+  std::vector<std::uint8_t> msg(12);
+  std::memcpy(msg.data(), &index, 4);
+  std::memcpy(msg.data() + 4, &sum, 8);
+  (void)results_->Send(ctx.id(), msg);
+  (void)reported_->Post(ctx.id());
+  ctx.Exit();
+}
+
+void ForkJoinApp::ParentCollect(GuestContext& ctx) {
+  // Children resumed (and reported) before the parent; drain everything.
+  unsigned collected = 0;
+  while (collected < config_.workers) {
+    auto token = reported_->TryWait(ctx.id());
+    if (!token.ok() || !*token) {
+      break;  // worker died: report what we have
+    }
+    auto msg = results_->Receive(ctx.id());
+    if (!msg.ok() || msg->size() != 12) {
+      break;
+    }
+    std::uint64_t partial = 0;
+    std::memcpy(&partial, msg->data() + 4, 8);
+    total_ += partial;
+    ++collected;
+  }
+  done_ = true;
+  if (on_done_) {
+    on_done_(total_, collected);
+  }
+}
+
+}  // namespace nephele

@@ -1,0 +1,63 @@
+// Fork-join data-parallel app — the "compelling use-cases" style of Sec. 2:
+// the parent loads a dataset into its heap, fork()s N workers, and each
+// worker checksums its shard of the (COW-shared) dataset, reports the
+// partial result over an IDC message queue and posts a semaphore; the parent
+// aggregates once every worker reported. Workers exit like fork+exit
+// children.
+
+#ifndef SRC_APPS_FORKJOIN_APP_H_
+#define SRC_APPS_FORKJOIN_APP_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "src/guest/guest_app.h"
+#include "src/guest/guest_context.h"
+#include "src/guest/mq.h"
+
+namespace nephele {
+
+struct ForkJoinConfig {
+  std::size_t dataset_kb = 128;
+  unsigned workers = 4;
+};
+
+class ForkJoinApp : public GuestApp {
+ public:
+  explicit ForkJoinApp(ForkJoinConfig config) : config_(config) {}
+
+  void OnBoot(GuestContext& ctx) override;
+  std::unique_ptr<GuestApp> CloneApp() const override;
+  std::string_view app_name() const override { return "fork-join"; }
+
+  // Fires on the parent once all workers reported. The sum is over the
+  // deterministic dataset; VerifyExpectedSum() recomputes it host-side.
+  using DoneCallback = std::function<void(std::uint64_t total, unsigned workers)>;
+  void set_on_done(DoneCallback cb) { on_done_ = std::move(cb); }
+
+  // Starts the computation (also invoked by OnBoot).
+  Status Run(GuestContext& ctx);
+
+  std::uint64_t ExpectedSum() const;
+  bool done() const { return done_; }
+  std::uint64_t total() const { return total_; }
+
+ private:
+  void WorkerBody(GuestContext& ctx, unsigned index);
+  void ParentCollect(GuestContext& ctx);
+
+  ForkJoinConfig config_;
+  std::optional<ArenaBlock> dataset_;
+  // Shared across the family: the queue/semaphore objects wrap guest memory
+  // that the clone first stage keeps genuinely shared.
+  std::shared_ptr<IdcMessageQueue> results_;
+  std::shared_ptr<IdcSemaphore> reported_;
+  bool done_ = false;
+  std::uint64_t total_ = 0;
+  DoneCallback on_done_;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_APPS_FORKJOIN_APP_H_

@@ -1,0 +1,57 @@
+#include "src/apps/fuzz_target_app.h"
+
+#include "src/base/units.h"
+
+namespace nephele {
+
+void FuzzTargetApp::OnBoot(GuestContext& ctx) {
+  auto block = ctx.arena().Allocate((config_.scratch_pages + 1) * kPageSize, /*resident=*/true);
+  if (block.ok()) {
+    scratch_ = *block;
+  }
+}
+
+ExecOutcome FuzzTargetApp::ExecuteInput(GuestContext& ctx, std::span<const std::uint8_t> input) {
+  ExecOutcome outcome;
+  if (config_.trivial_getppid_mode) {
+    outcome.coverage = {1u, 2u, 3u};  // entry, getppid body, return
+  } else {
+    // Each 4-byte chunk encodes (syscall_nr, arg byte, arg byte, flags).
+    for (std::size_t i = 0; i + 4 <= input.size(); i += 4) {
+      std::uint32_t nr = input[i] % 64;
+      std::uint32_t arg_class = input[i + 1] % 8;
+      // Edge ids: syscall entry edge + per-arg-class branch edge.
+      outcome.coverage.push_back(100 + nr);
+      outcome.coverage.push_back(1000 + nr * 8 + arg_class);
+      if (nr >= config_.implemented_syscalls) {
+        // Unsupported syscall: the run faults (the paper notes the syscall
+        // subsystem "is not fully supported ... and this can generate
+        // considerable variations in the fuzzing throughput").
+        outcome.coverage.push_back(5000 + nr);
+        outcome.crashed = true;
+        break;
+      }
+      if ((input[i + 3] & 0x0f) == 0x0f) {
+        // Deep path: extra edge.
+        outcome.coverage.push_back(2000 + nr);
+      }
+    }
+  }
+  // The execution dirties scratch state inside the guest (restored later by
+  // clone_reset).
+  if (scratch_.has_value()) {
+    std::size_t pages = config_.trivial_getppid_mode ? 1 : config_.scratch_pages;
+    for (std::size_t p = 0; p < pages; ++p) {
+      std::uint8_t marker = static_cast<std::uint8_t>(input.empty() ? 0 : input[0]);
+      (void)ctx.arena().Write(scratch_->offset + p * kPageSize, &marker, 1);
+    }
+    outcome.pages_dirtied = pages;
+  }
+  return outcome;
+}
+
+std::unique_ptr<GuestApp> FuzzTargetApp::CloneApp() const {
+  return std::make_unique<FuzzTargetApp>(*this);
+}
+
+}  // namespace nephele

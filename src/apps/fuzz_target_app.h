@@ -1,0 +1,62 @@
+// The Sec. 7.2 fuzz target: an adapter that interprets fuzzer input as a
+// sequence of system calls against the unikernel's syscall layer. The
+// syscall subsystem is deliberately *partially* supported (as in the paper's
+// Unikraft tree), so unsupported calls end the execution early and make the
+// observed throughput vary; a "getppid-only" mode provides the stable
+// baseline series.
+
+#ifndef SRC_APPS_FUZZ_TARGET_APP_H_
+#define SRC_APPS_FUZZ_TARGET_APP_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/guest/guest_app.h"
+#include "src/guest/guest_context.h"
+
+namespace nephele {
+
+struct ExecOutcome {
+  // Edge ids covered by this execution (feed the AFL coverage map).
+  std::vector<std::uint32_t> coverage;
+  // Execution hit an unsupported syscall / fault.
+  bool crashed = false;
+  // Guest pages dirtied by the execution (restored by clone_reset).
+  std::size_t pages_dirtied = 0;
+};
+
+struct FuzzTargetConfig {
+  // Syscalls 0..63 exist; only [0, implemented_syscalls) are supported.
+  unsigned implemented_syscalls = 56;
+  // getppid-style trivial mode: every input exercises one always-supported
+  // syscall (the Fig. 9 "baseline" series).
+  bool trivial_getppid_mode = false;
+  // Scratch pages the adapter writes per execution (~3 dirty pages for
+  // Unikraft per Sec. 7.2).
+  std::size_t scratch_pages = 3;
+};
+
+class FuzzTargetApp : public GuestApp {
+ public:
+  explicit FuzzTargetApp(FuzzTargetConfig config) : config_(config) {}
+
+  void OnBoot(GuestContext& ctx) override;
+  std::unique_ptr<GuestApp> CloneApp() const override;
+  std::string_view app_name() const override { return "fuzz-target"; }
+
+  // Runs one fuzz input inside the guest. The KFX harness calls this on a
+  // clone, then resets it with clone_reset.
+  ExecOutcome ExecuteInput(GuestContext& ctx, std::span<const std::uint8_t> input);
+
+  const FuzzTargetConfig& config() const { return config_; }
+
+ private:
+  FuzzTargetConfig config_;
+  std::optional<ArenaBlock> scratch_;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_APPS_FUZZ_TARGET_APP_H_

@@ -1,0 +1,40 @@
+#include "src/apps/mem_app.h"
+
+#include "src/base/log.h"
+#include "src/base/units.h"
+
+namespace nephele {
+
+void MemApp::OnBoot(GuestContext& ctx) {
+  auto block = ctx.arena().Allocate(config_.alloc_mb * kMiB, /*resident=*/true);
+  if (block.ok()) {
+    block_ = *block;
+  } else {
+    NEPHELE_LOG(kError, "memapp") << "allocation failed: " << block.status().ToString();
+  }
+  (void)ctx.TcpListen(config_.tcp_port);
+}
+
+void MemApp::OnPacket(GuestContext& ctx, const Packet& packet) {
+  if (packet.proto != IpProto::kTcp) {
+    return;
+  }
+  std::string cmd(packet.payload.begin(), packet.payload.end());
+  if (cmd == "fork") {
+    Packet request = packet;
+    (void)ctx.Fork(1, [request](GuestContext& fctx, GuestApp& self, const ForkResult& r) {
+      (void)self;
+      if (!r.is_child) {
+        std::string reply = "forked:" + std::to_string(r.children.front());
+        (void)fctx.TcpReply(request, std::vector<std::uint8_t>(reply.begin(), reply.end()));
+      }
+    });
+    return;
+  }
+  std::string reply = "unknown";
+  (void)ctx.TcpReply(packet, std::vector<std::uint8_t>(reply.begin(), reply.end()));
+}
+
+std::unique_ptr<GuestApp> MemApp::CloneApp() const { return std::make_unique<MemApp>(*this); }
+
+}  // namespace nephele

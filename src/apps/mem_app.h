@@ -1,0 +1,40 @@
+// The Fig. 6 workload: allocates a resident chunk of memory, then serves
+// fork/clone requests over a simple TCP protocol. Built once as a Linux
+// process (src/baseline) and once as this unikernel app; the benchmark
+// compares fork vs. clone durations across allocation sizes.
+
+#ifndef SRC_APPS_MEM_APP_H_
+#define SRC_APPS_MEM_APP_H_
+
+#include <optional>
+
+#include "src/guest/guest_app.h"
+#include "src/guest/guest_context.h"
+
+namespace nephele {
+
+struct MemAppConfig {
+  std::size_t alloc_mb = 1;
+  std::uint16_t tcp_port = 4000;
+};
+
+class MemApp : public GuestApp {
+ public:
+  explicit MemApp(MemAppConfig config) : config_(config) {}
+
+  void OnBoot(GuestContext& ctx) override;
+  void OnPacket(GuestContext& ctx, const Packet& packet) override;
+  std::unique_ptr<GuestApp> CloneApp() const override;
+  std::string_view app_name() const override { return "memapp"; }
+
+  bool allocated() const { return block_.has_value(); }
+  const ArenaBlock& block() const { return *block_; }
+
+ private:
+  MemAppConfig config_;
+  std::optional<ArenaBlock> block_;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_APPS_MEM_APP_H_

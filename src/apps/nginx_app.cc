@@ -1,0 +1,50 @@
+#include "src/apps/nginx_app.h"
+
+namespace nephele {
+
+namespace {
+const char kHttpOk[] = "HTTP/1.1 200 OK\r\nContent-Length: 12\r\n\r\nhello world\n";
+}  // namespace
+
+void NginxApp::OnBoot(GuestContext& ctx) {
+  (void)ctx.TcpListen(config_.listen_port);
+  is_worker_ = true;  // the master also serves; clones inherit this
+  if (config_.workers > 1) {
+    // fork() the remaining workers; each clone inherits the listening
+    // socket state — load balancing happens in Dom0 (bond), so no
+    // SO_REUSEPORT analogue is needed in the guest (Sec. 7.1).
+    (void)ctx.Fork(config_.workers - 1,
+                   [](GuestContext& fctx, GuestApp& self, const ForkResult& r) {
+                     auto& app = static_cast<NginxApp&>(self);
+                     (void)fctx;
+                     (void)r;
+                     app.is_worker_ = true;
+                   });
+  }
+}
+
+void NginxApp::OnPacket(GuestContext& ctx, const Packet& packet) {
+  if (packet.proto != IpProto::kTcp || packet.dst_port != config_.listen_port) {
+    return;
+  }
+  // Single-core worker queueing model.
+  SimTime now = ctx.Now();
+  SimTime start = busy_until_ < now ? now : busy_until_;
+  double jitter = 1.0 + (rng_.NextDouble() * 2.0 - 1.0) * config_.jitter;
+  busy_until_ = start + config_.service_time * jitter;
+  ++requests_served_;
+  SimDuration reply_in = busy_until_ - now;
+  Packet request = packet;
+  ctx.Post(reply_in, [request](GuestContext& pctx) {
+    (void)pctx.TcpReply(request,
+                        std::vector<std::uint8_t>(kHttpOk, kHttpOk + sizeof(kHttpOk) - 1));
+  });
+}
+
+std::unique_ptr<GuestApp> NginxApp::CloneApp() const {
+  auto clone = std::make_unique<NginxApp>(config_);
+  clone->is_worker_ = is_worker_;
+  return clone;
+}
+
+}  // namespace nephele

@@ -1,0 +1,111 @@
+#include "src/apps/redis_app.h"
+
+#include "src/base/log.h"
+#include "src/core/system.h"
+#include "src/guest/guest_manager.h"
+
+namespace nephele {
+
+void RedisApp::OnBoot(GuestContext& ctx) { (void)ctx.TcpListen(config_.port); }
+
+std::size_t RedisApp::dataset_bytes() const {
+  std::size_t bytes = synthetic_keys_ * config_.bytes_per_key;
+  for (const auto& [k, v] : kv_) {
+    bytes += k.size() + v.size() + 48;
+  }
+  return bytes;
+}
+
+Status RedisApp::Set(GuestContext& ctx, const std::string& key, const std::string& value) {
+  // Dict entry + SDS strings dirty heap pages like the real allocator would.
+  NEPHELE_RETURN_IF_ERROR(
+      ctx.arena().Allocate(key.size() + value.size() + 48, /*resident=*/true).status());
+  kv_[key] = value;
+  return Status::Ok();
+}
+
+Result<std::string> RedisApp::Get(const std::string& key) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) {
+    return ErrNotFound(key);
+  }
+  return it->second;
+}
+
+Status RedisApp::MassInsert(GuestContext& ctx, std::size_t keys) {
+  if (keys == 0) {
+    return Status::Ok();
+  }
+  NEPHELE_RETURN_IF_ERROR(
+      ctx.arena().Allocate(keys * config_.bytes_per_key, /*resident=*/true).status());
+  synthetic_keys_ += keys;
+  return Status::Ok();
+}
+
+void RedisApp::SerializeAndExit(GuestContext& ctx) {
+  const CostModel& costs = ctx.manager().system().costs();
+  ctx.manager().system().loop().AdvanceBy(costs.redis_serialize_key *
+                                          static_cast<double>(num_keys()));
+  auto fid = ctx.fs().Create(config_.dump_path);
+  if (fid.ok()) {
+    // The RDB payload; written through the 9pfs share (Sec. 7.1 runs the
+    // baseline against a 9pfs mount as well, as Unikraft supports only
+    // 9pfs).
+    std::vector<std::uint8_t> payload(dataset_bytes(), 0xAB);
+    (void)ctx.fs().Write(*fid, 0, payload);
+    (void)ctx.fs().Close(*fid);
+  } else {
+    NEPHELE_LOG(kError, "redis") << "dump create failed: " << fid.status().ToString();
+  }
+  if (on_saved_) {
+    on_saved_(ctx.id());
+  }
+  ctx.Exit();
+}
+
+Status RedisApp::Save(GuestContext& ctx) {
+  return ctx.Fork(1, [](GuestContext& fctx, GuestApp& self, const ForkResult& r) {
+    if (r.is_child) {
+      static_cast<RedisApp&>(self).SerializeAndExit(fctx);
+    }
+  });
+}
+
+void RedisApp::OnPacket(GuestContext& ctx, const Packet& packet) {
+  if (packet.proto != IpProto::kTcp || packet.dst_port != config_.port) {
+    return;
+  }
+  std::string cmd(packet.payload.begin(), packet.payload.end());
+  auto reply = [&](const std::string& text) {
+    (void)ctx.TcpReply(packet, std::vector<std::uint8_t>(text.begin(), text.end()));
+  };
+  if (cmd.rfind("SET ", 0) == 0) {
+    std::size_t space = cmd.find(' ', 4);
+    if (space == std::string::npos) {
+      reply("-ERR syntax");
+      return;
+    }
+    Status s = Set(ctx, cmd.substr(4, space - 4), cmd.substr(space + 1));
+    reply(s.ok() ? "+OK" : "-ERR oom");
+    return;
+  }
+  if (cmd.rfind("GET ", 0) == 0) {
+    auto v = Get(cmd.substr(4));
+    reply(v.ok() ? "$" + *v : "$-1");
+    return;
+  }
+  if (cmd == "BGSAVE") {
+    Status s = Save(ctx);
+    reply(s.ok() ? "+Background saving started" : "-ERR fork failed");
+    return;
+  }
+  if (cmd == "DBSIZE") {
+    reply(":" + std::to_string(num_keys()));
+    return;
+  }
+  reply("-ERR unknown command");
+}
+
+std::unique_ptr<GuestApp> RedisApp::CloneApp() const { return std::make_unique<RedisApp>(*this); }
+
+}  // namespace nephele

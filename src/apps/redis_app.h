@@ -1,0 +1,65 @@
+// Redis-like in-memory key-value store (Sec. 7.1): SET/GET over TCP and a
+// SAVE command that fork()s a clone which serializes the database to the
+// 9pfs share and exits — the exact COW-snapshot pattern Redis depends on.
+//
+// Two populations coexist: explicit keys (fully retrievable; used by tests
+// and examples) and mass-inserted synthetic keys (counted and sized but not
+// individually materialised, so the Fig. 8 sweep to 10^6 keys stays cheap
+// in host memory while still dirtying a realistic number of guest pages).
+
+#ifndef SRC_APPS_REDIS_APP_H_
+#define SRC_APPS_REDIS_APP_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/guest/guest_app.h"
+#include "src/guest/guest_context.h"
+
+namespace nephele {
+
+struct RedisConfig {
+  std::uint16_t port = 6379;
+  std::string dump_path = "dump.rdb";
+  // Approximate stored size per mass-inserted key (key + value + dict
+  // entry overhead).
+  std::size_t bytes_per_key = 100;
+};
+
+class RedisApp : public GuestApp {
+ public:
+  explicit RedisApp(RedisConfig config) : config_(config) {}
+
+  void OnBoot(GuestContext& ctx) override;
+  void OnPacket(GuestContext& ctx, const Packet& packet) override;
+  std::unique_ptr<GuestApp> CloneApp() const override;
+  std::string_view app_name() const override { return "redis"; }
+
+  // --- direct API (benchmarks/tests drive these without TCP framing) ---
+  Status Set(GuestContext& ctx, const std::string& key, const std::string& value);
+  Result<std::string> Get(const std::string& key) const;
+  // redis-cli --pipe style mass insertion.
+  Status MassInsert(GuestContext& ctx, std::size_t keys);
+  // BGSAVE: forks; the child serializes and exits. `on_saved` fires (host
+  // side) with the clone's domid when the dump is on "disk".
+  Status Save(GuestContext& ctx);
+
+  using SaveCallback = std::function<void(DomId child)>;
+  void set_on_saved(SaveCallback cb) { on_saved_ = std::move(cb); }
+
+  std::size_t num_keys() const { return kv_.size() + synthetic_keys_; }
+  std::size_t dataset_bytes() const;
+
+ private:
+  void SerializeAndExit(GuestContext& ctx);
+
+  RedisConfig config_;
+  std::map<std::string, std::string> kv_;
+  std::size_t synthetic_keys_ = 0;
+  SaveCallback on_saved_;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_APPS_REDIS_APP_H_

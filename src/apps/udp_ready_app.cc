@@ -1,0 +1,34 @@
+#include "src/apps/udp_ready_app.h"
+
+namespace nephele {
+
+void UdpReadyApp::OnBoot(GuestContext& ctx) {
+  (void)ctx.UdpBind(config_.listen_port);
+  SendReady(ctx);
+}
+
+void UdpReadyApp::SendReady(GuestContext& ctx) {
+  std::string msg = "ready:" + std::to_string(ctx.id());
+  (void)ctx.UdpSend(config_.src_port, config_.host_ip, config_.host_port,
+                    std::vector<std::uint8_t>(msg.begin(), msg.end()));
+}
+
+void UdpReadyApp::OnPacket(GuestContext& ctx, const Packet& packet) {
+  if (packet.proto != IpProto::kUdp) {
+    return;
+  }
+  ++packets_echoed_;
+  Packet reply = packet;
+  std::swap(reply.src_ip, reply.dst_ip);
+  std::swap(reply.src_port, reply.dst_port);
+  std::swap(reply.src_mac, reply.dst_mac);
+  if (ctx.net().frontend() != nullptr) {
+    (void)ctx.net().frontend()->Send(reply);
+  }
+}
+
+std::unique_ptr<GuestApp> UdpReadyApp::CloneApp() const {
+  return std::make_unique<UdpReadyApp>(*this);
+}
+
+}  // namespace nephele

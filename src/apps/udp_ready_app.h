@@ -1,0 +1,47 @@
+// The Mini-OS UDP server of Sec. 6.1: binds a UDP port, notifies the host
+// with a UDP packet once ready, then waits for interrupts (echoes traffic).
+// The instantiation benchmarks (Figs. 4, 5) measure time-to-ready with this
+// app under boot, restore and clone.
+
+#ifndef SRC_APPS_UDP_READY_APP_H_
+#define SRC_APPS_UDP_READY_APP_H_
+
+#include <string>
+
+#include "src/guest/guest_app.h"
+#include "src/guest/guest_context.h"
+
+namespace nephele {
+
+struct UdpReadyConfig {
+  Ipv4Addr host_ip = MakeIpv4(10, 8, 255, 1);
+  std::uint16_t host_port = 9999;
+  std::uint16_t listen_port = 7;
+  // Source port for the ready notification; the Fig. 4 clone methodology
+  // assigns each clone a unique port so bond hashing stays collision-free.
+  std::uint16_t src_port = 10000;
+};
+
+class UdpReadyApp : public GuestApp {
+ public:
+  explicit UdpReadyApp(UdpReadyConfig config) : config_(config) {}
+
+  void OnBoot(GuestContext& ctx) override;
+  void OnPacket(GuestContext& ctx, const Packet& packet) override;
+  std::unique_ptr<GuestApp> CloneApp() const override;
+  std::string_view app_name() const override { return "udp-ready"; }
+
+  // Sends the ready notification; fork continuations call this on clones.
+  void SendReady(GuestContext& ctx);
+
+  UdpReadyConfig& config() { return config_; }
+  std::uint64_t packets_echoed() const { return packets_echoed_; }
+
+ private:
+  UdpReadyConfig config_;
+  std::uint64_t packets_echoed_ = 0;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_APPS_UDP_READY_APP_H_

@@ -1,0 +1,61 @@
+// Minimal leveled logging. Components log through a named Logger; global
+// verbosity is a process-wide setting so tests and benches stay quiet by
+// default.
+
+#ifndef SRC_BASE_LOG_H_
+#define SRC_BASE_LOG_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace nephele {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one line: "[level] component: message". Thread-compatible (the
+// simulator is single-threaded by design).
+void LogMessage(LogLevel level, std::string_view component, std::string_view message);
+
+// Stream-style helper:
+//   NEPHELE_LOG(kInfo, "xencloned") << "cloned dom" << id;
+#define NEPHELE_LOG(level, component)                                               \
+  for (bool nephele_log_once_ = ::nephele::GetLogLevel() <= ::nephele::LogLevel::level; \
+       nephele_log_once_; nephele_log_once_ = false)                                \
+  ::nephele::LogLine(::nephele::LogLevel::level, component)
+
+// RAII line builder used by NEPHELE_LOG; flushes on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component) : level_(level), component_(component) {}
+  ~LogLine() { LogMessage(level_, component_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_BASE_LOG_H_

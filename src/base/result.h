@@ -1,0 +1,78 @@
+// Result<T>: value-or-Status, the companion of src/base/status.h.
+
+#ifndef SRC_BASE_RESULT_H_
+#define SRC_BASE_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "src/base/status.h"
+
+namespace nephele {
+
+// Holds either a T or a non-OK Status. Modeled after absl::StatusOr / zx::result.
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions keep call sites terse: `return value;` or
+  // `return ErrNotFound("...");`.
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : state_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(state_).ok() && "Result<T> must not hold an OK status");
+  }
+
+  bool ok() const noexcept { return std::holds_alternative<T>(state_); }
+
+  // OK results report StatusCode::kOk.
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(state_);
+  }
+
+  // Preconditions: ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value or `fallback` when holding an error.
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+// Assigns the value of a Result expression to `lhs` or propagates its error.
+//   NEPHELE_ASSIGN_OR_RETURN(auto dom, hv.FindDomain(id));
+#define NEPHELE_ASSIGN_OR_RETURN(lhs, expr)           \
+  NEPHELE_ASSIGN_OR_RETURN_IMPL_(                     \
+      NEPHELE_RESULT_CONCAT_(nephele_result_, __LINE__), lhs, expr)
+
+#define NEPHELE_RESULT_CONCAT_INNER_(a, b) a##b
+#define NEPHELE_RESULT_CONCAT_(a, b) NEPHELE_RESULT_CONCAT_INNER_(a, b)
+#define NEPHELE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) {                                     \
+    return tmp.status();                               \
+  }                                                    \
+  lhs = std::move(tmp).value()
+
+}  // namespace nephele
+
+#endif  // SRC_BASE_RESULT_H_

@@ -1,0 +1,76 @@
+#include "src/base/status.h"
+
+#include <cassert>
+
+namespace nephele {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kPermissionDenied:
+      return "permission_denied";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kAborted:
+      return "aborted";
+  }
+  return "unknown";
+}
+
+Status::Status(StatusCode code, std::string_view message) : code_(code) {
+  assert(code != StatusCode::kOk && "error status must carry an error code");
+  if (!message.empty()) {
+    message_ = std::make_shared<const std::string>(message);
+  }
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "ok";
+  }
+  std::string out(StatusCodeName(code_));
+  if (message_ != nullptr) {
+    out += ": ";
+    out += *message_;
+  }
+  return out;
+}
+
+Status ErrInvalidArgument(std::string_view msg) {
+  return Status(StatusCode::kInvalidArgument, msg);
+}
+Status ErrNotFound(std::string_view msg) { return Status(StatusCode::kNotFound, msg); }
+Status ErrAlreadyExists(std::string_view msg) { return Status(StatusCode::kAlreadyExists, msg); }
+Status ErrPermissionDenied(std::string_view msg) {
+  return Status(StatusCode::kPermissionDenied, msg);
+}
+Status ErrResourceExhausted(std::string_view msg) {
+  return Status(StatusCode::kResourceExhausted, msg);
+}
+Status ErrFailedPrecondition(std::string_view msg) {
+  return Status(StatusCode::kFailedPrecondition, msg);
+}
+Status ErrOutOfRange(std::string_view msg) { return Status(StatusCode::kOutOfRange, msg); }
+Status ErrUnimplemented(std::string_view msg) { return Status(StatusCode::kUnimplemented, msg); }
+Status ErrInternal(std::string_view msg) { return Status(StatusCode::kInternal, msg); }
+Status ErrUnavailable(std::string_view msg) { return Status(StatusCode::kUnavailable, msg); }
+Status ErrAborted(std::string_view msg) { return Status(StatusCode::kAborted, msg); }
+
+}  // namespace nephele

@@ -1,0 +1,94 @@
+// Lightweight status codes for library-wide, exception-free error handling.
+//
+// The os-systems idiom (Zircon/Abseil style): functions that can fail return
+// `Status`, or `Result<T>` (see src/base/result.h) when they also produce a
+// value. `Status` is cheap to copy (code + optional message pointer).
+
+#ifndef SRC_BASE_STATUS_H_
+#define SRC_BASE_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace nephele {
+
+// Error space shared by every subsystem. Values are stable; new codes are
+// appended, never renumbered.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   // caller passed something malformed
+  kNotFound = 2,          // named entity does not exist
+  kAlreadyExists = 3,     // unique-name or id collision
+  kPermissionDenied = 4,  // security check failed (e.g. cross-family sharing)
+  kResourceExhausted = 5, // out of frames, ports, grant entries, ...
+  kFailedPrecondition = 6,// object in the wrong state for this operation
+  kOutOfRange = 7,        // index outside a valid range
+  kUnimplemented = 8,     // operation not supported (e.g. unikraft syscalls)
+  kInternal = 9,          // invariant violation inside the library
+  kUnavailable = 10,      // transient: retry later (e.g. ring full)
+  kAborted = 11,          // operation cancelled (e.g. transaction conflict)
+};
+
+// Returns the canonical lowercase name, e.g. "not_found".
+std::string_view StatusCodeName(StatusCode code);
+
+// A status is either OK (no allocation) or an error code with an optional
+// human-readable message.
+class Status {
+ public:
+  // OK status.
+  constexpr Status() noexcept = default;
+
+  // Error status. `code` must not be kOk (checked in debug builds).
+  Status(StatusCode code, std::string_view message);
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  StatusCode code() const noexcept { return code_; }
+
+  // Empty for OK statuses.
+  std::string_view message() const noexcept {
+    return message_ == nullptr ? std::string_view() : std::string_view(*message_);
+  }
+
+  // "ok" or "<code_name>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  // Shared so Status stays cheap to copy. Null for OK and message-less errors.
+  std::shared_ptr<const std::string> message_;
+};
+
+// Convenience constructors mirroring the code enum.
+Status ErrInvalidArgument(std::string_view msg);
+Status ErrNotFound(std::string_view msg);
+Status ErrAlreadyExists(std::string_view msg);
+Status ErrPermissionDenied(std::string_view msg);
+Status ErrResourceExhausted(std::string_view msg);
+Status ErrFailedPrecondition(std::string_view msg);
+Status ErrOutOfRange(std::string_view msg);
+Status ErrUnimplemented(std::string_view msg);
+Status ErrInternal(std::string_view msg);
+Status ErrUnavailable(std::string_view msg);
+Status ErrAborted(std::string_view msg);
+
+// Propagates errors: evaluates `expr` (a Status expression) and returns it
+// from the enclosing function if it is not OK.
+#define NEPHELE_RETURN_IF_ERROR(expr)                  \
+  do {                                                 \
+    ::nephele::Status nephele_status_tmp_ = (expr);    \
+    if (!nephele_status_tmp_.ok()) {                   \
+      return nephele_status_tmp_;                      \
+    }                                                  \
+  } while (false)
+
+}  // namespace nephele
+
+#endif  // SRC_BASE_STATUS_H_

@@ -1,0 +1,48 @@
+// Byte-size and page arithmetic shared across the tree.
+
+#ifndef SRC_BASE_UNITS_H_
+#define SRC_BASE_UNITS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nephele {
+
+inline constexpr std::size_t kKiB = 1024;
+inline constexpr std::size_t kMiB = 1024 * kKiB;
+inline constexpr std::size_t kGiB = 1024 * kMiB;
+
+// Xen (and our simulated machine) use 4 KiB frames.
+inline constexpr std::size_t kPageSize = 4 * kKiB;
+inline constexpr std::size_t kPageShift = 12;
+
+// Entries per page-table page on x86-64 (8-byte entries in a 4 KiB page).
+inline constexpr std::size_t kPtEntriesPerPage = 512;
+
+constexpr std::size_t BytesToPages(std::size_t bytes) {
+  return (bytes + kPageSize - 1) / kPageSize;
+}
+
+constexpr std::size_t PagesToBytes(std::size_t pages) { return pages * kPageSize; }
+
+constexpr std::size_t MiBToPages(std::size_t mib) { return mib * kMiB / kPageSize; }
+
+// Number of page-table pages (all levels) needed to map `pages` 4 KiB pages,
+// assuming a dense mapping starting at zero: L1 tables + L2 + L3 + one L4.
+constexpr std::size_t PageTablePagesFor(std::size_t pages) {
+  std::size_t total = 0;
+  std::size_t level_pages = pages;
+  // Four levels on x86-64; each level divides fan-out by 512.
+  for (int level = 0; level < 4; ++level) {
+    level_pages = (level_pages + kPtEntriesPerPage - 1) / kPtEntriesPerPage;
+    if (level_pages == 0) {
+      level_pages = 1;
+    }
+    total += level_pages;
+  }
+  return total;
+}
+
+}  // namespace nephele
+
+#endif  // SRC_BASE_UNITS_H_

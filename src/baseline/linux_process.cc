@@ -1,0 +1,89 @@
+#include "src/baseline/linux_process.h"
+
+#include "src/base/units.h"
+
+namespace nephele {
+
+Result<Pid> LinuxProcessModel::Spawn(std::size_t resident_mb) {
+  loop_.AdvanceBy(costs_.proc_exec);
+  Pid pid = next_pid_++;
+  Process p;
+  p.pid = pid;
+  p.resident_pages = MiBToPages(resident_mb);
+  loop_.AdvanceBy(SimDuration::Nanos(
+      static_cast<std::int64_t>(p.resident_pages) * costs_.guest_touch_page.ns()));
+  processes_[pid] = p;
+  return pid;
+}
+
+Result<Pid> LinuxProcessModel::Fork(Pid pid) {
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) {
+    return ErrNotFound("no such process");
+  }
+  Process& parent = it->second;
+  loop_.AdvanceBy(costs_.proc_fork_fixed);
+  // Page-table entry copies for the whole resident set.
+  loop_.AdvanceBy(SimDuration::Nanos(static_cast<std::int64_t>(parent.resident_pages) *
+                                     costs_.proc_fork_pte_copy.ns()));
+  if (!parent.cow_marked) {
+    // First fork: also write-protect every PTE (mark the address space COW).
+    loop_.AdvanceBy(SimDuration::Nanos(static_cast<std::int64_t>(parent.resident_pages) *
+                                       costs_.proc_fork_pte_protect.ns()));
+    parent.cow_marked = true;
+  }
+  Pid child_pid = next_pid_++;
+  Process child = parent;
+  child.pid = child_pid;
+  child.parent = pid;
+  child.cow_marked = true;  // child address space is born COW-marked
+  processes_[child_pid] = child;
+  return child_pid;
+}
+
+Status LinuxProcessModel::TouchCowPages(Pid pid, std::size_t pages) {
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) {
+    return ErrNotFound("no such process");
+  }
+  loop_.AdvanceBy(costs_.proc_cow_fault * static_cast<double>(pages));
+  return Status::Ok();
+}
+
+Status LinuxProcessModel::GrowResident(Pid pid, std::size_t mb) {
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) {
+    return ErrNotFound("no such process");
+  }
+  std::size_t pages = MiBToPages(mb);
+  it->second.resident_pages += pages;
+  loop_.AdvanceBy(SimDuration::Nanos(static_cast<std::int64_t>(pages) *
+                                     costs_.guest_touch_page.ns()));
+  return Status::Ok();
+}
+
+Status LinuxProcessModel::Exit(Pid pid) {
+  if (processes_.erase(pid) == 0) {
+    return ErrNotFound("no such process");
+  }
+  return Status::Ok();
+}
+
+const LinuxProcessModel::Process* LinuxProcessModel::Find(Pid pid) const {
+  auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : &it->second;
+}
+
+SimTime ReuseportServerGroup::Submit(const Packet& packet, SimTime now) {
+  std::size_t worker = Layer34Hash(packet) % busy_until_.size();
+  double jitter = 1.0 + (rng_.NextDouble() * 2.0 - 1.0) * config_.jitter;
+  double contention =
+      1.0 + config_.contention_per_worker * static_cast<double>(busy_until_.size() - 1);
+  SimDuration service = config_.service_time * (jitter * contention * worker_factor_[worker]);
+  SimTime start = busy_until_[worker] < now ? now : busy_until_[worker];
+  busy_until_[worker] = start + service;
+  ++served_;
+  return busy_until_[worker];
+}
+
+}  // namespace nephele

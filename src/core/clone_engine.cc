@@ -1,0 +1,298 @@
+#include "src/core/clone_engine.h"
+
+#include "src/base/log.h"
+
+namespace nephele {
+
+CloneEngine::CloneEngine(Hypervisor& hv) : hv_(hv), ring_(256) {}
+
+void CloneEngine::CloneVcpus(const Domain& parent, Domain& child) {
+  child.vcpus = parent.vcpus;
+  for (auto& v : child.vcpus) {
+    // The hypercall return value: 0 for the parent, 1 for any child
+    // (Sec. 5.2).
+    v.rax = 1;
+  }
+  hv_.loop().AdvanceBy(hv_.costs().vcpu_clone * static_cast<double>(child.vcpus.size()));
+}
+
+Status CloneEngine::CloneMemory(Domain& parent, Domain& child) {
+  const CostModel& costs = hv_.costs();
+  FrameTable& frames = hv_.frames();
+  child.p2m.reserve(parent.p2m.size());
+
+  for (Gfn gfn = 0; gfn < parent.p2m.size(); ++gfn) {
+    P2mEntry& pe = parent.p2m[gfn];
+    if (IsPrivateRole(pe.role)) {
+      // Private page: duplicated (or rewritten) for the child (Sec. 4.1).
+      NEPHELE_ASSIGN_OR_RETURN(Mfn mfn, frames.Alloc(child.id));
+      hv_.loop().AdvanceBy(costs.frame_alloc);
+      if (frames.info(pe.mfn).data != nullptr) {
+        frames.CopyPage(pe.mfn, mfn);
+        hv_.loop().AdvanceBy(costs.page_copy);
+      } else {
+        hv_.loop().AdvanceBy(costs.private_page_rewrite);
+      }
+      child.p2m.push_back(P2mEntry{mfn, pe.role, /*writable=*/true});
+      ++stats_.pages_private_copied;
+      continue;
+    }
+    if (pe.role == PageRole::kIdcShared) {
+      // IDC regions stay writable on both sides: true sharing, no COW
+      // (Sec. 5.2.2 — ownership still moves to dom_cow like any shared page).
+      if (frames.IsShared(pe.mfn)) {
+        NEPHELE_RETURN_IF_ERROR(frames.ShareAgain(pe.mfn));
+        hv_.loop().AdvanceBy(costs.page_share_again);
+      } else {
+        NEPHELE_RETURN_IF_ERROR(frames.ShareFirst(pe.mfn));
+        hv_.loop().AdvanceBy(costs.page_share_first);
+      }
+      child.p2m.push_back(P2mEntry{pe.mfn, pe.role, /*writable=*/true});
+      ++stats_.pages_idc_shared;
+      continue;
+    }
+    // Regular memory: share copy-on-write. Writable pages are marked
+    // read-only and will be COWed on the next write by either side.
+    if (frames.IsShared(pe.mfn)) {
+      NEPHELE_RETURN_IF_ERROR(frames.ShareAgain(pe.mfn));
+      hv_.loop().AdvanceBy(costs.page_share_again);
+      ++stats_.pages_shared_again;
+    } else {
+      NEPHELE_RETURN_IF_ERROR(frames.ShareFirst(pe.mfn));
+      hv_.loop().AdvanceBy(costs.page_share_first);
+      ++stats_.pages_shared_first;
+    }
+    pe.writable = false;
+    child.p2m.push_back(P2mEntry{pe.mfn, pe.role, /*writable=*/false});
+  }
+
+  child.start_info_gfn = parent.start_info_gfn;
+  child.console_ring_gfn = parent.console_ring_gfn;
+  child.xenstore_ring_gfn = parent.xenstore_ring_gfn;
+
+  // Rebuild private page tables and p2m map for the child (dominant cost for
+  // large guests; Sec. 4.1).
+  return hv_.BuildPageTables(child.id);
+}
+
+void CloneEngine::CloneEvtchns(const Domain& parent, Domain& child) {
+  child.evtchns = parent.evtchns.CloneForChild();
+  // IDC fix-up (Sec. 5.2.2): "On creation, a clone is implicitly bound to
+  // all the IDC event channels of its parent." The child's copy of each
+  // kDomChild port becomes its end of an interdomain channel to the parent;
+  // the parent's port connects to its first child and keeps serving as the
+  // receive end for later ones.
+  for (EvtchnPort p = 1; p < child.evtchns.max_ports(); ++p) {
+    EvtchnEntry& ce = child.evtchns.mutable_entry(p);
+    if (ce.idc && ce.state == EvtchnState::kUnbound && ce.remote_dom == kDomChild) {
+      ce.state = EvtchnState::kInterdomain;
+      ce.remote_dom = parent.id;
+      ce.remote_port = p;
+    }
+  }
+  Domain* parent_mut = hv_.FindDomain(parent.id);
+  for (EvtchnPort p = 1; p < parent_mut->evtchns.max_ports(); ++p) {
+    EvtchnEntry& pe = parent_mut->evtchns.mutable_entry(p);
+    if (pe.idc && pe.state == EvtchnState::kUnbound && pe.remote_dom == kDomChild) {
+      pe.state = EvtchnState::kInterdomain;
+      pe.remote_dom = child.id;
+      pe.remote_port = p;
+    }
+  }
+  std::size_t active = child.evtchns.active_ports();
+  hv_.loop().AdvanceBy(hv_.costs().evtchn_clone * static_cast<double>(active));
+}
+
+Result<DomId> CloneEngine::CloneOne(Domain& parent) {
+  hv_.loop().AdvanceBy(hv_.costs().clone_stage1_fixed);
+  // struct domain initialisation by copy+edit of the parent's (Sec. 5).
+  NEPHELE_ASSIGN_OR_RETURN(DomId child_id,
+                           hv_.CreateDomain(/*name=*/"", static_cast<int>(parent.vcpus.size())));
+  Domain* child = hv_.FindDomain(child_id);
+
+  child->parent = parent.id;
+  child->family_root = parent.family_root;
+  child->cloning_enabled = parent.cloning_enabled;
+  child->max_clones = parent.max_clones;
+  parent.children.push_back(child_id);
+  ++parent.clones_created;
+
+  CloneVcpus(parent, *child);
+  NEPHELE_RETURN_IF_ERROR(CloneMemory(parent, *child));
+
+  child->grants = parent.grants.CloneForChild();
+  hv_.loop().AdvanceBy(hv_.costs().grant_entry_clone *
+                       static_cast<double>(child->grants.active_entries()));
+  CloneEvtchns(parent, *child);
+
+  child->track_dirty = true;
+  child->dirty_since_clone.clear();
+  ++stats_.clones;
+  return child_id;
+}
+
+Result<std::vector<DomId>> CloneEngine::Clone(DomId caller, DomId parent_id, Mfn start_info_mfn,
+                                              unsigned num_clones) {
+  hv_.ChargeHypercall();
+  if (!hv_.cloning_globally_enabled()) {
+    return ErrFailedPrecondition("cloning disabled globally");
+  }
+  if (caller != parent_id && caller != kDom0) {
+    return ErrPermissionDenied("only the guest itself or Dom0 may clone it");
+  }
+  Domain* parent = hv_.FindDomain(parent_id);
+  if (parent == nullptr) {
+    return ErrNotFound("no such domain");
+  }
+  if (!parent->cloning_enabled) {
+    return ErrPermissionDenied("cloning not enabled for this domain");
+  }
+  if (parent->clones_created + num_clones > parent->max_clones) {
+    return ErrResourceExhausted("max_clones exceeded");
+  }
+  if (num_clones == 0) {
+    return ErrInvalidArgument("num_clones must be positive");
+  }
+  // Interface check: the caller passes the machine address of its
+  // start_info page (Sec. 5.1).
+  if (parent->start_info_gfn == kInvalidGfn ||
+      parent->p2m[parent->start_info_gfn].mfn != start_info_mfn) {
+    return ErrInvalidArgument("start_info mfn mismatch");
+  }
+  if (ring_.size() + num_clones > ring_.capacity()) {
+    // Backpressure: the notification ring is full; the first stage stalls
+    // (Sec. 5). Callers retry after xencloned drains.
+    return ErrUnavailable("clone notification ring full");
+  }
+
+  // The parent is paused for the whole operation and stays paused until the
+  // second stage completes for all children (Sec. 5).
+  (void)hv_.PauseDomain(parent_id);
+  parent->blocked_in_clone = true;
+
+  std::vector<DomId> children;
+  children.reserve(num_clones);
+  for (unsigned i = 0; i < num_clones; ++i) {
+    NEPHELE_ASSIGN_OR_RETURN(DomId child, CloneOne(*parent));
+    children.push_back(child);
+    parent_of_pending_child_[child] = parent_id;
+    ring_.Push(CloneNotification{parent_id, child,
+                                 parent->p2m[parent->start_info_gfn].mfn,
+                                 hv_.FindDomain(child)->p2m[parent->start_info_gfn].mfn});
+    (void)hv_.RaiseVirq(kDom0, Virq::kCloned);
+  }
+  outstanding_[parent_id] += num_clones;
+  // Parent rax = 0: success, parent side.
+  for (auto& v : parent->vcpus) {
+    v.rax = 0;
+  }
+  return children;
+}
+
+Status CloneEngine::CloneCompletion(DomId child) {
+  hv_.ChargeHypercall();
+  auto it = parent_of_pending_child_.find(child);
+  if (it == parent_of_pending_child_.end()) {
+    return ErrNotFound("no pending clone for this child");
+  }
+  DomId parent_id = it->second;
+  parent_of_pending_child_.erase(it);
+
+  Domain* child_dom = hv_.FindDomain(child);
+  if (child_dom != nullptr && child_dom->state != DomainState::kPaused) {
+    // Children are resumed unless their configuration keeps them paused;
+    // xencloned pauses them explicitly beforehand in that case.
+    (void)hv_.UnpauseDomain(child);
+    FireResume(child, /*is_child=*/true);
+  }
+
+  auto out = outstanding_.find(parent_id);
+  if (out != outstanding_.end() && --out->second == 0) {
+    outstanding_.erase(out);
+    Domain* parent = hv_.FindDomain(parent_id);
+    if (parent != nullptr) {
+      parent->blocked_in_clone = false;
+      (void)hv_.UnpauseDomain(parent_id);
+      stats_.last_parent_resume = hv_.loop().Now();
+      FireResume(parent_id, /*is_child=*/false);
+    }
+  }
+  return Status::Ok();
+}
+
+void CloneEngine::FireResume(DomId dom, bool is_child) {
+  auto handler = on_resume_;
+  auto observers = resume_observers_;
+  hv_.loop().Post(SimDuration::Nanos(0), [handler, observers, dom, is_child] {
+    if (handler) {
+      handler(dom, is_child);
+    }
+    for (const auto& obs : observers) {
+      obs(dom, is_child);
+    }
+  });
+}
+
+Status CloneEngine::CloneCow(DomId caller, DomId dom, Gfn gfn, std::size_t count) {
+  hv_.ChargeHypercall();
+  if (caller != dom && caller != kDom0) {
+    return ErrPermissionDenied("clone_cow: not owner or Dom0");
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    NEPHELE_RETURN_IF_ERROR(hv_.ForceCowResolve(dom, gfn + static_cast<Gfn>(i)));
+    ++stats_.explicit_cow_pages;
+  }
+  return Status::Ok();
+}
+
+Result<std::size_t> CloneEngine::CloneReset(DomId caller, DomId child_id) {
+  hv_.ChargeHypercall();
+  if (caller != kDom0 && caller != child_id) {
+    return ErrPermissionDenied("clone_reset: not Dom0");
+  }
+  Domain* child = hv_.FindDomain(child_id);
+  if (child == nullptr) {
+    return ErrNotFound("no such domain");
+  }
+  if (child->parent == kDomInvalid) {
+    return ErrFailedPrecondition("domain is not a clone");
+  }
+  Domain* parent = hv_.FindDomain(child->parent);
+  if (parent == nullptr) {
+    return ErrFailedPrecondition("parent gone");
+  }
+  FrameTable& frames = hv_.frames();
+  hv_.loop().AdvanceBy(hv_.costs().clone_reset_fixed);
+
+  std::size_t restored = 0;
+  for (Gfn gfn : child->dirty_since_clone) {
+    P2mEntry& ce = child->p2m[gfn];
+    P2mEntry& pe = parent->p2m[gfn];
+    NEPHELE_RETURN_IF_ERROR(frames.Release(ce.mfn));
+    if (frames.IsShared(pe.mfn)) {
+      NEPHELE_RETURN_IF_ERROR(frames.ShareAgain(pe.mfn));
+    } else {
+      NEPHELE_RETURN_IF_ERROR(frames.ShareFirst(pe.mfn));
+      pe.writable = false;
+    }
+    ce.mfn = pe.mfn;
+    ce.writable = false;
+    hv_.loop().AdvanceBy(hv_.costs().clone_reset_per_page);
+    ++restored;
+  }
+  child->dirty_since_clone.clear();
+  ++stats_.resets;
+  stats_.reset_pages_restored += restored;
+  return restored;
+}
+
+Status CloneEngine::EnableGlobal(DomId caller, bool enabled) {
+  hv_.ChargeHypercall();
+  if (caller != kDom0) {
+    return ErrPermissionDenied("only Dom0 may toggle global cloning");
+  }
+  hv_.SetCloningGloballyEnabled(enabled);
+  return Status::Ok();
+}
+
+}  // namespace nephele

@@ -1,0 +1,93 @@
+// CloneEngine: the hypervisor side of Nephele — the CLONEOP hypercall and
+// the first stage of cloning (Sec. 4.1, 5.1, 5.2). It operates directly on
+// hypervisor state, exactly as the real implementation extends Xen itself.
+
+#ifndef SRC_CORE_CLONE_ENGINE_H_
+#define SRC_CORE_CLONE_ENGINE_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/core/clone_types.h"
+#include "src/hypervisor/hypervisor.h"
+
+namespace nephele {
+
+class CloneEngine {
+ public:
+  explicit CloneEngine(Hypervisor& hv);
+
+  // ---------------------------------------------------------------------
+  // CLONEOP subcommands.
+  // ---------------------------------------------------------------------
+
+  // kClone: creates `num_clones` children of `parent`. `caller` is the
+  // invoking domain — the parent itself on the guest path, or kDom0 when
+  // cloning is triggered from outside the VM (fuzzing). `start_info_mfn`
+  // must name the parent's start_info page (interface check). On success
+  // the parent is paused until every child finishes the second stage, and
+  // the returned array is what the hypervisor writes back to the caller.
+  Result<std::vector<DomId>> Clone(DomId caller, DomId parent, Mfn start_info_mfn,
+                                   unsigned num_clones);
+
+  // kCloneCompletion: xencloned signals that the second stage of `child` is
+  // done. Resumes the child (unless configured paused) and the parent once
+  // all its outstanding children completed.
+  Status CloneCompletion(DomId child);
+
+  // kCloneCow: explicitly un-share (COW) `count` pages of `dom` starting at
+  // `gfn`, so KFX can insert breakpoints into clone-private text (Sec. 7.2).
+  Status CloneCow(DomId caller, DomId dom, Gfn gfn, std::size_t count);
+
+  // kCloneReset: restores every page `child` dirtied since its clone back to
+  // the shared post-clone state (Sec. 7.2 memory reset between fuzz
+  // iterations). Returns the number of pages restored.
+  Result<std::size_t> CloneReset(DomId caller, DomId child);
+
+  // kEnableGlobal.
+  Status EnableGlobal(DomId caller, bool enabled);
+
+  // ---------------------------------------------------------------------
+  // Wiring.
+  // ---------------------------------------------------------------------
+  CloneNotificationRing& notification_ring() { return ring_; }
+
+  // Invoked when a domain resumes after cloning: the parent (is_child ==
+  // false, once per clone batch) or a child (is_child == true). The guest
+  // runtime uses this to continue execution on both sides.
+  using ResumeHandler = std::function<void(DomId dom, bool is_child)>;
+  void SetResumeHandler(ResumeHandler handler) { on_resume_ = std::move(handler); }
+  // Additional observers (benchmarks, tracing); run after the primary
+  // handler.
+  void AddResumeObserver(ResumeHandler observer) {
+    resume_observers_.push_back(std::move(observer));
+  }
+
+  // Children of the last clone batch issued by `parent` (the "array filled
+  // by the hypervisor").
+  const CloneStats& stats() const { return stats_; }
+
+ private:
+  // First-stage pieces.
+  Result<DomId> CloneOne(Domain& parent);
+  Status CloneMemory(Domain& parent, Domain& child);
+  void CloneVcpus(const Domain& parent, Domain& child);
+  void CloneEvtchns(const Domain& parent, Domain& child);
+
+  void FireResume(DomId dom, bool is_child);
+
+  Hypervisor& hv_;
+  CloneNotificationRing ring_;
+  CloneStats stats_;
+  ResumeHandler on_resume_;
+  std::vector<ResumeHandler> resume_observers_;
+  // Outstanding second-stage completions per parent.
+  std::map<DomId, unsigned> outstanding_;
+  std::map<DomId, DomId> parent_of_pending_child_;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_CORE_CLONE_ENGINE_H_

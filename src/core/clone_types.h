@@ -1,0 +1,89 @@
+// Shared types of the CLONEOP hypercall interface (Sec. 5.1).
+
+#ifndef SRC_CORE_CLONE_TYPES_H_
+#define SRC_CORE_CLONE_TYPES_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/hypervisor/types.h"
+#include "src/sim/time.h"
+
+namespace nephele {
+
+// Subcommands of the single new hypercall.
+enum class CloneOpCmd : int {
+  kClone = 0,            // guest (or Dom0 on its behalf) requests clones
+  kCloneCompletion = 1,  // xencloned reports second-stage completion
+  kCloneCow = 2,         // trigger COW explicitly for a page (KFX breakpoints)
+  kCloneReset = 3,       // restore a clone's memory to its post-clone state
+  kEnableGlobal = 4,     // xencloned enables cloning system-wide
+};
+
+// One entry of the hypervisor -> xencloned notification ring. "A
+// notification contains only the minimum required information for xencloned
+// to proceed with the second stage" (Sec. 5.1).
+struct CloneNotification {
+  DomId parent = kDomInvalid;
+  DomId child = kDomInvalid;
+  Mfn parent_start_info_mfn = kInvalidMfn;
+  Mfn child_start_info_mfn = kInvalidMfn;
+};
+
+// Bounded ring carrying clone notifications to xencloned. A full ring acts
+// as backpressure on the first stage (Sec. 5).
+class CloneNotificationRing {
+ public:
+  explicit CloneNotificationRing(std::size_t capacity = 64) : capacity_(capacity) {}
+
+  bool full() const { return entries_.size() >= capacity_; }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  bool Push(const CloneNotification& n) {
+    if (full()) {
+      ++dropped_;
+      return false;
+    }
+    entries_.push_back(n);
+    return true;
+  }
+
+  bool Pop(CloneNotification* out) {
+    if (entries_.empty()) {
+      return false;
+    }
+    *out = entries_.front();
+    entries_.pop_front();
+    return true;
+  }
+
+  std::uint64_t backpressure_events() const { return dropped_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<CloneNotification> entries_;
+  std::uint64_t dropped_ = 0;
+};
+
+// Statistics of the clone first stage, for tests and benches.
+struct CloneStats {
+  // Virtual time at which the last blocked parent was unpaused (set
+  // synchronously in clone_completion; benches use it to measure the
+  // guest-visible fork() duration).
+  SimTime last_parent_resume;
+  std::uint64_t clones = 0;
+  std::uint64_t pages_shared_first = 0;
+  std::uint64_t pages_shared_again = 0;
+  std::uint64_t pages_private_copied = 0;
+  std::uint64_t pages_idc_shared = 0;
+  std::uint64_t resets = 0;
+  std::uint64_t reset_pages_restored = 0;
+  std::uint64_t explicit_cow_pages = 0;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_CORE_CLONE_TYPES_H_

@@ -1,0 +1,46 @@
+#include "src/core/smp.h"
+
+namespace nephele {
+
+namespace {
+
+void CollectInto(const Hypervisor& hv, DomId dom, std::vector<DomId>* out) {
+  const Domain* d = hv.FindDomain(dom);
+  if (d == nullptr) {
+    return;
+  }
+  out->push_back(dom);
+  for (DomId child : d->children) {
+    CollectInto(hv, child, out);
+  }
+}
+
+}  // namespace
+
+std::vector<DomId> CollectFamily(const Hypervisor& hv, DomId root) {
+  std::vector<DomId> out;
+  CollectInto(hv, root, &out);
+  return out;
+}
+
+Result<std::size_t> PinFamilyAcrossCpus(Hypervisor& hv, DomId root, int num_cpus) {
+  if (num_cpus <= 0) {
+    return ErrInvalidArgument("need at least one cpu");
+  }
+  if (hv.FindDomain(root) == nullptr) {
+    return ErrNotFound("no such domain");
+  }
+  std::vector<DomId> family = CollectFamily(hv, root);
+  int next_cpu = 0;
+  for (DomId dom : family) {
+    Domain* d = hv.FindDomain(dom);
+    for (auto& vcpu : d->vcpus) {
+      vcpu.affinity = next_cpu;
+      next_cpu = (next_cpu + 1) % num_cpus;
+    }
+    hv.ChargeHypercall();  // vcpu_set_affinity per domain
+  }
+  return family.size();
+}
+
+}  // namespace nephele

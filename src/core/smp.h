@@ -1,0 +1,25 @@
+// SMP mitigation helper — the paper's closing future-work idea (Sec. 9):
+// "lack of SMP support can be mitigated by running clones on different
+// CPUs." Pins every member of a clone family to its own physical CPU,
+// round-robin, the way the Fig. 7 NGINX deployment pins one worker per core.
+
+#ifndef SRC_CORE_SMP_H_
+#define SRC_CORE_SMP_H_
+
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/hypervisor/hypervisor.h"
+
+namespace nephele {
+
+// All family members of `root` (root + descendants), in creation order.
+std::vector<DomId> CollectFamily(const Hypervisor& hv, DomId root);
+
+// Assigns vCPU affinities round-robin across [0, num_cpus). Returns the
+// number of domains pinned. Existing pins are overwritten.
+Result<std::size_t> PinFamilyAcrossCpus(Hypervisor& hv, DomId root, int num_cpus);
+
+}  // namespace nephele
+
+#endif  // SRC_CORE_SMP_H_

@@ -1,0 +1,30 @@
+#include "src/core/system.h"
+
+namespace nephele {
+
+NepheleSystem::NepheleSystem(SystemConfig config) : costs_(config.costs) {
+  hv_ = std::make_unique<Hypervisor>(loop_, costs_, config.hypervisor);
+  xs_ = std::make_unique<XenstoreDaemon>(loop_, costs_);
+  devices_ = std::make_unique<DeviceManager>(*hv_, *xs_, loop_, costs_);
+  toolstack_ = std::make_unique<Toolstack>(*hv_, *xs_, *devices_, loop_, costs_);
+  engine_ = std::make_unique<CloneEngine>(*hv_);
+  xencloned_ =
+      std::make_unique<Xencloned>(*hv_, *engine_, *xs_, *devices_, *toolstack_, loop_, costs_);
+
+  // Route udev events: devices of clones are completed by xencloned, freshly
+  // booted ones by the toolstack hotplug scripts.
+  devices_->SetUdevHandler([this](const UdevEvent& event) {
+    const Domain* d = hv_->FindDomain(event.device.dom);
+    if (d != nullptr && d->parent != kDomInvalid) {
+      xencloned_->HandleUdev(event);
+    } else {
+      (void)toolstack_->HandleVifHotplug(event);
+    }
+  });
+
+  if (config.start_xencloned) {
+    (void)xencloned_->Start();
+  }
+}
+
+}  // namespace nephele

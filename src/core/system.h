@@ -1,0 +1,62 @@
+// NepheleSystem: one fully-wired virtualization environment — hypervisor,
+// Xenstore, device backends, toolstack, clone engine and xencloned — driven
+// by a single discrete-event loop. This is the library's main entry point;
+// see examples/quickstart.cc.
+
+#ifndef SRC_CORE_SYSTEM_H_
+#define SRC_CORE_SYSTEM_H_
+
+#include <memory>
+
+#include "src/core/clone_engine.h"
+#include "src/core/xencloned.h"
+#include "src/devices/device_manager.h"
+#include "src/hypervisor/hypervisor.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/event_loop.h"
+#include "src/toolstack/toolstack.h"
+#include "src/xenstore/store.h"
+
+namespace nephele {
+
+struct SystemConfig {
+  HypervisorConfig hypervisor;
+  CostModel costs;
+  // Start xencloned (and enable cloning globally) at construction.
+  bool start_xencloned = true;
+};
+
+class NepheleSystem {
+ public:
+  explicit NepheleSystem(SystemConfig config = {});
+
+  NepheleSystem(const NepheleSystem&) = delete;
+  NepheleSystem& operator=(const NepheleSystem&) = delete;
+
+  EventLoop& loop() { return loop_; }
+  const CostModel& costs() const { return costs_; }
+  Hypervisor& hypervisor() { return *hv_; }
+  XenstoreDaemon& xenstore() { return *xs_; }
+  DeviceManager& devices() { return *devices_; }
+  Toolstack& toolstack() { return *toolstack_; }
+  CloneEngine& clone_engine() { return *engine_; }
+  Xencloned& xencloned() { return *xencloned_; }
+
+  // Runs the event loop until idle.
+  void Settle() { loop_.Run(); }
+  SimTime Now() const { return loop_.Now(); }
+
+ private:
+  CostModel costs_;
+  EventLoop loop_;
+  std::unique_ptr<Hypervisor> hv_;
+  std::unique_ptr<XenstoreDaemon> xs_;
+  std::unique_ptr<DeviceManager> devices_;
+  std::unique_ptr<Toolstack> toolstack_;
+  std::unique_ptr<CloneEngine> engine_;
+  std::unique_ptr<Xencloned> xencloned_;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_CORE_SYSTEM_H_

@@ -1,0 +1,27 @@
+#include "src/devices/device_manager.h"
+
+namespace nephele {
+
+DeviceManager::DeviceManager(Hypervisor& hv, XenstoreDaemon& xs, EventLoop& loop,
+                             const CostModel& costs)
+    : hv_(hv),
+      xs_(xs),
+      loop_(loop),
+      costs_(costs),
+      console_(loop, costs),
+      netback_(hv, loop, costs),
+      p9_(loop, costs, hostfs_),
+      vbd_(loop, costs) {
+  netback_.set_udev_emitter([this](const UdevEvent& event) { DispatchUdev(event); });
+}
+
+void DeviceManager::DispatchUdev(const UdevEvent& event) {
+  // Kernel -> userspace netlink delivery; the handler runs one event later.
+  loop_.Post(SimDuration::Micros(150), [this, event] {
+    if (udev_handler_) {
+      udev_handler_(event);
+    }
+  });
+}
+
+}  // namespace nephele

@@ -1,0 +1,216 @@
+#include "src/devices/p9.h"
+
+namespace nephele {
+
+namespace {
+// Resident memory of a QEMU 9pfs backend process and of one fid entry.
+constexpr std::size_t kDom0BytesPerProcess = 9 * 1024 * 1024;
+constexpr std::size_t kDom0BytesPerFid = 256;
+}  // namespace
+
+P9BackendProcess::P9BackendProcess(EventLoop& loop, const CostModel& costs, HostFs& fs,
+                                   std::string export_root)
+    : loop_(loop), costs_(costs), fs_(fs), export_root_(std::move(export_root)) {}
+
+std::string P9BackendProcess::HostPath(const std::string& rel) const {
+  if (rel.empty() || rel == "/") {
+    return export_root_;
+  }
+  if (rel.front() == '/') {
+    return export_root_ + rel;
+  }
+  return export_root_ + "/" + rel;
+}
+
+Result<P9Fid*> P9BackendProcess::FindFid(DomId dom, std::uint32_t fid) {
+  auto dit = tables_.find(dom);
+  if (dit == tables_.end()) {
+    return ErrNotFound("domain not attached");
+  }
+  auto fit = dit->second.fids.find(fid);
+  if (fit == dit->second.fids.end()) {
+    return ErrNotFound("bad fid");
+  }
+  return &fit->second;
+}
+
+Result<std::uint32_t> P9BackendProcess::Attach(DomId dom) {
+  loop_.AdvanceBy(costs_.p9_rpc);
+  FidTable& t = tables_[dom];  // creates on first attach
+  std::uint32_t fid = t.next_fid++;
+  t.fids[fid] = P9Fid{fid, "/", /*open=*/false, /*writable=*/false};
+  return fid;
+}
+
+Result<std::uint32_t> P9BackendProcess::Walk(DomId dom, std::uint32_t dir_fid,
+                                             const std::string& path) {
+  loop_.AdvanceBy(costs_.p9_rpc);
+  NEPHELE_ASSIGN_OR_RETURN(P9Fid * dir, FindFid(dom, dir_fid));
+  std::string rel = dir->path == "/" ? "/" + path : dir->path + "/" + path;
+  FidTable& t = tables_[dom];
+  std::uint32_t fid = t.next_fid++;
+  t.fids[fid] = P9Fid{fid, rel, /*open=*/false, /*writable=*/false};
+  return fid;
+}
+
+Status P9BackendProcess::Open(DomId dom, std::uint32_t fid, bool writable) {
+  loop_.AdvanceBy(costs_.p9_rpc);
+  NEPHELE_ASSIGN_OR_RETURN(P9Fid * f, FindFid(dom, fid));
+  if (!fs_.Exists(HostPath(f->path))) {
+    return ErrNotFound(f->path);
+  }
+  f->open = true;
+  f->writable = writable;
+  return Status::Ok();
+}
+
+Result<std::uint32_t> P9BackendProcess::Create(DomId dom, std::uint32_t dir_fid,
+                                               const std::string& name) {
+  loop_.AdvanceBy(costs_.p9_rpc);
+  NEPHELE_ASSIGN_OR_RETURN(P9Fid * dir, FindFid(dom, dir_fid));
+  std::string rel = dir->path == "/" ? "/" + name : dir->path + "/" + name;
+  std::string host = HostPath(rel);
+  if (!fs_.Exists(host)) {
+    NEPHELE_RETURN_IF_ERROR(fs_.CreateFile(host));
+  } else {
+    NEPHELE_RETURN_IF_ERROR(fs_.Truncate(host, 0));
+  }
+  FidTable& t = tables_[dom];
+  std::uint32_t fid = t.next_fid++;
+  t.fids[fid] = P9Fid{fid, rel, /*open=*/true, /*writable=*/true};
+  return fid;
+}
+
+Result<std::vector<std::uint8_t>> P9BackendProcess::Read(DomId dom, std::uint32_t fid,
+                                                         std::size_t offset, std::size_t count) {
+  loop_.AdvanceBy(costs_.p9_rpc);
+  NEPHELE_ASSIGN_OR_RETURN(P9Fid * f, FindFid(dom, fid));
+  if (!f->open) {
+    return ErrFailedPrecondition("fid not open");
+  }
+  NEPHELE_ASSIGN_OR_RETURN(auto data, fs_.ReadAt(HostPath(f->path), offset, count));
+  loop_.AdvanceBy(costs_.P9TransferCost(data.size()));
+  return data;
+}
+
+Result<std::size_t> P9BackendProcess::Write(DomId dom, std::uint32_t fid, std::size_t offset,
+                                            const std::vector<std::uint8_t>& data) {
+  loop_.AdvanceBy(costs_.p9_rpc);
+  NEPHELE_ASSIGN_OR_RETURN(P9Fid * f, FindFid(dom, fid));
+  if (!f->open || !f->writable) {
+    return ErrFailedPrecondition("fid not open for writing");
+  }
+  NEPHELE_RETURN_IF_ERROR(fs_.WriteAt(HostPath(f->path), offset, data));
+  loop_.AdvanceBy(costs_.P9TransferCost(data.size()));
+  return data.size();
+}
+
+Status P9BackendProcess::Clunk(DomId dom, std::uint32_t fid) {
+  loop_.AdvanceBy(costs_.p9_rpc);
+  auto dit = tables_.find(dom);
+  if (dit == tables_.end() || dit->second.fids.erase(fid) == 0) {
+    return ErrNotFound("bad fid");
+  }
+  return Status::Ok();
+}
+
+Result<std::size_t> P9BackendProcess::StatSize(DomId dom, std::uint32_t fid) {
+  loop_.AdvanceBy(costs_.p9_rpc);
+  NEPHELE_ASSIGN_OR_RETURN(P9Fid * f, FindFid(dom, fid));
+  return fs_.SizeOf(HostPath(f->path));
+}
+
+Result<std::vector<std::string>> P9BackendProcess::ReadDir(DomId dom, std::uint32_t dir_fid) {
+  loop_.AdvanceBy(costs_.p9_rpc);
+  NEPHELE_ASSIGN_OR_RETURN(P9Fid * dir, FindFid(dom, dir_fid));
+  std::string prefix = HostPath(dir->path);
+  if (prefix.back() != '/') {
+    prefix += '/';
+  }
+  std::vector<std::string> names;
+  for (const std::string& path : fs_.List(prefix)) {
+    std::string rest = path.substr(prefix.size());
+    std::size_t slash = rest.find('/');
+    std::string name = slash == std::string::npos ? rest : rest.substr(0, slash);
+    if (!name.empty() && (names.empty() || names.back() != name)) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+Status P9BackendProcess::QmpCloneFids(DomId parent, DomId child) {
+  loop_.AdvanceBy(costs_.qmp_roundtrip);
+  auto pit = tables_.find(parent);
+  if (pit == tables_.end()) {
+    return ErrNotFound("parent not attached");
+  }
+  if (tables_.contains(child)) {
+    return ErrAlreadyExists("child already attached");
+  }
+  FidTable child_table = pit->second;  // duplicate every fid (same host files)
+  loop_.AdvanceBy(costs_.p9_fid_clone * static_cast<double>(child_table.fids.size()));
+  tables_[child] = std::move(child_table);
+  return Status::Ok();
+}
+
+Status P9BackendProcess::ReleaseDomain(DomId dom) {
+  if (tables_.erase(dom) == 0) {
+    return ErrNotFound("domain not attached");
+  }
+  return Status::Ok();
+}
+
+std::size_t P9BackendProcess::NumFids(DomId dom) const {
+  auto it = tables_.find(dom);
+  return it == tables_.end() ? 0 : it->second.fids.size();
+}
+
+std::size_t P9BackendProcess::Dom0Bytes() const {
+  std::size_t fids = 0;
+  for (const auto& [dom, table] : tables_) {
+    fids += table.fids.size();
+  }
+  return kDom0BytesPerProcess + fids * kDom0BytesPerFid;
+}
+
+Result<P9BackendProcess*> P9BackendRegistry::LaunchForDomain(DomId dom,
+                                                             const std::string& export_root) {
+  if (FindServing(dom) != nullptr) {
+    return ErrAlreadyExists("domain already served");
+  }
+  // Process spawn + export setup.
+  loop_.AdvanceBy(SimDuration::Millis(4));
+  auto proc = std::make_unique<P9BackendProcess>(loop_, costs_, fs_, export_root);
+  P9BackendProcess* raw = proc.get();
+  processes_.push_back(std::move(proc));
+  return raw->Attach(dom).ok() ? Result<P9BackendProcess*>(raw)
+                               : Result<P9BackendProcess*>(ErrInternal("attach failed"));
+}
+
+Status P9BackendRegistry::CloneForChild(DomId parent, DomId child) {
+  P9BackendProcess* proc = FindServing(parent);
+  if (proc == nullptr) {
+    return ErrNotFound("no backend serves parent");
+  }
+  return proc->QmpCloneFids(parent, child);
+}
+
+P9BackendProcess* P9BackendRegistry::FindServing(DomId dom) {
+  for (auto& p : processes_) {
+    if (p->ServesDomain(dom)) {
+      return p.get();
+    }
+  }
+  return nullptr;
+}
+
+std::size_t P9BackendRegistry::Dom0Bytes() const {
+  std::size_t n = 0;
+  for (const auto& p : processes_) {
+    n += p->Dom0Bytes();
+  }
+  return n;
+}
+
+}  // namespace nephele

@@ -1,0 +1,39 @@
+#include "src/devices/xenbus.h"
+
+namespace nephele {
+
+std::string_view XenbusStateName(XenbusState s) {
+  switch (s) {
+    case XenbusState::kUnknown:
+      return "Unknown";
+    case XenbusState::kInitialising:
+      return "Initialising";
+    case XenbusState::kInitWait:
+      return "InitWait";
+    case XenbusState::kInitialised:
+      return "Initialised";
+    case XenbusState::kConnected:
+      return "Connected";
+    case XenbusState::kClosing:
+      return "Closing";
+    case XenbusState::kClosed:
+      return "Closed";
+  }
+  return "Unknown";
+}
+
+std::string_view DeviceTypeName(DeviceType t) {
+  switch (t) {
+    case DeviceType::kConsole:
+      return "console";
+    case DeviceType::kVif:
+      return "vif";
+    case DeviceType::kP9fs:
+      return "9pfs";
+    case DeviceType::kVbd:
+      return "vbd";
+  }
+  return "unknown";
+}
+
+}  // namespace nephele

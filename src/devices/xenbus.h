@@ -1,0 +1,74 @@
+// Xenbus device model shared declarations: the split-driver state machine and
+// device identities.
+
+#ifndef SRC_DEVICES_XENBUS_H_
+#define SRC_DEVICES_XENBUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/hypervisor/types.h"
+
+namespace nephele {
+
+// Negotiation states from xen/include/public/io/xenbus.h. On boot both ends
+// walk Initialising -> ... -> Connected; on clone the negotiation is skipped
+// and devices are created Connected (Sec. 5.2.1).
+enum class XenbusState : int {
+  kUnknown = 0,
+  kInitialising = 1,
+  kInitWait = 2,
+  kInitialised = 3,
+  kConnected = 4,
+  kClosing = 5,
+  kClosed = 6,
+};
+
+std::string_view XenbusStateName(XenbusState s);
+inline std::string XenbusStateValue(XenbusState s) {
+  return std::to_string(static_cast<int>(s));
+}
+
+enum class DeviceType : int {
+  kConsole = 0,
+  kVif = 1,
+  kP9fs = 2,
+  // Extension device type (Sec. 5.3): virtual block device.
+  kVbd = 3,
+};
+
+std::string_view DeviceTypeName(DeviceType t);
+
+// Identifies one paravirtual device instance.
+struct DeviceId {
+  DomId dom = kDomInvalid;
+  DeviceType type = DeviceType::kVif;
+  int devid = 0;
+
+  friend bool operator<(const DeviceId& a, const DeviceId& b) {
+    if (a.dom != b.dom) {
+      return a.dom < b.dom;
+    }
+    if (a.type != b.type) {
+      return a.type < b.type;
+    }
+    return a.devid < b.devid;
+  }
+  friend bool operator==(const DeviceId& a, const DeviceId& b) {
+    return a.dom == b.dom && a.type == b.type && a.devid == b.devid;
+  }
+};
+
+// udev event emitted by a backend when it creates/destroys a host-side
+// interface; handled in userspace by the toolstack hotplug logic on boot and
+// by xencloned on clone (Sec. 5, step 2.3).
+struct UdevEvent {
+  enum class Kind { kAdd, kRemove } kind = Kind::kAdd;
+  DeviceId device;
+  std::string interface_name;  // e.g. "vif3.0"
+};
+
+}  // namespace nephele
+
+#endif  // SRC_DEVICES_XENBUS_H_

@@ -1,0 +1,126 @@
+#include "src/faas/backend.h"
+
+#include "src/apps/faas_app.h"
+#include "src/base/log.h"
+
+namespace nephele {
+
+// ---------------------------------------------------------------------------
+// ContainerBackend
+// ---------------------------------------------------------------------------
+
+void ContainerBackend::LaunchOne(SimDuration latency) {
+  ++total_;
+  SimTime ready_at = loop_.Now() + latency;
+  // No container can start before the node finished pulling the function
+  // image (which the first instance's start latency includes).
+  if (ready_at < image_pulled_at_) {
+    ready_at = image_pulled_at_ + SimDuration::Millis(400);
+  }
+  loop_.PostAt(ready_at, [this] {
+    ++ready_;
+    readiness_.push_back(loop_.Now().ToSeconds());
+  });
+}
+
+Status ContainerBackend::Deploy() {
+  if (total_ != 0) {
+    return ErrFailedPrecondition("already deployed");
+  }
+  image_pulled_at_ = loop_.Now() + config_.first_start_latency;
+  LaunchOne(config_.first_start_latency);
+  return Status::Ok();
+}
+
+Status ContainerBackend::ScaleUp() {
+  if (total_ == 0) {
+    return ErrFailedPrecondition("not deployed");
+  }
+  LaunchOne(config_.start_latency);
+  return Status::Ok();
+}
+
+std::size_t ContainerBackend::MemoryBytes() const {
+  if (total_ == 0) {
+    return 0;
+  }
+  return config_.first_instance_bytes + (total_ - 1) * config_.instance_bytes;
+}
+
+// ---------------------------------------------------------------------------
+// UnikernelBackend
+// ---------------------------------------------------------------------------
+
+Status UnikernelBackend::Deploy() {
+  if (!instances_.empty()) {
+    return ErrFailedPrecondition("already deployed");
+  }
+  DomainConfig cfg;
+  cfg.name = "faas-fn";
+  cfg.memory_mb = config_.memory_mb;
+  // Unikraft + Python 3.7 + newlib + lwip: ~6 MB binary (Sec. 7.3).
+  cfg.image_text_pages = 1400;
+  cfg.image_data_pages = 260;
+  cfg.max_clones = 1024;
+  cfg.with_p9fs = true;  // Python runtime shared via the 9pfs root
+  NEPHELE_ASSIGN_OR_RETURN(DomId dom,
+                           manager_.Launch(cfg, std::make_unique<FaasApp>(FaasAppConfig{})));
+  instances_.push_back(dom);
+  // Interpreter warm-up on the first instance (touches resident memory).
+  EventLoop& loop = manager_.system().loop();
+  loop.Post(SimDuration::Millis(800), [this, dom] {
+    GuestContext* ctx = manager_.ContextOf(dom);
+    if (ctx != nullptr) {
+      (void)ctx->arena().Allocate(config_.warmup_pages * kPageSize, /*resident=*/true);
+    }
+  });
+  loop.Post(config_.first_report_latency, [this] {
+    ++ready_;
+    readiness_.push_back(manager_.system().loop().Now().ToSeconds());
+  });
+  return Status::Ok();
+}
+
+Status UnikernelBackend::ScaleUp() {
+  if (instances_.empty()) {
+    return ErrFailedPrecondition("not deployed");
+  }
+  DomId root = instances_.front();
+  UnikernelBackend* self = this;
+  std::size_t warmup_pages = config_.warmup_pages;
+  SimDuration report_latency = config_.k8s_report_latency;
+  return manager_.Fork(
+      root,
+      1,
+      [self, warmup_pages, report_latency](GuestContext& ctx, GuestApp& app,
+                                           const ForkResult& r) {
+        (void)app;
+        if (!r.is_child) {
+          return;
+        }
+        self->instances_.push_back(ctx.id());
+        // The clone warms its own interpreter state (COW divergence).
+        (void)ctx.arena().Allocate(warmup_pages * kPageSize, /*resident=*/true);
+        GuestManager& mgr = ctx.manager();
+        mgr.system().loop().Post(report_latency, [self, &mgr] {
+          ++self->ready_;
+          self->readiness_.push_back(mgr.system().loop().Now().ToSeconds());
+        });
+      },
+      /*caller=*/kDom0);
+}
+
+std::size_t UnikernelBackend::MemoryBytes() const {
+  std::size_t bytes = instances_.size() * config_.services_bytes_per_instance;
+  Hypervisor& hv = manager_.system().hypervisor();
+  for (DomId dom : instances_) {
+    bytes += hv.DomainOwnedFrames(dom) * kPageSize;
+  }
+  // Frames the family shares COW sit in dom_cow and are charged once (the
+  // whole point of Fig. 10: subsequent instances add only their private
+  // divergence).
+  bytes += hv.frames().shared_frames() * kPageSize;
+  return bytes;
+}
+
+}  // namespace nephele

@@ -1,0 +1,112 @@
+// Function-instance backends for the OpenFaaS-like gateway (Sec. 7.3):
+// containers (the vanilla setup — a calibrated model) vs. unikernel clones
+// (backed by the real Nephele cloning pipeline).
+
+#ifndef SRC_FAAS_BACKEND_H_
+#define SRC_FAAS_BACKEND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/units.h"
+#include "src/guest/guest_manager.h"
+
+namespace nephele {
+
+class FunctionBackend {
+ public:
+  virtual ~FunctionBackend() = default;
+
+  // Deploys the first instance (t=0 of the experiment).
+  virtual Status Deploy() = 0;
+  // Launches one more instance; it becomes ready asynchronously.
+  virtual Status ScaleUp() = 0;
+
+  virtual std::size_t ReadyInstances() const = 0;
+  virtual std::size_t TotalInstances() const = 0;
+  // Serving capacity of one ready instance, requests/s.
+  virtual double CapacityPerInstance() const = 0;
+  // Occupied memory right now (Fig. 10's y axis).
+  virtual std::size_t MemoryBytes() const = 0;
+  // Times (seconds since experiment start) at which instances were reported
+  // ready by the orchestrator — Fig. 10's dashed vertical lines.
+  virtual const std::vector<double>& ReadinessTimes() const = 0;
+};
+
+// The vanilla setup: Kubernetes pods running the function container.
+class ContainerBackend : public FunctionBackend {
+ public:
+  struct Config {
+    // First instance includes the image pull (Fig. 10: ready at ~33 s).
+    SimDuration first_start_latency = SimDuration::Seconds(33);
+    // Subsequent instances: scheduling + container start.
+    SimDuration start_latency = SimDuration::Seconds(12);
+    std::size_t first_instance_bytes = 90 * kMiB;
+    std::size_t instance_bytes = 220 * kMiB;  // "hundreds of megabytes"
+    double capacity_rps = 600;                // native Linux stack
+  };
+
+  ContainerBackend(EventLoop& loop, Config config) : loop_(loop), config_(config) {}
+
+  Status Deploy() override;
+  Status ScaleUp() override;
+  std::size_t ReadyInstances() const override { return ready_; }
+  std::size_t TotalInstances() const override { return total_; }
+  double CapacityPerInstance() const override { return config_.capacity_rps; }
+  std::size_t MemoryBytes() const override;
+  const std::vector<double>& ReadinessTimes() const override { return readiness_; }
+
+ private:
+  void LaunchOne(SimDuration latency);
+
+  EventLoop& loop_;
+  Config config_;
+  std::size_t ready_ = 0;
+  std::size_t total_ = 0;
+  SimTime image_pulled_at_;
+  std::vector<double> readiness_;
+};
+
+// The Nephele setup: the first instance boots a Unikraft+Python guest; every
+// further instance is a clone of it (KubeKraft-style packaging).
+class UnikernelBackend : public FunctionBackend {
+ public:
+  struct Config {
+    std::size_t memory_mb = 64;
+    // Kubernetes-side pod bookkeeping until the instance is *reported*
+    // ready; dominates over the ~25 ms clone itself.
+    SimDuration k8s_report_latency = SimDuration::Seconds(2);
+    SimDuration first_report_latency = SimDuration::Seconds(3);
+    // Dom0-side services per instance (pod wrapper, kubelet bookkeeping):
+    // part of the "85 MB first / 35 MB subsequent" split of Sec. 7.3.
+    std::size_t services_bytes_per_instance = 21 * kMiB;
+    // Python interpreter warm-up after the clone: pages the child dirties.
+    std::size_t warmup_pages = 2600;
+    double capacity_rps = 300;  // lwip stack (Sec. 7.3)
+  };
+
+  UnikernelBackend(GuestManager& manager, Config config)
+      : manager_(manager), config_(config) {}
+
+  Status Deploy() override;
+  Status ScaleUp() override;
+  std::size_t ReadyInstances() const override { return ready_; }
+  std::size_t TotalInstances() const override { return instances_.size(); }
+  double CapacityPerInstance() const override { return config_.capacity_rps; }
+  std::size_t MemoryBytes() const override;
+  const std::vector<double>& ReadinessTimes() const override { return readiness_; }
+
+  const std::vector<DomId>& instances() const { return instances_; }
+
+ private:
+  GuestManager& manager_;
+  Config config_;
+  std::vector<DomId> instances_;
+  std::size_t ready_ = 0;
+  std::vector<double> readiness_;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_FAAS_BACKEND_H_

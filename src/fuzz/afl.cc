@@ -1,0 +1,70 @@
+#include "src/fuzz/afl.h"
+
+namespace nephele {
+
+AflEngine::AflEngine(std::uint64_t seed) : rng_(seed) {}
+
+void AflEngine::AddSeed(std::vector<std::uint8_t> input) {
+  queue_.push_back(std::move(input));
+}
+
+std::vector<std::uint8_t> AflEngine::Mutate(const std::vector<std::uint8_t>& base) {
+  std::vector<std::uint8_t> out = base;
+  if (out.empty()) {
+    out.resize(8);
+  }
+  switch (rng_.NextBelow(4)) {
+    case 0: {  // bitflip
+      std::size_t bit = rng_.NextBelow(out.size() * 8);
+      out[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      break;
+    }
+    case 1: {  // byte replace
+      out[rng_.NextBelow(out.size())] = static_cast<std::uint8_t>(rng_.NextBelow(256));
+      break;
+    }
+    case 2: {  // arith
+      std::uint8_t& b = out[rng_.NextBelow(out.size())];
+      b = static_cast<std::uint8_t>(b + static_cast<std::uint8_t>(rng_.NextInRange(-8, 8)));
+      break;
+    }
+    default: {  // extend (havoc-style block append)
+      std::size_t extra = 4 * (1 + rng_.NextBelow(4));
+      for (std::size_t i = 0; i < extra; ++i) {
+        out.push_back(static_cast<std::uint8_t>(rng_.NextBelow(256)));
+      }
+      if (out.size() > 256) {
+        out.resize(256);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> AflEngine::NextInput() {
+  ++executions_;
+  if (queue_.empty()) {
+    std::vector<std::uint8_t> fresh(8);
+    for (auto& b : fresh) {
+      b = static_cast<std::uint8_t>(rng_.NextBelow(256));
+    }
+    return fresh;
+  }
+  const auto& base = queue_[next_entry_ % queue_.size()];
+  ++next_entry_;
+  return Mutate(base);
+}
+
+void AflEngine::ReportResult(const std::vector<std::uint8_t>& input,
+                             const std::vector<std::uint32_t>& edges, bool crashed) {
+  std::size_t fresh = coverage_.Merge(edges);
+  if (crashed) {
+    ++crashes_;
+  }
+  if (fresh > 0 && queue_.size() < 4096) {
+    queue_.push_back(input);
+  }
+}
+
+}  // namespace nephele

@@ -1,0 +1,49 @@
+// AFL-like mutation engine (Sec. 7.2 uses AFL both natively and underneath
+// KFX): keeps a queue of interesting inputs, mutates deterministically +
+// havoc-style, and favours inputs that discovered new coverage.
+
+#ifndef SRC_FUZZ_AFL_H_
+#define SRC_FUZZ_AFL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fuzz/coverage.h"
+#include "src/sim/rng.h"
+
+namespace nephele {
+
+class AflEngine {
+ public:
+  explicit AflEngine(std::uint64_t seed);
+
+  // Adds a seed input to the queue.
+  void AddSeed(std::vector<std::uint8_t> input);
+
+  // Produces the next input to execute (mutation of a queue entry).
+  std::vector<std::uint8_t> NextInput();
+
+  // Reports the result of executing the last input; queues it when it found
+  // new coverage.
+  void ReportResult(const std::vector<std::uint8_t>& input,
+                    const std::vector<std::uint32_t>& edges, bool crashed);
+
+  std::size_t queue_size() const { return queue_.size(); }
+  std::size_t crashes() const { return crashes_; }
+  std::size_t edges_covered() const { return coverage_.edges_covered(); }
+  std::uint64_t executions() const { return executions_; }
+
+ private:
+  std::vector<std::uint8_t> Mutate(const std::vector<std::uint8_t>& base);
+
+  Rng rng_;
+  CoverageMap coverage_;
+  std::vector<std::vector<std::uint8_t>> queue_;
+  std::size_t next_entry_ = 0;
+  std::size_t crashes_ = 0;
+  std::uint64_t executions_ = 0;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_FUZZ_AFL_H_

@@ -1,0 +1,25 @@
+#include "src/fuzz/coverage.h"
+
+namespace nephele {
+
+std::size_t CoverageMap::Merge(const std::vector<std::uint32_t>& edges) {
+  std::size_t fresh = 0;
+  for (std::uint32_t edge : edges) {
+    std::uint8_t& slot = map_[edge % kMapSize];
+    if (slot == 0) {
+      ++fresh;
+      ++covered_;
+    }
+    if (slot != 0xff) {
+      ++slot;
+    }
+  }
+  return fresh;
+}
+
+void CoverageMap::Reset() {
+  map_.fill(0);
+  covered_ = 0;
+}
+
+}  // namespace nephele

@@ -1,0 +1,31 @@
+// AFL-style edge-coverage bitmap.
+
+#ifndef SRC_FUZZ_COVERAGE_H_
+#define SRC_FUZZ_COVERAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace nephele {
+
+class CoverageMap {
+ public:
+  static constexpr std::size_t kMapSize = 1 << 16;
+
+  // Folds the execution's edges into the map; returns how many edges were
+  // globally new (virgin bits cleared).
+  std::size_t Merge(const std::vector<std::uint32_t>& edges);
+
+  bool Covered(std::uint32_t edge) const { return map_[edge % kMapSize] != 0; }
+  std::size_t edges_covered() const { return covered_; }
+  void Reset();
+
+ private:
+  std::array<std::uint8_t, kMapSize> map_{};
+  std::size_t covered_ = 0;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_FUZZ_COVERAGE_H_

@@ -1,0 +1,55 @@
+// Fig. 9 session driver: runs a fuzzing campaign in one of the paper's
+// configurations and samples throughput (executions/s) over virtual time.
+
+#ifndef SRC_FUZZ_FUZZ_SESSION_H_
+#define SRC_FUZZ_FUZZ_SESSION_H_
+
+#include <vector>
+
+#include "src/fuzz/kfx.h"
+#include "src/guest/guest_manager.h"
+
+namespace nephele {
+
+enum class FuzzMode {
+  // Unikraft guest, new VM booted for every input (no cloning support).
+  kUnikraftNoClone,
+  // Unikraft guest fuzzed through KFX + Nephele cloning.
+  kUnikraftClone,
+  // Native Linux process under plain AFL (no KFX / no coverage VM exits).
+  kLinuxProcess,
+  // Linux VM kernel module under KFX (legacy VM-fork path).
+  kLinuxKernelModule,
+};
+
+struct FuzzSessionConfig {
+  FuzzMode mode = FuzzMode::kUnikraftClone;
+  // getppid-style stable baseline instead of the partially-supported
+  // syscall subsystem (Sec. 7.2).
+  bool getppid_baseline = false;
+  SimDuration duration = SimDuration::Seconds(300);
+  SimDuration sample_every = SimDuration::Seconds(10);
+  std::uint64_t seed = 1;
+};
+
+struct FuzzSample {
+  double t_seconds = 0;
+  double execs_per_second = 0;
+};
+
+struct FuzzSessionResult {
+  std::vector<FuzzSample> series;
+  double average_execs_per_second = 0;
+  std::uint64_t total_executions = 0;
+  std::size_t edges_covered = 0;
+  std::size_t crashes = 0;
+};
+
+// Runs a campaign. For the two Unikraft modes a fresh guest environment is
+// created inside `manager`'s system; the Linux modes are cost models driven
+// by the same AFL engine.
+FuzzSessionResult RunFuzzSession(GuestManager& manager, const FuzzSessionConfig& config);
+
+}  // namespace nephele
+
+#endif  // SRC_FUZZ_FUZZ_SESSION_H_

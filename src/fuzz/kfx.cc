@@ -1,0 +1,62 @@
+#include "src/fuzz/kfx.h"
+
+namespace nephele {
+
+Status KfxHarness::Setup(DomId target, std::size_t breakpoint_pages) {
+  target_ = target;
+  NEPHELE_RETURN_IF_ERROR(
+      manager_.Fork(target, 1, /*continuation=*/nullptr, /*caller=*/kDom0));
+  manager_.system().Settle();
+  const Domain* td = manager_.system().hypervisor().FindDomain(target);
+  if (td == nullptr || td->children.empty()) {
+    return ErrInternal("clone did not materialise");
+  }
+  clone_ = td->children.back();
+
+  // Instrumentation: breakpoints go into the clone's text, which must be
+  // COWed explicitly first (the clone_cow subcommand added for KFX).
+  CloneEngine& engine = manager_.system().clone_engine();
+  NEPHELE_RETURN_IF_ERROR(engine.CloneCow(kDom0, clone_, /*gfn=*/0, breakpoint_pages));
+  manager_.system().loop().AdvanceBy(manager_.system().costs().kfx_breakpoint_insert *
+                                     static_cast<double>(breakpoint_pages));
+  // The instrumented state is the reset baseline: iterations restore to it,
+  // not to the uninstrumented parent (KFX re-arms breakpoints otherwise).
+  Domain* cd = manager_.system().hypervisor().FindDomain(clone_);
+  if (cd != nullptr) {
+    cd->dirty_since_clone.clear();
+  }
+  return Status::Ok();
+}
+
+Result<KfxHarness::IterationResult> KfxHarness::RunIteration() {
+  auto* app = dynamic_cast<FuzzTargetApp*>(manager_.AppOf(clone_));
+  GuestContext* ctx = manager_.ContextOf(clone_);
+  if (app == nullptr || ctx == nullptr) {
+    return ErrFailedPrecondition("harness not set up");
+  }
+  EventLoop& loop = manager_.system().loop();
+  const CostModel& costs = manager_.system().costs();
+
+  std::vector<std::uint8_t> input = afl_.NextInput();
+  loop.AdvanceBy(costs.afl_overhead_per_iter);
+  loop.AdvanceBy(costs.fuzz_exec_unikraft);
+  ExecOutcome outcome = app->ExecuteInput(*ctx, input);
+
+  IterationResult result;
+  result.crashed = outcome.crashed;
+  if (outcome.crashed) {
+    // Crash handling: KFX records the input and tears the vCPU state down
+    // before the reset.
+    loop.AdvanceBy(SimDuration::Micros(300));
+  }
+  std::size_t before = afl_.edges_covered();
+  afl_.ReportResult(input, outcome.coverage, outcome.crashed);
+  result.new_edges = afl_.edges_covered() - before;
+
+  NEPHELE_ASSIGN_OR_RETURN(result.pages_reset,
+                           manager_.system().clone_engine().CloneReset(kDom0, clone_));
+  ++iterations_;
+  return result;
+}
+
+}  // namespace nephele

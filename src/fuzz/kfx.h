@@ -1,0 +1,46 @@
+// KFX-like harness (Kernel Fuzzer for Xen, Sec. 7.2), extended as in the
+// paper to fuzz paravirtualized guests through the Nephele cloning API:
+// clone the target once, instrument the clone with breakpoints via
+// clone_cow, run one AFL input per iteration, and restore the clone's
+// memory with clone_reset.
+
+#ifndef SRC_FUZZ_KFX_H_
+#define SRC_FUZZ_KFX_H_
+
+#include "src/apps/fuzz_target_app.h"
+#include "src/fuzz/afl.h"
+#include "src/guest/guest_manager.h"
+
+namespace nephele {
+
+class KfxHarness {
+ public:
+  KfxHarness(GuestManager& manager, AflEngine& afl) : manager_(manager), afl_(afl) {}
+
+  // Clones `target` (host-triggered, like fuzzing an arbitrary VM) and
+  // instruments the clone. Runs the event loop to settle the second stage.
+  Status Setup(DomId target, std::size_t breakpoint_pages = 16);
+
+  struct IterationResult {
+    bool crashed = false;
+    std::size_t new_edges = 0;
+    std::size_t pages_reset = 0;
+  };
+
+  // One fuzzing iteration on the instrumented clone.
+  Result<IterationResult> RunIteration();
+
+  DomId clone_dom() const { return clone_; }
+  std::uint64_t iterations() const { return iterations_; }
+
+ private:
+  GuestManager& manager_;
+  AflEngine& afl_;
+  DomId target_ = kDomInvalid;
+  DomId clone_ = kDomInvalid;
+  std::uint64_t iterations_ = 0;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_FUZZ_KFX_H_

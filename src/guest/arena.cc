@@ -1,0 +1,101 @@
+#include "src/guest/arena.h"
+
+namespace nephele {
+
+GuestArena::GuestArena(Hypervisor& hv, DomId dom, Gfn first_gfn, std::size_t pages)
+    : hv_(hv), dom_(dom), first_gfn_(first_gfn), pages_(pages) {
+  free_list_.push_back(FreeRange{0, pages * kPageSize});
+}
+
+Result<ArenaBlock> GuestArena::Allocate(std::size_t bytes, bool resident) {
+  if (bytes == 0) {
+    return ErrInvalidArgument("zero-size allocation");
+  }
+  // 16-byte alignment, like tinyalloc's default block granularity.
+  std::size_t need = (bytes + 15) & ~std::size_t{15};
+  for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
+    if (it->size >= need) {
+      ArenaBlock block{it->offset, need};
+      it->offset += need;
+      it->size -= need;
+      if (it->size == 0) {
+        free_list_.erase(it);
+      }
+      allocated_ += need;
+      if (resident) {
+        NEPHELE_RETURN_IF_ERROR(Touch(block));
+      }
+      return block;
+    }
+  }
+  return ErrResourceExhausted("guest heap exhausted");
+}
+
+Status GuestArena::Free(const ArenaBlock& block) {
+  if (block.offset + block.size > capacity_bytes()) {
+    return ErrOutOfRange("block outside arena");
+  }
+  allocated_ -= std::min(allocated_, block.size);
+  // Insert sorted and coalesce with neighbours.
+  auto it = free_list_.begin();
+  while (it != free_list_.end() && it->offset < block.offset) {
+    ++it;
+  }
+  it = free_list_.insert(it, FreeRange{block.offset, block.size});
+  if (it != free_list_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->offset + prev->size == it->offset) {
+      prev->size += it->size;
+      free_list_.erase(it);
+      it = prev;
+    }
+  }
+  auto next = std::next(it);
+  if (next != free_list_.end() && it->offset + it->size == next->offset) {
+    it->size += next->size;
+    free_list_.erase(next);
+  }
+  return Status::Ok();
+}
+
+Status GuestArena::Touch(const ArenaBlock& block) {
+  Gfn first = first_gfn_ + static_cast<Gfn>(block.offset / kPageSize);
+  Gfn last = first_gfn_ + static_cast<Gfn>((block.offset + block.size - 1) / kPageSize);
+  return hv_.TouchGuestPages(dom_, first, last - first + 1);
+}
+
+Status GuestArena::Write(std::size_t offset, const void* src, std::size_t len) {
+  if (offset + len > capacity_bytes()) {
+    return ErrOutOfRange("write outside arena");
+  }
+  const auto* bytes = static_cast<const std::uint8_t*>(src);
+  while (len > 0) {
+    Gfn gfn = first_gfn_ + static_cast<Gfn>(offset / kPageSize);
+    std::size_t in_page = offset % kPageSize;
+    std::size_t chunk = std::min(len, kPageSize - in_page);
+    NEPHELE_RETURN_IF_ERROR(hv_.WriteGuestPage(dom_, gfn, in_page, bytes, chunk));
+    bytes += chunk;
+    offset += chunk;
+    len -= chunk;
+  }
+  return Status::Ok();
+}
+
+Status GuestArena::Read(std::size_t offset, void* out, std::size_t len) const {
+  if (offset + len > capacity_bytes()) {
+    return ErrOutOfRange("read outside arena");
+  }
+  auto* bytes = static_cast<std::uint8_t*>(out);
+  while (len > 0) {
+    Gfn gfn = first_gfn_ + static_cast<Gfn>(offset / kPageSize);
+    std::size_t in_page = offset % kPageSize;
+    std::size_t chunk = std::min(len, kPageSize - in_page);
+    NEPHELE_RETURN_IF_ERROR(hv_.ReadGuestPage(dom_, gfn, in_page, bytes, chunk));
+    bytes += chunk;
+    offset += chunk;
+    len -= chunk;
+  }
+  return Status::Ok();
+}
+
+}  // namespace nephele

@@ -1,0 +1,74 @@
+// tinyalloc-style guest heap allocator (the allocator the paper picked for
+// Unikraft in Sec. 6.2). Block-based first-fit over a contiguous gfn range;
+// allocations for *resident* memory touch their pages through the hypervisor
+// so COW accounting and fork/clone costs reflect real page state.
+
+#ifndef SRC_GUEST_ARENA_H_
+#define SRC_GUEST_ARENA_H_
+
+#include <cstdint>
+#include <list>
+
+#include "src/base/result.h"
+#include "src/hypervisor/hypervisor.h"
+
+namespace nephele {
+
+struct ArenaBlock {
+  std::size_t offset = 0;  // byte offset within the arena
+  std::size_t size = 0;
+};
+
+class GuestArena {
+ public:
+  // Manages [first_gfn, first_gfn + pages) of `dom`'s memory.
+  GuestArena(Hypervisor& hv, DomId dom, Gfn first_gfn, std::size_t pages);
+
+  // First-fit allocation. When `resident`, every covered page is touched
+  // (dirtied) immediately — the mlock()/memset() behaviour the Fig. 6
+  // workload depends on.
+  Result<ArenaBlock> Allocate(std::size_t bytes, bool resident = true);
+
+  Status Free(const ArenaBlock& block);
+
+  // Dirties the block's pages again (e.g. after a clone, to measure COW).
+  Status Touch(const ArenaBlock& block);
+
+  // Byte access within a block (bounded by the arena).
+  Status Write(std::size_t offset, const void* src, std::size_t len);
+  Status Read(std::size_t offset, void* out, std::size_t len) const;
+
+  std::size_t capacity_bytes() const { return pages_ * kPageSize; }
+  std::size_t allocated_bytes() const { return allocated_; }
+  std::size_t free_bytes() const { return capacity_bytes() - allocated_; }
+  DomId dom() const { return dom_; }
+  Gfn first_gfn() const { return first_gfn_; }
+
+  // Re-binds the arena to a cloned domain (same layout, child's p2m).
+  void RebindToDomain(DomId dom) { dom_ = dom; }
+
+  // Adopts another arena's allocation metadata (identical layout required):
+  // used when a guest migrates and its heap bookkeeping — which lives in
+  // guest memory — arrives with the pages.
+  void AdoptAllocationsFrom(const GuestArena& other) {
+    allocated_ = other.allocated_;
+    free_list_ = other.free_list_;
+  }
+
+ private:
+  struct FreeRange {
+    std::size_t offset;
+    std::size_t size;
+  };
+
+  Hypervisor& hv_;
+  DomId dom_;
+  Gfn first_gfn_;
+  std::size_t pages_;
+  std::size_t allocated_ = 0;
+  std::list<FreeRange> free_list_;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_GUEST_ARENA_H_

@@ -1,0 +1,283 @@
+#include "src/guest/guest_manager.h"
+
+#include "src/base/log.h"
+
+namespace nephele {
+
+// ---------------------------------------------------------------------------
+// GuestContext
+// ---------------------------------------------------------------------------
+
+GuestContext::GuestContext(GuestManager& manager, DomId dom) : manager_(manager), dom_(dom) {}
+
+Status GuestContext::Fork(unsigned num_children, ForkContinuation continuation) {
+  return manager_.Fork(dom_, num_children, std::move(continuation));
+}
+
+Ipv4Addr GuestContext::ip() const {
+  return net_ != nullptr && net_->frontend() != nullptr ? net_->frontend()->ip() : 0;
+}
+
+VbdFrontend* GuestContext::block() {
+  GuestDevices* devices = manager_.system().toolstack().FindDevices(dom_);
+  return devices != nullptr ? devices->vbd.get() : nullptr;
+}
+
+Status GuestContext::ConsoleWrite(const std::string& text) {
+  return manager_.system().devices().console().GuestWrite(dom_, text);
+}
+
+SimTime GuestContext::Now() const { return manager_.system().loop().Now(); }
+
+void GuestContext::Post(SimDuration delay, std::function<void(GuestContext&)> fn) {
+  GuestManager& mgr = manager_;
+  DomId dom = dom_;
+  mgr.system().loop().Post(delay, [&mgr, dom, fn = std::move(fn)] {
+    GuestContext* ctx = mgr.ContextOf(dom);
+    if (ctx != nullptr) {
+      fn(*ctx);
+    }
+  });
+}
+
+void GuestContext::Exit() {
+  GuestManager& mgr = manager_;
+  DomId dom = dom_;
+  mgr.system().loop().Post(SimDuration::Micros(50), [&mgr, dom] { (void)mgr.Destroy(dom); });
+}
+
+// ---------------------------------------------------------------------------
+// GuestManager
+// ---------------------------------------------------------------------------
+
+GuestManager::GuestManager(NepheleSystem& system) : system_(system) {
+  system_.clone_engine().SetResumeHandler(
+      [this](DomId dom, bool is_child) { OnCloneResume(dom, is_child); });
+}
+
+std::unique_ptr<GuestContext> GuestManager::BuildContext(DomId dom, const DomainConfig& config,
+                                                         const GuestContext* parent_ctx) {
+  auto ctx = std::make_unique<GuestContext>(*this, dom);
+  GuestDevices* devices = system_.toolstack().FindDevices(dom);
+
+  auto stack = std::make_unique<MiniStack>(
+      devices != nullptr && devices->net != nullptr ? devices->net.get() : nullptr);
+  if (parent_ctx != nullptr && parent_ctx->net_ != nullptr) {
+    stack->CopyStateFrom(*parent_ctx->net_);
+  }
+  ctx->AttachNet(std::move(stack));
+
+  const GuestMemoryLayout layout =
+      ComputeGuestLayout(config, system_.hypervisor().config().min_domain_pages);
+  if (parent_ctx != nullptr && parent_ctx->arena_ != nullptr) {
+    // The child's heap has the same layout and allocation metadata as the
+    // parent's (it lives in cloned pages); only the p2m it operates on
+    // differs.
+    auto arena = std::make_unique<GuestArena>(*parent_ctx->arena_);
+    arena->RebindToDomain(dom);
+    ctx->AttachArena(std::move(arena));
+  } else {
+    ctx->AttachArena(std::make_unique<GuestArena>(
+        system_.hypervisor(), dom, static_cast<Gfn>(layout.heap_first_gfn), layout.heap_pages));
+  }
+
+  if (devices != nullptr && devices->p9 != nullptr) {
+    P9Client fs(devices->p9, dom, devices->p9_root_fid);
+    if (parent_ctx != nullptr) {
+      fs = parent_ctx->fs_;
+      fs.RebindToDomain(dom);
+    }
+    ctx->AttachFs(fs);
+  }
+  return ctx;
+}
+
+void GuestManager::WireDelivery(DomId /*dom*/, GuestInstance& instance) {
+  GuestApp* app = instance.app.get();
+  GuestContext* ctx = instance.ctx.get();
+  MiniStack* stack = &ctx->net();
+  if (stack->frontend() != nullptr) {
+    stack->frontend()->set_receive_handler(
+        [stack](const Packet& p) { stack->OnFrameReceived(p); });
+  }
+  stack->SetDeliveryHandler([app, ctx](const Packet& p) { app->OnPacket(*ctx, p); });
+}
+
+Result<DomId> GuestManager::Launch(const DomainConfig& config, std::unique_ptr<GuestApp> app) {
+  NEPHELE_ASSIGN_OR_RETURN(DomId dom, system_.toolstack().CreateDomain(config));
+  GuestInstance instance;
+  instance.app = std::move(app);
+  instance.ctx = BuildContext(dom, config, /*parent_ctx=*/nullptr);
+  auto [it, inserted] = guests_.emplace(dom, std::move(instance));
+  WireDelivery(dom, it->second);
+  // Unikernel init runs inside the guest; OnBoot fires once it is done.
+  SimDuration boot = system_.costs().guest_boot;
+  system_.loop().Post(boot, [this, dom] {
+    auto git = guests_.find(dom);
+    if (git != guests_.end()) {
+      git->second.app->OnBoot(*git->second.ctx);
+    }
+  });
+  return dom;
+}
+
+Result<DomId> GuestManager::Restore(const DomainImage& image, std::unique_ptr<GuestApp> app) {
+  NEPHELE_ASSIGN_OR_RETURN(DomId dom, system_.toolstack().RestoreDomain(image));
+  GuestInstance instance;
+  instance.app = std::move(app);
+  instance.ctx = BuildContext(dom, image.config, /*parent_ctx=*/nullptr);
+  auto [it, inserted] = guests_.emplace(dom, std::move(instance));
+  WireDelivery(dom, it->second);
+  SimDuration resume = system_.costs().guest_boot;
+  system_.loop().Post(resume, [this, dom] {
+    auto git = guests_.find(dom);
+    if (git != guests_.end()) {
+      git->second.app->OnBoot(*git->second.ctx);
+    }
+  });
+  return dom;
+}
+
+Status GuestManager::Fork(DomId parent, unsigned num_children, ForkContinuation continuation,
+                          DomId caller) {
+  auto git = guests_.find(parent);
+  if (git == guests_.end()) {
+    return ErrNotFound("no such guest");
+  }
+  if (pending_forks_.contains(parent)) {
+    return ErrFailedPrecondition("fork already in flight for this guest");
+  }
+  const Domain* d = system_.hypervisor().FindDomain(parent);
+  if (d == nullptr || d->start_info_gfn == kInvalidGfn) {
+    return ErrInternal("parent domain incomplete");
+  }
+  Mfn start_info_mfn = d->p2m[d->start_info_gfn].mfn;
+  if (caller == kDomInvalid) {
+    caller = parent;
+  }
+
+  auto children =
+      system_.clone_engine().Clone(caller, parent, start_info_mfn, num_children);
+  if (!children.ok()) {
+    return children.status();
+  }
+
+  PendingFork pending;
+  pending.continuation = std::move(continuation);
+  pending.children = *children;
+  for (DomId child : *children) {
+    // The snapshot is the child's execution state at CLONEOP time.
+    pending.snapshots[child] = git->second.app->CloneApp();
+    pending_child_parent_[child] = parent;
+  }
+  pending_forks_[parent] = std::move(pending);
+  return Status::Ok();
+}
+
+void GuestManager::MaterialiseChild(DomId child, PendingFork& pending) {
+  auto sit = pending.snapshots.find(child);
+  if (sit == pending.snapshots.end()) {
+    return;
+  }
+  DomId parent = pending_child_parent_[child];
+  const DomainConfig* cfg = system_.toolstack().FindConfig(child);
+  GuestContext* parent_ctx = ContextOf(parent);
+  GuestInstance instance;
+  instance.app = std::move(sit->second);
+  instance.ctx = BuildContext(child, cfg != nullptr ? *cfg : DomainConfig{}, parent_ctx);
+  pending.snapshots.erase(sit);
+  auto [it, inserted] = guests_.emplace(child, std::move(instance));
+  WireDelivery(child, it->second);
+
+  if (pending.continuation) {
+    ForkResult result;
+    result.is_child = true;
+    pending.continuation(*it->second.ctx, *it->second.app, result);
+  }
+}
+
+void GuestManager::OnCloneResume(DomId dom, bool is_child) {
+  if (is_child) {
+    auto pit = pending_child_parent_.find(dom);
+    if (pit == pending_child_parent_.end()) {
+      return;
+    }
+    DomId parent = pit->second;
+    auto fit = pending_forks_.find(parent);
+    if (fit != pending_forks_.end()) {
+      MaterialiseChild(dom, fit->second);
+    }
+    pending_child_parent_.erase(pit);
+    return;
+  }
+  // Parent resumed: every child completed its second stage.
+  auto fit = pending_forks_.find(dom);
+  if (fit == pending_forks_.end()) {
+    return;
+  }
+  // Children configured to start paused were not resumed; materialise them
+  // now so they exist (paused) for the host to drive (fuzzing).
+  for (DomId child : fit->second.children) {
+    if (pending_child_parent_.contains(child)) {
+      MaterialiseChild(child, fit->second);
+      pending_child_parent_.erase(child);
+    }
+  }
+  PendingFork pending = std::move(fit->second);
+  pending_forks_.erase(fit);
+  if (pending.continuation) {
+    auto git = guests_.find(dom);
+    if (git != guests_.end()) {
+      ForkResult result;
+      result.is_child = false;
+      result.children = pending.children;
+      pending.continuation(*git->second.ctx, *git->second.app, result);
+    }
+  }
+}
+
+Result<DomId> GuestManager::MigrateTo(GuestManager& target, DomId dom) {
+  auto it = guests_.find(dom);
+  if (it == guests_.end()) {
+    return ErrNotFound("no such guest");
+  }
+  // Snapshot the app and the runtime state that lives in guest memory
+  // (socket bindings, heap bookkeeping) before the source is torn down.
+  std::unique_ptr<GuestApp> app = it->second.app->CloneApp();
+  MiniStack stack_snapshot(nullptr);
+  stack_snapshot.CopyStateFrom(it->second.ctx->net());
+  GuestArena arena_snapshot(it->second.ctx->arena());
+  NEPHELE_ASSIGN_OR_RETURN(MigrationStream stream, system_.toolstack().MigrateOut(dom));
+  guests_.erase(dom);
+
+  NEPHELE_ASSIGN_OR_RETURN(DomId new_dom, target.system_.toolstack().MigrateIn(stream));
+  GuestInstance instance;
+  instance.app = std::move(app);
+  instance.ctx = target.BuildContext(new_dom, stream.config, /*parent_ctx=*/nullptr);
+  auto [git, inserted] = target.guests_.emplace(new_dom, std::move(instance));
+  target.WireDelivery(new_dom, git->second);
+  git->second.ctx->net().CopyStateFrom(stack_snapshot);
+  git->second.ctx->arena().AdoptAllocationsFrom(arena_snapshot);
+  return new_dom;
+}
+
+Status GuestManager::Destroy(DomId dom) {
+  auto it = guests_.find(dom);
+  if (it == guests_.end()) {
+    return ErrNotFound("no such guest");
+  }
+  guests_.erase(it);
+  return system_.toolstack().DestroyDomain(dom);
+}
+
+GuestApp* GuestManager::AppOf(DomId dom) {
+  auto it = guests_.find(dom);
+  return it == guests_.end() ? nullptr : it->second.app.get();
+}
+
+GuestContext* GuestManager::ContextOf(DomId dom) {
+  auto it = guests_.find(dom);
+  return it == guests_.end() ? nullptr : it->second.ctx.get();
+}
+
+}  // namespace nephele

@@ -1,0 +1,80 @@
+// GuestManager: hosts the unikernel runtimes — one (GuestApp, GuestContext)
+// pair per domain — and implements fork semantics on top of the clone
+// engine: app snapshot at CLONEOP time, child materialisation when the
+// second stage completes, and continuation dispatch on both sides.
+
+#ifndef SRC_GUEST_GUEST_MANAGER_H_
+#define SRC_GUEST_GUEST_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/core/system.h"
+#include "src/guest/guest_app.h"
+#include "src/guest/guest_context.h"
+
+namespace nephele {
+
+class GuestManager {
+ public:
+  explicit GuestManager(NepheleSystem& system);
+
+  NepheleSystem& system() { return system_; }
+
+  // Boots a domain and schedules app->OnBoot() after the guest boot delay.
+  Result<DomId> Launch(const DomainConfig& config, std::unique_ptr<GuestApp> app);
+
+  // Restores a saved image; the app is re-instantiated and OnBoot() runs
+  // again (the Fig. 4 restore methodology measures time-to-ready).
+  Result<DomId> Restore(const DomainImage& image, std::unique_ptr<GuestApp> app);
+
+  // fork(): clones `parent` n times. `caller` is the requesting domain —
+  // the parent for the guest path, kDom0 for host-triggered cloning
+  // (fuzzing). The continuation may be null for host-driven clones.
+  Status Fork(DomId parent, unsigned num_children, ForkContinuation continuation,
+              DomId caller = kDomInvalid);
+
+  // Destroys a guest (and its domain).
+  Status Destroy(DomId dom);
+
+  // Live-migrates a guest to another host (another NepheleSystem's
+  // manager): the domain is serialized out of this system, rebuilt on the
+  // target, and the app resumes there with its state intact. Refused for
+  // family members (Sec. 8).
+  Result<DomId> MigrateTo(GuestManager& target, DomId dom);
+
+  GuestApp* AppOf(DomId dom);
+  GuestContext* ContextOf(DomId dom);
+  bool Alive(DomId dom) const { return guests_.contains(dom); }
+  std::size_t NumGuests() const { return guests_.size(); }
+
+ private:
+  friend class GuestContext;
+
+  struct GuestInstance {
+    std::unique_ptr<GuestApp> app;
+    std::unique_ptr<GuestContext> ctx;
+  };
+  struct PendingFork {
+    ForkContinuation continuation;
+    std::map<DomId, std::unique_ptr<GuestApp>> snapshots;
+    std::vector<DomId> children;
+  };
+
+  void OnCloneResume(DomId dom, bool is_child);
+  void MaterialiseChild(DomId child, PendingFork& pending);
+  // Builds the runtime plumbing (stack, arena, fs) for a domain.
+  std::unique_ptr<GuestContext> BuildContext(DomId dom, const DomainConfig& config,
+                                             const GuestContext* parent_ctx);
+  void WireDelivery(DomId dom, GuestInstance& instance);
+
+  NepheleSystem& system_;
+  std::map<DomId, GuestInstance> guests_;
+  std::map<DomId, PendingFork> pending_forks_;   // keyed by parent
+  std::map<DomId, DomId> pending_child_parent_;  // child -> parent
+};
+
+}  // namespace nephele
+
+#endif  // SRC_GUEST_GUEST_MANAGER_H_

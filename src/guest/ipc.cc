@@ -1,0 +1,72 @@
+#include "src/guest/ipc.h"
+
+namespace nephele {
+
+Result<std::unique_ptr<IdcPipe>> IdcPipe::Create(Hypervisor& hv, DomId owner) {
+  NEPHELE_ASSIGN_OR_RETURN(IdcRegion region, IdcRegion::Create(hv, owner, 1));
+  NEPHELE_ASSIGN_OR_RETURN(IdcChannel channel, IdcChannel::Create(hv, owner));
+  NEPHELE_RETURN_IF_ERROR(region.StoreU32(owner, kHeadOffset, 0));
+  NEPHELE_RETURN_IF_ERROR(region.StoreU32(owner, kTailOffset, 0));
+  return std::unique_ptr<IdcPipe>(new IdcPipe(std::move(region), std::move(channel)));
+}
+
+Result<std::size_t> IdcPipe::BytesAvailable(DomId accessor) const {
+  NEPHELE_ASSIGN_OR_RETURN(std::uint32_t head, region_.LoadU32(accessor, kHeadOffset));
+  NEPHELE_ASSIGN_OR_RETURN(std::uint32_t tail, region_.LoadU32(accessor, kTailOffset));
+  std::size_t ring = capacity() + 1;
+  return (tail + ring - head) % ring;
+}
+
+Result<std::size_t> IdcPipe::Write(DomId writer, const std::vector<std::uint8_t>& data) {
+  NEPHELE_ASSIGN_OR_RETURN(std::uint32_t head, region_.LoadU32(writer, kHeadOffset));
+  NEPHELE_ASSIGN_OR_RETURN(std::uint32_t tail, region_.LoadU32(writer, kTailOffset));
+  const std::size_t ring = capacity() + 1;
+  std::size_t used = (tail + ring - head) % ring;
+  std::size_t space = ring - 1 - used;
+  std::size_t n = std::min(space, data.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    NEPHELE_RETURN_IF_ERROR(
+        region_.Write(writer, kDataOffset + ((tail + i) % ring), &data[i], 1));
+  }
+  NEPHELE_RETURN_IF_ERROR(
+      region_.StoreU32(writer, kTailOffset, static_cast<std::uint32_t>((tail + n) % ring)));
+  return n;
+}
+
+Result<std::vector<std::uint8_t>> IdcPipe::Read(DomId reader, std::size_t max_len) {
+  NEPHELE_ASSIGN_OR_RETURN(std::uint32_t head, region_.LoadU32(reader, kHeadOffset));
+  NEPHELE_ASSIGN_OR_RETURN(std::uint32_t tail, region_.LoadU32(reader, kTailOffset));
+  const std::size_t ring = capacity() + 1;
+  std::size_t avail = (tail + ring - head) % ring;
+  std::size_t n = std::min(avail, max_len);
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    NEPHELE_RETURN_IF_ERROR(region_.Read(reader, kDataOffset + ((head + i) % ring), &out[i], 1));
+  }
+  NEPHELE_RETURN_IF_ERROR(
+      region_.StoreU32(reader, kHeadOffset, static_cast<std::uint32_t>((head + n) % ring)));
+  return out;
+}
+
+Result<std::unique_ptr<IdcSocketPair>> IdcSocketPair::Create(Hypervisor& hv, DomId owner) {
+  NEPHELE_ASSIGN_OR_RETURN(auto to_child, IdcPipe::Create(hv, owner));
+  NEPHELE_ASSIGN_OR_RETURN(auto to_parent, IdcPipe::Create(hv, owner));
+  return std::unique_ptr<IdcSocketPair>(
+      new IdcSocketPair(std::move(to_child), std::move(to_parent)));
+}
+
+Result<std::size_t> IdcSocketPair::Send(DomId sender, int endpoint,
+                                        const std::vector<std::uint8_t>& data) {
+  IdcPipe& pipe = endpoint == 0 ? *to_child_ : *to_parent_;
+  NEPHELE_ASSIGN_OR_RETURN(std::size_t n, pipe.Write(sender, data));
+  (void)pipe.NotifyPeer(sender);
+  return n;
+}
+
+Result<std::vector<std::uint8_t>> IdcSocketPair::Recv(DomId receiver, int endpoint,
+                                                      std::size_t max_len) {
+  IdcPipe& pipe = endpoint == 0 ? *to_parent_ : *to_child_;
+  return pipe.Read(receiver, max_len);
+}
+
+}  // namespace nephele

@@ -1,0 +1,73 @@
+// POSIX-style IPC replicated as IDC (Sec. 4.3): anonymous pipes and socket
+// pairs between a parent unikernel and its clones, built on IdcRegion (one
+// truly-shared page per direction holding a byte ring) and IdcChannel
+// notifications. Created BEFORE forking — like pipe(2) before fork(2) — so
+// clones inherit the endpoints automatically.
+
+#ifndef SRC_GUEST_IPC_H_
+#define SRC_GUEST_IPC_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/idc.h"
+
+namespace nephele {
+
+// Unidirectional byte stream over one shared page.
+// Page layout: [0..3] head (read cursor), [4..7] tail (write cursor),
+// [8..kPageSize) data ring.
+class IdcPipe {
+ public:
+  static Result<std::unique_ptr<IdcPipe>> Create(Hypervisor& hv, DomId owner);
+
+  // Writes up to the ring's free space; returns bytes accepted.
+  Result<std::size_t> Write(DomId writer, const std::vector<std::uint8_t>& data);
+  // Reads up to `max_len` available bytes.
+  Result<std::vector<std::uint8_t>> Read(DomId reader, std::size_t max_len);
+
+  Result<std::size_t> BytesAvailable(DomId accessor) const;
+  std::size_t capacity() const { return kPageSize - kDataOffset - 1; }
+
+  // Wakes the peer after a write (pipes use level-triggered reads; the
+  // notification mirrors marking an fd readable, Sec. 5.2.2).
+  Status NotifyPeer(DomId sender) { return channel_.Notify(sender); }
+  EvtchnPort port() const { return channel_.port(); }
+  DomId owner() const { return region_.owner(); }
+
+ private:
+  static constexpr std::size_t kHeadOffset = 0;
+  static constexpr std::size_t kTailOffset = 4;
+  static constexpr std::size_t kDataOffset = 8;
+
+  IdcPipe(IdcRegion region, IdcChannel channel)
+      : region_(std::move(region)), channel_(std::move(channel)) {}
+
+  IdcRegion region_;
+  IdcChannel channel_;
+};
+
+// Bidirectional: a pipe per direction, socketpair(2)-style. Endpoint 0 is
+// the owner/parent side, endpoint 1 the clone side.
+class IdcSocketPair {
+ public:
+  static Result<std::unique_ptr<IdcSocketPair>> Create(Hypervisor& hv, DomId owner);
+
+  // endpoint: 0 = parent side, 1 = child side.
+  Result<std::size_t> Send(DomId sender, int endpoint, const std::vector<std::uint8_t>& data);
+  Result<std::vector<std::uint8_t>> Recv(DomId receiver, int endpoint, std::size_t max_len);
+
+  DomId owner() const { return to_child_->owner(); }
+
+ private:
+  IdcSocketPair(std::unique_ptr<IdcPipe> to_child, std::unique_ptr<IdcPipe> to_parent)
+      : to_child_(std::move(to_child)), to_parent_(std::move(to_parent)) {}
+
+  std::unique_ptr<IdcPipe> to_child_;
+  std::unique_ptr<IdcPipe> to_parent_;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_GUEST_IPC_H_

@@ -1,0 +1,98 @@
+#include "src/guest/mq.h"
+
+#include "src/base/units.h"
+
+namespace nephele {
+
+Result<std::unique_ptr<IdcMessageQueue>> IdcMessageQueue::Create(Hypervisor& hv, DomId owner,
+                                                                 std::size_t slots) {
+  if (slots < 2) {
+    return ErrInvalidArgument("need at least 2 slots");
+  }
+  std::size_t bytes = kSlotsOffset + slots * kSlotSize;
+  std::size_t pages = BytesToPages(bytes);
+  NEPHELE_ASSIGN_OR_RETURN(IdcRegion region, IdcRegion::Create(hv, owner, pages));
+  NEPHELE_ASSIGN_OR_RETURN(IdcChannel channel, IdcChannel::Create(hv, owner));
+  NEPHELE_RETURN_IF_ERROR(region.StoreU32(owner, kHeadOffset, 0));
+  NEPHELE_RETURN_IF_ERROR(region.StoreU32(owner, kTailOffset, 0));
+  return std::unique_ptr<IdcMessageQueue>(
+      new IdcMessageQueue(std::move(region), std::move(channel), slots));
+}
+
+Status IdcMessageQueue::Send(DomId sender, const std::vector<std::uint8_t>& message) {
+  if (message.size() > kMaxMessage) {
+    return ErrInvalidArgument("message exceeds slot size");
+  }
+  NEPHELE_ASSIGN_OR_RETURN(std::uint32_t head, region_.LoadU32(sender, kHeadOffset));
+  NEPHELE_ASSIGN_OR_RETURN(std::uint32_t tail, region_.LoadU32(sender, kTailOffset));
+  if ((tail + 1) % slots_ == head) {
+    return ErrUnavailable("queue full");
+  }
+  std::size_t slot_at = kSlotsOffset + tail * kSlotSize;
+  auto len = static_cast<std::uint32_t>(message.size());
+  NEPHELE_RETURN_IF_ERROR(region_.Write(sender, slot_at, &len, sizeof(len)));
+  if (!message.empty()) {
+    NEPHELE_RETURN_IF_ERROR(region_.Write(sender, slot_at + 4, message.data(), message.size()));
+  }
+  NEPHELE_RETURN_IF_ERROR(
+      region_.StoreU32(sender, kTailOffset, static_cast<std::uint32_t>((tail + 1) % slots_)));
+  (void)channel_.Notify(sender);
+  return Status::Ok();
+}
+
+Result<std::vector<std::uint8_t>> IdcMessageQueue::Receive(DomId receiver) {
+  NEPHELE_ASSIGN_OR_RETURN(std::uint32_t head, region_.LoadU32(receiver, kHeadOffset));
+  NEPHELE_ASSIGN_OR_RETURN(std::uint32_t tail, region_.LoadU32(receiver, kTailOffset));
+  if (head == tail) {
+    return ErrUnavailable("queue empty");
+  }
+  std::size_t slot_at = kSlotsOffset + head * kSlotSize;
+  std::uint32_t len = 0;
+  NEPHELE_RETURN_IF_ERROR(region_.Read(receiver, slot_at, &len, sizeof(len)));
+  if (len > kMaxMessage) {
+    return ErrInternal("corrupt slot length");
+  }
+  std::vector<std::uint8_t> out(len);
+  if (len > 0) {
+    NEPHELE_RETURN_IF_ERROR(region_.Read(receiver, slot_at + 4, out.data(), len));
+  }
+  NEPHELE_RETURN_IF_ERROR(
+      region_.StoreU32(receiver, kHeadOffset, static_cast<std::uint32_t>((head + 1) % slots_)));
+  return out;
+}
+
+Result<std::size_t> IdcMessageQueue::MessagesQueued(DomId accessor) const {
+  NEPHELE_ASSIGN_OR_RETURN(std::uint32_t head, region_.LoadU32(accessor, kHeadOffset));
+  NEPHELE_ASSIGN_OR_RETURN(std::uint32_t tail, region_.LoadU32(accessor, kTailOffset));
+  return (tail + slots_ - head) % slots_;
+}
+
+Result<std::unique_ptr<IdcSemaphore>> IdcSemaphore::Create(Hypervisor& hv, DomId owner,
+                                                           std::uint32_t initial) {
+  NEPHELE_ASSIGN_OR_RETURN(IdcRegion region, IdcRegion::Create(hv, owner, 1));
+  NEPHELE_ASSIGN_OR_RETURN(IdcChannel channel, IdcChannel::Create(hv, owner));
+  NEPHELE_RETURN_IF_ERROR(region.StoreU32(owner, 0, initial));
+  return std::unique_ptr<IdcSemaphore>(new IdcSemaphore(std::move(region), std::move(channel)));
+}
+
+Status IdcSemaphore::Post(DomId caller) {
+  NEPHELE_ASSIGN_OR_RETURN(std::uint32_t v, region_.LoadU32(caller, 0));
+  NEPHELE_RETURN_IF_ERROR(region_.StoreU32(caller, 0, v + 1));
+  (void)channel_.Notify(caller);
+  return Status::Ok();
+}
+
+Result<bool> IdcSemaphore::TryWait(DomId caller) {
+  NEPHELE_ASSIGN_OR_RETURN(std::uint32_t v, region_.LoadU32(caller, 0));
+  if (v == 0) {
+    return false;
+  }
+  NEPHELE_RETURN_IF_ERROR(region_.StoreU32(caller, 0, v - 1));
+  return true;
+}
+
+Result<std::uint32_t> IdcSemaphore::Value(DomId caller) const {
+  return region_.LoadU32(caller, 0);
+}
+
+}  // namespace nephele

@@ -1,0 +1,139 @@
+#include "src/guest/posix.h"
+
+#include "src/guest/guest_manager.h"
+
+namespace nephele {
+
+DomId PosixShim::GetPpid(GuestContext& ctx) {
+  const Domain* d = ctx.manager().system().hypervisor().FindDomain(ctx.id());
+  return d != nullptr ? d->parent : kDomInvalid;
+}
+
+Result<int> PosixShim::Open(GuestContext& ctx, const std::string& path, int flags) {
+  Result<std::uint32_t> fid = (flags & kOpenCreate) != 0
+                                  ? ctx.fs().Create(path)
+                                  : ctx.fs().Open(path, (flags & kOpenWrite) != 0);
+  if (!fid.ok()) {
+    return fid.status();
+  }
+  int fd = next_fd_++;
+  fds_[fd] = FileFd{*fid, 0, (flags & (kOpenWrite | kOpenCreate)) != 0};
+  return fd;
+}
+
+Result<std::vector<std::uint8_t>> PosixShim::Read(GuestContext& ctx, int fd, std::size_t count) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return ErrNotFound("bad fd");
+  }
+  if (auto* file = std::get_if<FileFd>(&it->second)) {
+    NEPHELE_ASSIGN_OR_RETURN(auto data, ctx.fs().Read(file->fid, file->offset, count));
+    file->offset += data.size();
+    return data;
+  }
+  if (auto* pipe = std::get_if<PipeFd>(&it->second)) {
+    if (pipe->write_end) {
+      return ErrFailedPrecondition("read on write end");
+    }
+    return pipe->pipe->Read(ctx.id(), count);
+  }
+  return ErrFailedPrecondition("fd not readable");
+}
+
+Result<std::size_t> PosixShim::Write(GuestContext& ctx, int fd,
+                                     const std::vector<std::uint8_t>& data) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return ErrNotFound("bad fd");
+  }
+  if (auto* file = std::get_if<FileFd>(&it->second)) {
+    if (!file->writable) {
+      return ErrPermissionDenied("fd opened read-only");
+    }
+    NEPHELE_ASSIGN_OR_RETURN(std::size_t n, ctx.fs().Write(file->fid, file->offset, data));
+    file->offset += n;
+    return n;
+  }
+  if (auto* pipe = std::get_if<PipeFd>(&it->second)) {
+    if (!pipe->write_end) {
+      return ErrFailedPrecondition("write on read end");
+    }
+    NEPHELE_ASSIGN_OR_RETURN(std::size_t n, pipe->pipe->Write(ctx.id(), data));
+    (void)pipe->pipe->NotifyPeer(ctx.id());
+    return n;
+  }
+  return ErrFailedPrecondition("fd not writable");
+}
+
+Result<std::size_t> PosixShim::Lseek(int fd, std::size_t offset) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return ErrNotFound("bad fd");
+  }
+  auto* file = std::get_if<FileFd>(&it->second);
+  if (file == nullptr) {
+    return ErrFailedPrecondition("lseek on non-file");
+  }
+  file->offset = offset;
+  return offset;
+}
+
+Status PosixShim::Close(GuestContext& ctx, int fd) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return ErrNotFound("bad fd");
+  }
+  if (auto* file = std::get_if<FileFd>(&it->second)) {
+    (void)ctx.fs().Close(file->fid);
+  }
+  fds_.erase(it);
+  return Status::Ok();
+}
+
+Result<std::pair<int, int>> PosixShim::Pipe(GuestContext& ctx) {
+  NEPHELE_ASSIGN_OR_RETURN(auto pipe,
+                           IdcPipe::Create(ctx.manager().system().hypervisor(), ctx.id()));
+  std::shared_ptr<IdcPipe> shared(std::move(pipe));
+  int read_fd = next_fd_++;
+  int write_fd = next_fd_++;
+  fds_[read_fd] = PipeFd{shared, /*write_end=*/false};
+  fds_[write_fd] = PipeFd{shared, /*write_end=*/true};
+  return std::make_pair(read_fd, write_fd);
+}
+
+Result<int> PosixShim::Socket(GuestContext& ctx) {
+  (void)ctx;
+  int fd = next_fd_++;
+  fds_[fd] = SocketFd{};
+  return fd;
+}
+
+Status PosixShim::Bind(GuestContext& ctx, int fd, std::uint16_t port) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return ErrNotFound("bad fd");
+  }
+  auto* sock = std::get_if<SocketFd>(&it->second);
+  if (sock == nullptr) {
+    return ErrFailedPrecondition("bind on non-socket");
+  }
+  NEPHELE_RETURN_IF_ERROR(ctx.UdpBind(port));
+  sock->bound_port = port;
+  return Status::Ok();
+}
+
+Status PosixShim::SendTo(GuestContext& ctx, int fd, Ipv4Addr dst_ip, std::uint16_t dst_port,
+                         std::vector<std::uint8_t> payload) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return ErrNotFound("bad fd");
+  }
+  auto* sock = std::get_if<SocketFd>(&it->second);
+  if (sock == nullptr) {
+    return ErrFailedPrecondition("sendto on non-socket");
+  }
+  std::uint16_t src = sock->bound_port != 0 ? sock->bound_port : 49152;
+  return ctx.UdpSend(src, dst_ip, dst_port, std::move(payload));
+}
+
+}  // namespace nephele

@@ -1,0 +1,74 @@
+// Per-domain event-channel table: Xen's asynchronous notification primitive.
+// Channels bind either to a (remote domain, remote port) pair, to a VIRQ, or
+// sit unbound waiting for a peer. Nephele adds binding to kDomChild: such
+// channels are implicitly connected to every clone at clone time (Sec. 5.2.2).
+
+#ifndef SRC_HYPERVISOR_EVENT_CHANNEL_H_
+#define SRC_HYPERVISOR_EVENT_CHANNEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/hypervisor/types.h"
+
+namespace nephele {
+
+enum class EvtchnState : std::uint8_t {
+  kFree = 0,
+  kUnbound,      // allocated, waiting for the remote side to bind
+  kInterdomain,  // connected to remote_dom:remote_port
+  kVirq,         // bound to a virtual interrupt line
+};
+
+struct EvtchnEntry {
+  EvtchnState state = EvtchnState::kFree;
+  DomId remote_dom = kDomInvalid;  // may be kDomChild for IDC channels
+  EvtchnPort remote_port = kInvalidPort;
+  Virq virq = Virq::kTimer;
+  bool pending = false;
+  // Channels marked IDC are parent->clone endpoints; the clone first stage
+  // rebinds their remote end to the concrete child domid.
+  bool idc = false;
+};
+
+class EvtchnTable {
+ public:
+  explicit EvtchnTable(std::size_t max_ports = 1024) : ports_(max_ports) {}
+
+  std::size_t max_ports() const { return ports_.size(); }
+
+  // Allocates an unbound port that `remote` may later bind to. `remote` may
+  // be kDomChild (IDC).
+  Result<EvtchnPort> AllocUnbound(DomId remote);
+
+  // Completes an interdomain binding on this side.
+  Status BindInterdomain(EvtchnPort port, DomId remote_dom, EvtchnPort remote_port);
+
+  // Allocates a port bound to a VIRQ.
+  Result<EvtchnPort> BindVirq(Virq virq);
+
+  Status Close(EvtchnPort port);
+
+  Result<EvtchnPort> FindVirqPort(Virq virq) const;
+
+  const EvtchnEntry& entry(EvtchnPort port) const { return ports_[port]; }
+  EvtchnEntry& mutable_entry(EvtchnPort port) { return ports_[port]; }
+  bool ValidPort(EvtchnPort port) const {
+    return port < ports_.size() && ports_[port].state != EvtchnState::kFree;
+  }
+
+  std::size_t active_ports() const;
+
+  // Clone first stage: duplicate the table for a child.
+  EvtchnTable CloneForChild() const;
+
+ private:
+  Result<EvtchnPort> AllocPort();
+
+  std::vector<EvtchnEntry> ports_;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_HYPERVISOR_EVENT_CHANNEL_H_

@@ -1,0 +1,65 @@
+#include "src/hypervisor/grant_table.h"
+
+namespace nephele {
+
+Result<GrantRef> GrantTable::GrantAccess(DomId grantee, Gfn gfn, bool readonly) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (!entries_[i].in_use) {
+      entries_[i] = GrantEntry{/*in_use=*/true, grantee, gfn, readonly, /*map_count=*/0};
+      ++active_;
+      return static_cast<GrantRef>(i);
+    }
+  }
+  return ErrResourceExhausted("grant table full");
+}
+
+Status GrantTable::EndAccess(GrantRef ref) {
+  if (ref >= entries_.size() || !entries_[ref].in_use) {
+    return ErrNotFound("grant ref not in use");
+  }
+  if (entries_[ref].map_count != 0) {
+    return ErrFailedPrecondition("grant still mapped");
+  }
+  entries_[ref] = GrantEntry{};
+  --active_;
+  return Status::Ok();
+}
+
+Result<Gfn> GrantTable::Map(GrantRef ref, DomId mapper, bool mapper_is_child_of_granter) {
+  if (ref >= entries_.size() || !entries_[ref].in_use) {
+    return ErrNotFound("grant ref not in use");
+  }
+  GrantEntry& e = entries_[ref];
+  bool allowed = (e.grantee == mapper) ||
+                 (e.grantee == kDomChild && mapper_is_child_of_granter);
+  if (!allowed) {
+    return ErrPermissionDenied("domain not granted access");
+  }
+  ++e.map_count;
+  return e.gfn;
+}
+
+Status GrantTable::Unmap(GrantRef ref) {
+  if (ref >= entries_.size() || !entries_[ref].in_use) {
+    return ErrNotFound("grant ref not in use");
+  }
+  if (entries_[ref].map_count == 0) {
+    return ErrFailedPrecondition("grant not mapped");
+  }
+  --entries_[ref].map_count;
+  return Status::Ok();
+}
+
+GrantTable GrantTable::CloneForChild() const {
+  GrantTable child(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].in_use) {
+      child.entries_[i] = entries_[i];
+      child.entries_[i].map_count = 0;
+      ++child.active_;
+    }
+  }
+  return child;
+}
+
+}  // namespace nephele

@@ -1,0 +1,63 @@
+// Per-domain grant table: the Xen primitive for sharing memory across
+// domains. Nephele extends the interface with the DOMID_CHILD wildcard
+// (Sec. 5.1): grants made to kDomChild are valid for every future clone of
+// the granting domain.
+
+#ifndef SRC_HYPERVISOR_GRANT_TABLE_H_
+#define SRC_HYPERVISOR_GRANT_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/hypervisor/types.h"
+
+namespace nephele {
+
+struct GrantEntry {
+  bool in_use = false;
+  // Domain allowed to map the granted page; may be kDomChild.
+  DomId grantee = kDomInvalid;
+  // The granting domain's frame being shared.
+  Gfn gfn = kInvalidGfn;
+  bool readonly = false;
+  // Count of active mappings; the entry cannot be revoked while nonzero.
+  std::uint32_t map_count = 0;
+};
+
+class GrantTable {
+ public:
+  explicit GrantTable(std::size_t max_entries = 1024) : entries_(max_entries) {}
+
+  std::size_t max_entries() const { return entries_.size(); }
+  std::size_t active_entries() const { return active_; }
+
+  // Grants `grantee` access to `gfn`. Returns the grant reference.
+  Result<GrantRef> GrantAccess(DomId grantee, Gfn gfn, bool readonly);
+
+  // Revokes a grant. Fails while mappings are outstanding.
+  Status EndAccess(GrantRef ref);
+
+  // Checks that `mapper` may map `ref`; increments the map count.
+  // `granter_children_ok` tells whether `mapper` is a clone of the granting
+  // domain, which validates kDomChild wildcard entries.
+  Result<Gfn> Map(GrantRef ref, DomId mapper, bool mapper_is_child_of_granter);
+
+  Status Unmap(GrantRef ref);
+
+  const GrantEntry& entry(GrantRef ref) const { return entries_[ref]; }
+  GrantEntry& mutable_entry(GrantRef ref) { return entries_[ref]; }
+
+  // Deep copy used by the clone first stage: the child inherits all entries.
+  // Wildcard (kDomChild) entries stay wildcards in the child so that
+  // grandchildren work; map counts reset.
+  GrantTable CloneForChild() const;
+
+ private:
+  std::vector<GrantEntry> entries_;
+  std::size_t active_ = 0;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_HYPERVISOR_GRANT_TABLE_H_

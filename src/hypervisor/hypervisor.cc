@@ -1,0 +1,568 @@
+#include "src/hypervisor/hypervisor.h"
+
+#include <cassert>
+
+#include "src/base/log.h"
+#include "src/base/units.h"
+
+namespace nephele {
+
+Hypervisor::Hypervisor(EventLoop& loop, const CostModel& costs, HypervisorConfig config)
+    : loop_(loop), costs_(costs), config_(config), frames_(config.pool_frames) {
+  // Dom0 exists from boot; its memory lives outside the guest pool (the
+  // 4 GiB / 12 GiB machine split of Sec. 6.2 is modelled in src/toolstack).
+  auto dom0 = std::make_unique<Domain>();
+  dom0->id = kDom0;
+  dom0->name = "Domain-0";
+  dom0->state = DomainState::kRunning;
+  dom0->vcpus.resize(1);
+  dom0->family_root = kDom0;
+  dom0->grants = GrantTable(config_.grant_entries_per_domain);
+  dom0->evtchns = EvtchnTable(config_.evtchn_ports_per_domain);
+  domains_[kDom0] = std::move(dom0);
+}
+
+Result<DomId> Hypervisor::CreateDomain(const std::string& name, int vcpus) {
+  if (vcpus <= 0) {
+    return ErrInvalidArgument("vcpus must be positive");
+  }
+  DomId id = next_domid_++;
+  auto d = std::make_unique<Domain>();
+  d->id = id;
+  d->name = name;
+  d->state = DomainState::kCreated;
+  d->vcpus.resize(static_cast<std::size_t>(vcpus));
+  d->family_root = id;
+  d->grants = GrantTable(config_.grant_entries_per_domain);
+  d->evtchns = EvtchnTable(config_.evtchn_ports_per_domain);
+  domains_[id] = std::move(d);
+  return id;
+}
+
+void Hypervisor::ReleaseDomainFrames(Domain& d) {
+  for (auto& entry : d.p2m) {
+    if (entry.mfn != kInvalidMfn) {
+      (void)frames_.Release(entry.mfn);
+      loop_.AdvanceBy(costs_.frame_free);
+      entry.mfn = kInvalidMfn;
+    }
+  }
+  for (Mfn mfn : d.page_table_frames) {
+    (void)frames_.Release(mfn);
+    loop_.AdvanceBy(costs_.frame_free);
+  }
+  d.page_table_frames.clear();
+  for (Mfn mfn : d.p2m_frames) {
+    (void)frames_.Release(mfn);
+    loop_.AdvanceBy(costs_.frame_free);
+  }
+  d.p2m_frames.clear();
+  d.p2m.clear();
+}
+
+Status Hypervisor::DestroyDomain(DomId dom) {
+  auto it = domains_.find(dom);
+  if (it == domains_.end()) {
+    return ErrNotFound("no such domain");
+  }
+  if (dom == kDom0) {
+    return ErrPermissionDenied("cannot destroy Dom0");
+  }
+  Domain& d = *it->second;
+  d.state = DomainState::kDying;
+  ReleaseDomainFrames(d);
+  // Unlink from the family tree but keep ancestry queries working for
+  // remaining members: children are re-parented to the grandparent.
+  if (d.parent != kDomInvalid) {
+    if (Domain* p = FindDomain(d.parent); p != nullptr) {
+      std::erase(p->children, dom);
+      for (DomId c : d.children) {
+        if (Domain* cd = FindDomain(c); cd != nullptr) {
+          cd->parent = d.parent;
+          p->children.push_back(c);
+        }
+      }
+    }
+  } else {
+    for (DomId c : d.children) {
+      if (Domain* cd = FindDomain(c); cd != nullptr) {
+        cd->parent = kDomInvalid;
+      }
+    }
+  }
+  evtchn_handlers_.erase(dom);
+  domains_.erase(it);
+  return Status::Ok();
+}
+
+Status Hypervisor::PauseDomain(DomId dom) {
+  Domain* d = FindDomain(dom);
+  if (d == nullptr) {
+    return ErrNotFound("no such domain");
+  }
+  d->state = DomainState::kPaused;
+  return Status::Ok();
+}
+
+Status Hypervisor::UnpauseDomain(DomId dom) {
+  Domain* d = FindDomain(dom);
+  if (d == nullptr) {
+    return ErrNotFound("no such domain");
+  }
+  d->state = DomainState::kRunning;
+  // Deliver upcalls for events that fired while the domain was paused (the
+  // pending bits survive the pause, as on real Xen).
+  for (EvtchnPort port = 1; port < d->evtchns.max_ports(); ++port) {
+    if (d->evtchns.ValidPort(port) && d->evtchns.entry(port).pending) {
+      loop_.Post(SimDuration::Micros(2), [this, dom, port] {
+        Domain* rd = FindDomain(dom);
+        if (rd == nullptr || rd->IsPaused() || !rd->evtchns.ValidPort(port) ||
+            !rd->evtchns.entry(port).pending) {
+          return;
+        }
+        auto it = evtchn_handlers_.find(dom);
+        if (it != evtchn_handlers_.end()) {
+          rd->evtchns.mutable_entry(port).pending = false;
+          it->second(port);
+        }
+      });
+    }
+  }
+  return Status::Ok();
+}
+
+Status Hypervisor::SetDomainName(DomId dom, const std::string& name) {
+  Domain* d = FindDomain(dom);
+  if (d == nullptr) {
+    return ErrNotFound("no such domain");
+  }
+  d->name = name;
+  return Status::Ok();
+}
+
+Status Hypervisor::SetCloneConfig(DomId dom, bool enabled, std::uint32_t max_clones) {
+  Domain* d = FindDomain(dom);
+  if (d == nullptr) {
+    return ErrNotFound("no such domain");
+  }
+  d->cloning_enabled = enabled;
+  d->max_clones = max_clones;
+  return Status::Ok();
+}
+
+Domain* Hypervisor::FindDomain(DomId dom) {
+  auto it = domains_.find(dom);
+  return it == domains_.end() ? nullptr : it->second.get();
+}
+
+const Domain* Hypervisor::FindDomain(DomId dom) const {
+  auto it = domains_.find(dom);
+  return it == domains_.end() ? nullptr : it->second.get();
+}
+
+std::vector<DomId> Hypervisor::DomainIds() const {
+  std::vector<DomId> ids;
+  ids.reserve(domains_.size());
+  for (const auto& [id, d] : domains_) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+Result<Mfn> Hypervisor::AllocFrameFor(DomId dom) {
+  auto mfn = frames_.Alloc(dom);
+  if (mfn.ok()) {
+    loop_.AdvanceBy(costs_.frame_alloc);
+  }
+  return mfn;
+}
+
+Result<Gfn> Hypervisor::PopulatePhysmap(DomId dom, std::size_t pages, PageRole role) {
+  Domain* d = FindDomain(dom);
+  if (d == nullptr) {
+    return ErrNotFound("no such domain");
+  }
+  Gfn first = static_cast<Gfn>(d->p2m.size());
+  for (std::size_t i = 0; i < pages; ++i) {
+    auto mfn = AllocFrameFor(dom);
+    if (!mfn.ok()) {
+      // Roll back partial allocation so accounting stays exact.
+      for (std::size_t j = 0; j < i; ++j) {
+        (void)frames_.Release(d->p2m.back().mfn);
+        d->p2m.pop_back();
+      }
+      return mfn.status();
+    }
+    d->p2m.push_back(P2mEntry{*mfn, role, /*writable=*/role != PageRole::kImageText});
+  }
+  return first;
+}
+
+Result<Gfn> Hypervisor::AllocSpecialPage(DomId dom, PageRole role) {
+  NEPHELE_ASSIGN_OR_RETURN(Gfn gfn, PopulatePhysmap(dom, 1, role));
+  Domain* d = FindDomain(dom);
+  switch (role) {
+    case PageRole::kStartInfo:
+      d->start_info_gfn = gfn;
+      break;
+    case PageRole::kConsoleRing:
+      d->console_ring_gfn = gfn;
+      break;
+    case PageRole::kXenstoreRing:
+      d->xenstore_ring_gfn = gfn;
+      break;
+    default:
+      break;
+  }
+  return gfn;
+}
+
+Status Hypervisor::BuildPageTables(DomId dom) {
+  Domain* d = FindDomain(dom);
+  if (d == nullptr) {
+    return ErrNotFound("no such domain");
+  }
+  // Release any previous tables (rebuild path for restore/clone).
+  for (Mfn mfn : d->page_table_frames) {
+    (void)frames_.Release(mfn);
+  }
+  d->page_table_frames.clear();
+  std::size_t pt_pages = PageTablePagesFor(d->p2m.size());
+  for (std::size_t i = 0; i < pt_pages; ++i) {
+    NEPHELE_ASSIGN_OR_RETURN(Mfn mfn, AllocFrameFor(dom));
+    d->page_table_frames.push_back(mfn);
+    loop_.AdvanceBy(costs_.private_page_rewrite);
+  }
+  // p2m map storage: one 4-byte entry per page -> 1 frame per 1024 pages.
+  for (Mfn mfn : d->p2m_frames) {
+    (void)frames_.Release(mfn);
+  }
+  d->p2m_frames.clear();
+  std::size_t p2m_pages = (d->p2m.size() * 4 + kPageSize - 1) / kPageSize;
+  if (p2m_pages == 0) {
+    p2m_pages = 1;
+  }
+  for (std::size_t i = 0; i < p2m_pages; ++i) {
+    NEPHELE_ASSIGN_OR_RETURN(Mfn mfn, AllocFrameFor(dom));
+    d->p2m_frames.push_back(mfn);
+  }
+  return Status::Ok();
+}
+
+Status Hypervisor::ResolveCowForWrite(Domain& d, Gfn gfn) {
+  P2mEntry& entry = d.p2m[gfn];
+  if (entry.writable) {
+    return Status::Ok();
+  }
+  if (entry.role == PageRole::kImageText) {
+    return ErrPermissionDenied("write to read-only text page");
+  }
+  // COW fault (Sec. 4.1 / 5.2).
+  loop_.AdvanceBy(costs_.cow_fault_fixed);
+  NEPHELE_ASSIGN_OR_RETURN(auto res, frames_.ResolveCowWrite(entry.mfn, d.id));
+  if (res.copied) {
+    loop_.AdvanceBy(costs_.page_copy + costs_.frame_alloc);
+    ++d.cow_pages_copied;
+  }
+  entry.mfn = res.mfn;
+  entry.writable = true;
+  ++d.cow_faults;
+  ++total_cow_faults_;
+  if (d.track_dirty) {
+    d.dirty_since_clone.push_back(gfn);
+  }
+  return Status::Ok();
+}
+
+Status Hypervisor::ForceCowResolve(DomId dom, Gfn gfn) {
+  Domain* d = FindDomain(dom);
+  if (d == nullptr) {
+    return ErrNotFound("no such domain");
+  }
+  if (gfn >= d->p2m.size()) {
+    return ErrOutOfRange("gfn outside p2m");
+  }
+  // Unlike a guest write fault, this privileged path may un-share read-only
+  // text pages too: KFX needs clone-private text for breakpoint insertion
+  // (Sec. 7.2).
+  P2mEntry& entry = d->p2m[gfn];
+  if (entry.writable) {
+    return Status::Ok();
+  }
+  if (!frames_.IsShared(entry.mfn)) {
+    entry.writable = true;
+    return Status::Ok();
+  }
+  loop_.AdvanceBy(costs_.cow_fault_fixed);
+  NEPHELE_ASSIGN_OR_RETURN(auto res, frames_.ResolveCowWrite(entry.mfn, d->id));
+  if (res.copied) {
+    loop_.AdvanceBy(costs_.page_copy + costs_.frame_alloc);
+    ++d->cow_pages_copied;
+  }
+  entry.mfn = res.mfn;
+  entry.writable = true;
+  ++d->cow_faults;
+  ++total_cow_faults_;
+  if (d->track_dirty) {
+    d->dirty_since_clone.push_back(gfn);
+  }
+  return Status::Ok();
+}
+
+Status Hypervisor::WriteGuestPage(DomId dom, Gfn gfn, std::size_t offset, const void* src,
+                                  std::size_t len) {
+  Domain* d = FindDomain(dom);
+  if (d == nullptr) {
+    return ErrNotFound("no such domain");
+  }
+  if (gfn >= d->p2m.size() || offset + len > kPageSize) {
+    return ErrOutOfRange("guest write outside page");
+  }
+  NEPHELE_RETURN_IF_ERROR(ResolveCowForWrite(*d, gfn));
+  if (d->log_dirty) {
+    d->dirty_log.insert(gfn);
+  }
+  frames_.WriteBytes(d->p2m[gfn].mfn, offset, static_cast<const std::uint8_t*>(src), len);
+  return Status::Ok();
+}
+
+Status Hypervisor::ReadGuestPage(DomId dom, Gfn gfn, std::size_t offset, void* out,
+                                 std::size_t len) const {
+  const Domain* d = FindDomain(dom);
+  if (d == nullptr) {
+    return ErrNotFound("no such domain");
+  }
+  if (gfn >= d->p2m.size() || offset + len > kPageSize) {
+    return ErrOutOfRange("guest read outside page");
+  }
+  frames_.ReadBytes(d->p2m[gfn].mfn, offset, static_cast<std::uint8_t*>(out), len);
+  return Status::Ok();
+}
+
+Status Hypervisor::TouchGuestPages(DomId dom, Gfn gfn, std::size_t count) {
+  Domain* d = FindDomain(dom);
+  if (d == nullptr) {
+    return ErrNotFound("no such domain");
+  }
+  if (gfn + count > d->p2m.size()) {
+    return ErrOutOfRange("touch outside p2m");
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    NEPHELE_RETURN_IF_ERROR(ResolveCowForWrite(*d, gfn + static_cast<Gfn>(i)));
+    if (d->log_dirty) {
+      d->dirty_log.insert(gfn + static_cast<Gfn>(i));
+    }
+    loop_.AdvanceBy(costs_.guest_touch_page);
+  }
+  return Status::Ok();
+}
+
+Status Hypervisor::SetDirtyLogging(DomId dom, bool enabled) {
+  Domain* d = FindDomain(dom);
+  if (d == nullptr) {
+    return ErrNotFound("no such domain");
+  }
+  d->log_dirty = enabled;
+  if (!enabled) {
+    d->dirty_log.clear();
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<Gfn>> Hypervisor::FetchAndResetDirtyLog(DomId dom) {
+  Domain* d = FindDomain(dom);
+  if (d == nullptr) {
+    return ErrNotFound("no such domain");
+  }
+  if (!d->log_dirty) {
+    return ErrFailedPrecondition("log-dirty not enabled");
+  }
+  std::vector<Gfn> out(d->dirty_log.begin(), d->dirty_log.end());
+  d->dirty_log.clear();
+  return out;
+}
+
+Result<GrantRef> Hypervisor::GrantAccess(DomId granter, DomId grantee, Gfn gfn, bool readonly) {
+  Domain* g = FindDomain(granter);
+  if (g == nullptr) {
+    return ErrNotFound("no such granter");
+  }
+  if (gfn >= g->p2m.size()) {
+    return ErrOutOfRange("gfn outside granter p2m");
+  }
+  return g->grants.GrantAccess(grantee, gfn, readonly);
+}
+
+Result<Gfn> Hypervisor::MapGrant(DomId mapper, DomId granter, GrantRef ref) {
+  Domain* g = FindDomain(granter);
+  if (g == nullptr) {
+    return ErrNotFound("no such granter");
+  }
+  bool is_child = IsDescendantOf(mapper, granter);
+  return g->grants.Map(ref, mapper, is_child);
+}
+
+Status Hypervisor::UnmapGrant(DomId /*mapper*/, DomId granter, GrantRef ref) {
+  Domain* g = FindDomain(granter);
+  if (g == nullptr) {
+    return ErrNotFound("no such granter");
+  }
+  return g->grants.Unmap(ref);
+}
+
+Status Hypervisor::EndGrantAccess(DomId granter, GrantRef ref) {
+  Domain* g = FindDomain(granter);
+  if (g == nullptr) {
+    return ErrNotFound("no such granter");
+  }
+  return g->grants.EndAccess(ref);
+}
+
+Result<EvtchnPort> Hypervisor::EvtchnAllocUnbound(DomId dom, DomId remote) {
+  Domain* d = FindDomain(dom);
+  if (d == nullptr) {
+    return ErrNotFound("no such domain");
+  }
+  return d->evtchns.AllocUnbound(remote);
+}
+
+Result<EvtchnPort> Hypervisor::EvtchnBindInterdomain(DomId dom, DomId remote,
+                                                     EvtchnPort remote_port) {
+  Domain* d = FindDomain(dom);
+  Domain* r = FindDomain(remote);
+  if (d == nullptr || r == nullptr) {
+    return ErrNotFound("no such domain");
+  }
+  if (!r->evtchns.ValidPort(remote_port)) {
+    return ErrNotFound("remote port not allocated");
+  }
+  EvtchnEntry& re = r->evtchns.mutable_entry(remote_port);
+  if (re.state != EvtchnState::kUnbound) {
+    return ErrFailedPrecondition("remote port not unbound");
+  }
+  bool allowed = re.remote_dom == dom ||
+                 (re.remote_dom == kDomChild && IsDescendantOf(dom, remote));
+  if (!allowed) {
+    return ErrPermissionDenied("port reserved for another domain");
+  }
+  NEPHELE_ASSIGN_OR_RETURN(EvtchnPort port, d->evtchns.AllocUnbound(remote));
+  NEPHELE_RETURN_IF_ERROR(d->evtchns.BindInterdomain(port, remote, remote_port));
+  re.state = EvtchnState::kInterdomain;
+  re.remote_dom = dom;
+  re.remote_port = port;
+  return port;
+}
+
+Result<EvtchnPort> Hypervisor::EvtchnBindVirq(DomId dom, Virq virq) {
+  Domain* d = FindDomain(dom);
+  if (d == nullptr) {
+    return ErrNotFound("no such domain");
+  }
+  return d->evtchns.BindVirq(virq);
+}
+
+Status Hypervisor::EvtchnSend(DomId dom, EvtchnPort port) {
+  Domain* d = FindDomain(dom);
+  if (d == nullptr) {
+    return ErrNotFound("no such domain");
+  }
+  if (!d->evtchns.ValidPort(port)) {
+    return ErrNotFound("port not allocated");
+  }
+  const EvtchnEntry& e = d->evtchns.entry(port);
+  if (e.state != EvtchnState::kInterdomain) {
+    return ErrFailedPrecondition("port not connected");
+  }
+  Domain* remote = FindDomain(e.remote_dom);
+  if (remote == nullptr) {
+    return ErrNotFound("remote domain gone");
+  }
+  EvtchnEntry& re = remote->evtchns.mutable_entry(e.remote_port);
+  re.pending = true;
+  DomId remote_id = remote->id;
+  EvtchnPort remote_port = e.remote_port;
+  // Upcall delivery is asynchronous, like a real interrupt.
+  loop_.Post(SimDuration::Micros(2), [this, remote_id, remote_port] {
+    Domain* rd = FindDomain(remote_id);
+    if (rd == nullptr || rd->IsPaused()) {
+      return;  // pending bit stays set; delivered on unpause by the runtime
+    }
+    auto it = evtchn_handlers_.find(remote_id);
+    if (it != evtchn_handlers_.end()) {
+      rd->evtchns.mutable_entry(remote_port).pending = false;
+      it->second(remote_port);
+    }
+  });
+  return Status::Ok();
+}
+
+Status Hypervisor::EvtchnClose(DomId dom, EvtchnPort port) {
+  Domain* d = FindDomain(dom);
+  if (d == nullptr) {
+    return ErrNotFound("no such domain");
+  }
+  return d->evtchns.Close(port);
+}
+
+void Hypervisor::SetEvtchnHandler(DomId dom, EvtchnHandler handler) {
+  evtchn_handlers_[dom] = std::move(handler);
+}
+
+Status Hypervisor::RaiseVirq(DomId dom, Virq virq) {
+  Domain* d = FindDomain(dom);
+  if (d == nullptr) {
+    return ErrNotFound("no such domain");
+  }
+  NEPHELE_ASSIGN_OR_RETURN(EvtchnPort port, d->evtchns.FindVirqPort(virq));
+  d->evtchns.mutable_entry(port).pending = true;
+  loop_.Post(SimDuration::Micros(2), [this, dom, port] {
+    Domain* rd = FindDomain(dom);
+    if (rd == nullptr) {
+      return;
+    }
+    auto it = evtchn_handlers_.find(dom);
+    if (it != evtchn_handlers_.end()) {
+      rd->evtchns.mutable_entry(port).pending = false;
+      it->second(port);
+    }
+  });
+  return Status::Ok();
+}
+
+bool Hypervisor::IsDescendantOf(DomId maybe_child, DomId ancestor) const {
+  const Domain* d = FindDomain(maybe_child);
+  while (d != nullptr && d->parent != kDomInvalid) {
+    if (d->parent == ancestor) {
+      return true;
+    }
+    d = FindDomain(d->parent);
+  }
+  return false;
+}
+
+bool Hypervisor::SameFamily(DomId a, DomId b) const {
+  const Domain* da = FindDomain(a);
+  const Domain* db = FindDomain(b);
+  if (da == nullptr || db == nullptr) {
+    return false;
+  }
+  return da->family_root == db->family_root;
+}
+
+std::size_t Hypervisor::DomainOwnedFrames(DomId dom) const {
+  const Domain* d = FindDomain(dom);
+  if (d == nullptr) {
+    return 0;
+  }
+  std::size_t n = 0;
+  for (const auto& e : d->p2m) {
+    if (e.mfn != kInvalidMfn && frames_.OwnerOf(e.mfn) == dom) {
+      ++n;
+    }
+  }
+  n += d->page_table_frames.size();
+  n += d->p2m_frames.size();
+  return n;
+}
+
+}  // namespace nephele

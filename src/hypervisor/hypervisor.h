@@ -1,0 +1,178 @@
+// The simulated Xen-like hypervisor: owns machine memory, the domain table,
+// and the notification fabric (event channels + VIRQs). Guests and the
+// toolstack interact with it through the hypercall-shaped methods below; the
+// cloning extension (CLONEOP) lives in src/core/clone_op.h and operates on
+// the same state.
+
+#ifndef SRC_HYPERVISOR_HYPERVISOR_H_
+#define SRC_HYPERVISOR_HYPERVISOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/status.h"
+#include "src/hypervisor/domain.h"
+#include "src/hypervisor/frame_table.h"
+#include "src/hypervisor/types.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/event_loop.h"
+
+namespace nephele {
+
+struct HypervisorConfig {
+  // Machine memory managed by the hypervisor for guests (the paper's setup:
+  // 16 GiB machine, 4 GiB to Dom0, 12 GiB to the hypervisor pool — Sec. 6.2).
+  std::size_t pool_frames = 12 * kGiB / kPageSize;
+  // Xen enforces a minimum domain size of 4 MiB (Sec. 6.2).
+  std::size_t min_domain_pages = 4 * kMiB / kPageSize;
+  std::size_t grant_entries_per_domain = 1024;
+  std::size_t evtchn_ports_per_domain = 1024;
+};
+
+class Hypervisor {
+ public:
+  Hypervisor(EventLoop& loop, const CostModel& costs, HypervisorConfig config = {});
+
+  Hypervisor(const Hypervisor&) = delete;
+  Hypervisor& operator=(const Hypervisor&) = delete;
+
+  EventLoop& loop() { return loop_; }
+  const CostModel& costs() const { return costs_; }
+  FrameTable& frames() { return frames_; }
+  const FrameTable& frames() const { return frames_; }
+  const HypervisorConfig& config() const { return config_; }
+
+  // ---------------------------------------------------------------------
+  // domctl: domain lifecycle (toolstack-only on real Xen).
+  // ---------------------------------------------------------------------
+  Result<DomId> CreateDomain(const std::string& name, int vcpus);
+  Status DestroyDomain(DomId dom);
+  Status PauseDomain(DomId dom);
+  Status UnpauseDomain(DomId dom);
+  Status SetDomainName(DomId dom, const std::string& name);
+
+  // Nephele domctl extension (Sec. 5.1): enables cloning and caps the clone
+  // count for a domain. max_clones == 0 disables cloning.
+  Status SetCloneConfig(DomId dom, bool enabled, std::uint32_t max_clones);
+  // xencloned enables cloning globally before serving notifications.
+  void SetCloningGloballyEnabled(bool enabled) { cloning_globally_enabled_ = enabled; }
+  bool cloning_globally_enabled() const { return cloning_globally_enabled_; }
+
+  Domain* FindDomain(DomId dom);
+  const Domain* FindDomain(DomId dom) const;
+  std::vector<DomId> DomainIds() const;
+  std::size_t NumDomains() const { return domains_.size(); }
+
+  // ---------------------------------------------------------------------
+  // Memory hypercalls.
+  // ---------------------------------------------------------------------
+  // Appends `pages` fresh frames to the domain's p2m with the given role.
+  // Returns the first new gfn.
+  Result<Gfn> PopulatePhysmap(DomId dom, std::size_t pages, PageRole role);
+
+  // Allocates one special page, records it on the domain, returns its gfn.
+  Result<Gfn> AllocSpecialPage(DomId dom, PageRole role);
+
+  // Builds the domain's page tables for its current p2m size (used at boot
+  // and rebuilt for clones/restores). Frames are accounted as private.
+  Status BuildPageTables(DomId dom);
+
+  // Guest memory access. Writes resolve COW faults (charging cost model
+  // time) and are the only mutation path for shared frames.
+  Status WriteGuestPage(DomId dom, Gfn gfn, std::size_t offset, const void* src,
+                        std::size_t len);
+  Status ReadGuestPage(DomId dom, Gfn gfn, std::size_t offset, void* out, std::size_t len) const;
+
+  // Marks `count` pages starting at `gfn` dirty (resolving COW) without
+  // materialising byte contents — the fast path used by guest allocators.
+  Status TouchGuestPages(DomId dom, Gfn gfn, std::size_t count);
+
+  // Resolves a COW fault for one page without writing (the clone_cow
+  // subcommand uses this to un-share pages before breakpoint insertion).
+  Status ForceCowResolve(DomId dom, Gfn gfn);
+
+  // Log-dirty mode for pre-copy live migration (the shadow-op domctl):
+  // while enabled, every guest write records its gfn.
+  Status SetDirtyLogging(DomId dom, bool enabled);
+  // Returns and clears the dirty set (one pre-copy round).
+  Result<std::vector<Gfn>> FetchAndResetDirtyLog(DomId dom);
+
+  // ---------------------------------------------------------------------
+  // Grant-table hypercalls. (The grant *table* belongs to the granter; the
+  // mapping side validates family relationship for kDomChild wildcards.)
+  // ---------------------------------------------------------------------
+  Result<GrantRef> GrantAccess(DomId granter, DomId grantee, Gfn gfn, bool readonly);
+  Result<Gfn> MapGrant(DomId mapper, DomId granter, GrantRef ref);
+  Status UnmapGrant(DomId mapper, DomId granter, GrantRef ref);
+  Status EndGrantAccess(DomId granter, GrantRef ref);
+
+  // ---------------------------------------------------------------------
+  // Event-channel hypercalls.
+  // ---------------------------------------------------------------------
+  Result<EvtchnPort> EvtchnAllocUnbound(DomId dom, DomId remote);
+  // Binds dom:<new port> to remote:remote_port (which must be unbound and
+  // name `dom` or kDomChild). Also completes the remote entry.
+  Result<EvtchnPort> EvtchnBindInterdomain(DomId dom, DomId remote, EvtchnPort remote_port);
+  Result<EvtchnPort> EvtchnBindVirq(DomId dom, Virq virq);
+  Status EvtchnSend(DomId dom, EvtchnPort port);
+  Status EvtchnClose(DomId dom, EvtchnPort port);
+
+  // Registers the upcall a domain runs when one of its ports fires.
+  using EvtchnHandler = std::function<void(EvtchnPort)>;
+  void SetEvtchnHandler(DomId dom, EvtchnHandler handler);
+
+  // Raises a VIRQ towards a domain (delivered through its bound port).
+  Status RaiseVirq(DomId dom, Virq virq);
+
+  // ---------------------------------------------------------------------
+  // Family relations (Sec. 4).
+  // ---------------------------------------------------------------------
+  bool IsDescendantOf(DomId maybe_child, DomId ancestor) const;
+  bool SameFamily(DomId a, DomId b) const;
+
+  // ---------------------------------------------------------------------
+  // Accounting & stats.
+  // ---------------------------------------------------------------------
+  std::size_t FreePoolFrames() const { return frames_.free_frames(); }
+  std::size_t TotalPoolFrames() const { return frames_.total_frames(); }
+  // Frames charged to a domain: owned frames + its share of nothing (shared
+  // frames are charged to nobody once in dom_cow, matching Xen accounting).
+  std::size_t DomainOwnedFrames(DomId dom) const;
+
+  std::uint64_t total_cow_faults() const { return total_cow_faults_; }
+  std::uint64_t hypercall_count() const { return hypercall_count_; }
+
+  // Charges one hypercall trap cost; public so higher layers (toolstack,
+  // guest runtime) account their hypercalls uniformly.
+  void ChargeHypercall() {
+    loop_.AdvanceBy(costs_.hypercall);
+    ++hypercall_count_;
+  }
+
+ private:
+  Result<Mfn> AllocFrameFor(DomId dom);
+  Status ResolveCowForWrite(Domain& d, Gfn gfn);
+  void ReleaseDomainFrames(Domain& d);
+
+  EventLoop& loop_;
+  const CostModel& costs_;
+  HypervisorConfig config_;
+  FrameTable frames_;
+
+  std::map<DomId, std::unique_ptr<Domain>> domains_;
+  std::map<DomId, EvtchnHandler> evtchn_handlers_;
+  DomId next_domid_ = 1;  // 0 is Dom0
+  bool cloning_globally_enabled_ = false;
+
+  std::uint64_t total_cow_faults_ = 0;
+  std::uint64_t hypercall_count_ = 0;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_HYPERVISOR_HYPERVISOR_H_

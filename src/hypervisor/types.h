@@ -1,0 +1,78 @@
+// Core identifier types of the simulated Xen-like hypervisor.
+
+#ifndef SRC_HYPERVISOR_TYPES_H_
+#define SRC_HYPERVISOR_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace nephele {
+
+// Domain identifier. Mirrors Xen's domid_t.
+using DomId = std::uint16_t;
+
+// Machine frame number: index into the machine frame table.
+using Mfn = std::uint32_t;
+
+// Guest (pseudo-physical) frame number: index into a domain's p2m.
+using Gfn = std::uint32_t;
+
+// Grant reference: index into a domain's grant table.
+using GrantRef = std::uint32_t;
+
+// Event-channel port number, per domain.
+using EvtchnPort = std::uint32_t;
+
+// The privileged host domain.
+inline constexpr DomId kDom0 = 0;
+
+// Special domain ids, in Xen's reserved range (>= 0x7FF0).
+// Owner of pages shared copy-on-write between family members (Snowflock /
+// Nephele page-sharing design, Sec. 5.2).
+inline constexpr DomId kDomCow = 0x7FF2;
+// Invalid/unset domain id.
+inline constexpr DomId kDomInvalid = 0x7FF4;
+// Nephele's new wildcard (Sec. 5.1): names "whatever clones this domain will
+// have" in grant-table entries and event channels created before any clone
+// exists.
+inline constexpr DomId kDomChild = 0x7FF6;
+
+inline constexpr Mfn kInvalidMfn = std::numeric_limits<Mfn>::max();
+inline constexpr Gfn kInvalidGfn = std::numeric_limits<Gfn>::max();
+inline constexpr EvtchnPort kInvalidPort = std::numeric_limits<EvtchnPort>::max();
+inline constexpr GrantRef kInvalidGrantRef = std::numeric_limits<GrantRef>::max();
+
+// Virtual interrupt lines. Only the ones this system uses.
+enum class Virq : int {
+  kTimer = 0,
+  kConsole = 1,
+  kDomExc = 2,
+  // New in Nephele (Sec. 5.1): raised towards Dom0 after the hypervisor
+  // completes the first stage of a clone, waking the xencloned daemon.
+  kCloned = 13,
+};
+
+// Role a guest page plays; decides clone behaviour (Sec. 4.1/5.2): private
+// pages are rewritten or duplicated, everything else is shared COW.
+enum class PageRole : std::uint8_t {
+  kData = 0,        // regular guest memory -> shared, COW
+  kImageText = 1,   // unikernel text, read-only -> shared, never faults
+  kPageTable = 2,   // private: contains machine addresses, rewritten
+  kP2m = 3,         // private: physical-to-machine map, rewritten
+  kStartInfo = 4,   // private: Xen start_info directory page, rewritten
+  kConsoleRing = 5, // private: console I/O ring, fresh (not copied; Sec. 4.2)
+  kXenstoreRing = 6,// private: Xenstore comm page, fresh
+  kIoRing = 7,      // private: PV device shared ring, duplicated (vif)
+  kIoBuffer = 8,    // private: preallocated RX/TX buffers (allocator metadata)
+  kIdcShared = 9,   // IDC region: genuinely shared writable between family
+};
+
+// True when cloning must not share the page between parent and child.
+constexpr bool IsPrivateRole(PageRole role) {
+  return role != PageRole::kData && role != PageRole::kImageText &&
+         role != PageRole::kIdcShared;
+}
+
+}  // namespace nephele
+
+#endif  // SRC_HYPERVISOR_TYPES_H_

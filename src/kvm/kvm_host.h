@@ -1,0 +1,149 @@
+// KVM platform port — the paper's Sec. 5.3 "porting to new platforms" point
+// and its Sec. 9 future work ("we intend to port Nephele to KVM").
+//
+// The paper's porting analysis, implemented here:
+//  * "KVM already supports page sharing between parent and child domains" —
+//    guest RAM lives in VMM-process anonymous memory; cloning a VM forks the
+//    VMM, so ALL of guest memory goes copy-on-write for free. There is no
+//    Xen-style private-page classification: virtio rings and buffers live in
+//    guest RAM and are COWed like everything else.
+//  * "...but it needs hypervisor interface extensions (for both clone
+//    operations and IDC)" — KVM_CLONE_VM (a new vm ioctl) and
+//    ivshmem/irqfd-style IDC with the CHILD wildcard (KvmIdcRegion below).
+//  * "...and I/O cloning support (a central daemon like xencloned for
+//    coordination and backend drivers modifications)" — src/kvm/kvmcloned.h:
+//    re-registers vhost memory maps for the child, creates its tap and
+//    attaches it to the host switch.
+//
+// The frame table is reused as the host page allocator: on KVM its dom_cow
+// plays the role of the kernel's shared COW anon pages after fork().
+
+#ifndef SRC_KVM_KVM_HOST_H_
+#define SRC_KVM_KVM_HOST_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/hypervisor/frame_table.h"
+#include "src/net/packet.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/event_loop.h"
+
+namespace nephele {
+
+using VmId = std::uint32_t;
+inline constexpr VmId kInvalidVm = 0xffffffffu;
+
+// One guest-physical page of a KVM guest.
+struct KvmPage {
+  Mfn host_page = kInvalidMfn;  // frame in the host allocator
+  bool writable = true;         // false while COW-shared after a clone
+  bool idc_shared = false;      // ivshmem region: stays writable, never COWs
+};
+
+struct KvmVcpu {
+  std::uint64_t rax = 0;  // KVM_CLONE_VM return: 0 parent / 1 child
+  std::uint64_t rip = 0;
+  int affinity = -1;
+};
+
+// A VM = a VMM process with its guest memory slots (the QEMU/Firecracker
+// process KVM attaches to).
+struct KvmVm {
+  VmId id = kInvalidVm;
+  std::string name;
+  std::vector<KvmVcpu> vcpus;
+  std::vector<KvmPage> memory;  // gfn-indexed, one slot
+  bool running = false;
+
+  VmId parent = kInvalidVm;
+  VmId family_root = kInvalidVm;
+  std::vector<VmId> children;
+  std::uint32_t max_clones = 0;
+  std::uint32_t clones_made = 0;
+
+  std::uint64_t cow_faults = 0;
+};
+
+class KvmHost {
+ public:
+  KvmHost(EventLoop& loop, const CostModel& costs, std::size_t pool_frames);
+
+  // --- /dev/kvm-shaped API ---
+  Result<VmId> CreateVm(const std::string& name, int vcpus);
+  Status SetUserMemoryRegion(VmId vm, std::size_t pages);
+  Status Run(VmId vm);  // KVM_RUN: mark runnable
+  Status DestroyVm(VmId vm);
+
+  // --- The Nephele extension: KVM_CLONE_VM ---
+  // Forks the VMM process: every guest page goes COW (no private classes —
+  // the KVM difference from Xen's Sec. 4.1 private-page handling). The
+  // child is left !running until kvmcloned completes I/O cloning.
+  Result<VmId> CloneVm(VmId vm);
+  // kvmcloned signals I/O completion; parent and child resume.
+  Status CloneComplete(VmId child);
+
+  // Guest memory access with COW resolution on write.
+  Status WriteGuestPage(VmId vm, Gfn gfn, std::size_t offset, const void* src, std::size_t len);
+  Status ReadGuestPage(VmId vm, Gfn gfn, std::size_t offset, void* out, std::size_t len) const;
+
+  KvmVm* Find(VmId vm);
+  const KvmVm* Find(VmId vm) const;
+  bool SameFamily(VmId a, VmId b) const;
+  bool IsDescendantOf(VmId maybe_child, VmId ancestor) const;
+
+  std::size_t FreePoolFrames() const { return frames_.free_frames(); }
+  const FrameTable& frames() const { return frames_; }
+  EventLoop& loop() { return loop_; }
+  const CostModel& costs() const { return costs_; }
+
+  // Clone notifications towards kvmcloned (the "central daemon").
+  using CloneNotifier = std::function<void(VmId parent, VmId child)>;
+  void SetCloneNotifier(CloneNotifier notifier) { notifier_ = std::move(notifier); }
+
+ private:
+  Status ResolveCow(KvmVm& vm, Gfn gfn);
+
+  EventLoop& loop_;
+  const CostModel& costs_;
+  FrameTable frames_;
+  std::map<VmId, std::unique_ptr<KvmVm>> vms_;
+  VmId next_id_ = 1;
+  CloneNotifier notifier_;
+  std::map<VmId, VmId> pending_parent_of_;
+};
+
+// IDC for the KVM port: an ivshmem-style shared memory region that every
+// clone of the owner inherits writable (the irqfd doorbell is modelled by
+// the notify callback). Interface mirrors src/core/idc.h so guest code
+// ports across platforms unchanged (Sec. 5.3 "supporting new guests").
+class KvmIdcRegion {
+ public:
+  static Result<KvmIdcRegion> Create(KvmHost& host, VmId owner, std::size_t pages);
+
+  Status Write(VmId accessor, std::size_t offset, const void* src, std::size_t len);
+  Status Read(VmId accessor, std::size_t offset, void* out, std::size_t len) const;
+
+  VmId owner() const { return owner_; }
+  Gfn first_gfn() const { return first_gfn_; }
+
+ private:
+  KvmIdcRegion(KvmHost& host, VmId owner, Gfn first_gfn, std::size_t pages)
+      : host_(&host), owner_(owner), first_gfn_(first_gfn), pages_(pages) {}
+
+  Status CheckAccess(VmId accessor) const;
+
+  KvmHost* host_;
+  VmId owner_;
+  Gfn first_gfn_;
+  std::size_t pages_;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_KVM_KVM_HOST_H_

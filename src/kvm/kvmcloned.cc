@@ -1,0 +1,79 @@
+#include "src/kvm/kvmcloned.h"
+
+namespace nephele {
+
+void KvmTap::DeliverToGuest(const Packet& packet) {
+  const KvmVm* vm = host_->Find(vm_);
+  if (vm == nullptr) {
+    return;
+  }
+  host_->loop().AdvanceBy(host_->costs().net_rx_packet);
+  // vhost injects the buffer into the guest's RX virtqueue and kicks the
+  // guest; delivery waits for a runnable VM (a paused clone keeps the
+  // descriptors pending in its — COW-shared — queue).
+  KvmHost* host = host_;
+  VmId id = vm_;
+  Packet copy = packet;
+  ReceiveHandler handler = on_receive_;
+  host_->loop().Post(SimDuration::Micros(3), [host, id, copy, handler] {
+    const KvmVm* v = host->Find(id);
+    if (v == nullptr || !v->running || !handler) {
+      return;
+    }
+    handler(copy);
+  });
+}
+
+Status KvmTap::Transmit(const Packet& packet) {
+  const KvmVm* vm = host_->Find(vm_);
+  if (vm == nullptr || !vm->running) {
+    return ErrFailedPrecondition("vm not running");
+  }
+  host_->loop().AdvanceBy(host_->costs().net_tx_packet);
+  if (switch_ != nullptr) {
+    switch_->TransmitFromGuest(this, packet);
+  }
+  return Status::Ok();
+}
+
+Kvmcloned::Kvmcloned(KvmHost& host, HostSwitch& host_switch)
+    : host_(host), switch_(host_switch) {
+  host_.SetCloneNotifier([this](VmId parent, VmId child) { HandleClone(parent, child); });
+}
+
+Result<KvmTap*> Kvmcloned::SetupNet(VmId vm, MacAddr mac, Ipv4Addr ip) {
+  if (taps_.contains(vm)) {
+    return ErrAlreadyExists("tap exists");
+  }
+  auto tap = std::make_unique<KvmTap>(host_, vm, mac, ip);
+  KvmTap* raw = tap.get();
+  // tap creation + vhost memory registration + switch attach.
+  host_.loop().AdvanceBy(host_.costs().switch_attach);
+  NEPHELE_RETURN_IF_ERROR(switch_.Attach(raw));
+  raw->set_attached_switch(&switch_);
+  taps_[vm] = std::move(tap);
+  return raw;
+}
+
+void Kvmcloned::HandleClone(VmId parent, VmId child) {
+  KvmTap* parent_tap = FindTap(parent);
+  if (parent_tap != nullptr) {
+    // The child keeps the parent's MAC/IP, like the Xen port; vhost must be
+    // re-pointed at the child VMM's memory maps.
+    host_.loop().AdvanceBy(SimDuration::Micros(400));  // vhost mem-table update
+    auto tap = SetupNet(child, parent_tap->mac(), parent_tap->ip());
+    if (tap.ok() && parent_tap->attached_switch() != nullptr) {
+      // Receive path mirrors the parent's handler by default; the guest
+      // runtime replaces it when it materialises the clone.
+    }
+  }
+  ++clones_completed_;
+  (void)host_.CloneComplete(child);
+}
+
+KvmTap* Kvmcloned::FindTap(VmId vm) {
+  auto it = taps_.find(vm);
+  return it == taps_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace nephele

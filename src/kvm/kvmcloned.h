@@ -1,0 +1,77 @@
+// virtio-net device model + kvmcloned, the KVM port's central coordination
+// daemon (the xencloned analogue the paper says a KVM port needs).
+//
+// On KVM the guest's virtqueues live in guest RAM, so the clone inherits
+// them via fork-COW — nothing to copy. What does NOT come for free is the
+// host side: the child's vhost worker must be set up with the child's
+// memory maps, a fresh tap created and attached to the host switch. That is
+// kvmcloned's job, after which it completes the clone.
+
+#ifndef SRC_KVM_KVMCLONED_H_
+#define SRC_KVM_KVMCLONED_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/kvm/kvm_host.h"
+#include "src/net/switch.h"
+
+namespace nephele {
+
+// The host-side endpoint of one VM's virtio-net device: a tap attached to a
+// switch, fed by a vhost worker.
+class KvmTap : public SwitchPort {
+ public:
+  KvmTap(KvmHost& host, VmId vm, MacAddr mac, Ipv4Addr ip)
+      : host_(&host), vm_(vm), mac_(mac), ip_(ip),
+        name_("vnet" + std::to_string(vm)) {}
+
+  void DeliverToGuest(const Packet& packet) override;
+  MacAddr mac() const override { return mac_; }
+  Ipv4Addr ip() const override { return ip_; }
+  std::string port_name() const override { return name_; }
+
+  // Guest->host transmit through the vhost worker.
+  Status Transmit(const Packet& packet);
+
+  using ReceiveHandler = std::function<void(const Packet&)>;
+  void set_receive_handler(ReceiveHandler handler) { on_receive_ = std::move(handler); }
+  void set_attached_switch(HostSwitch* sw) { switch_ = sw; }
+  HostSwitch* attached_switch() const { return switch_; }
+  VmId vm() const { return vm_; }
+
+ private:
+  KvmHost* host_;
+  VmId vm_;
+  MacAddr mac_;
+  Ipv4Addr ip_;
+  std::string name_;
+  HostSwitch* switch_ = nullptr;
+  ReceiveHandler on_receive_;
+};
+
+class Kvmcloned {
+ public:
+  Kvmcloned(KvmHost& host, HostSwitch& host_switch);
+
+  // Boot path: creates the VM's virtio-net device (tap + vhost).
+  Result<KvmTap*> SetupNet(VmId vm, MacAddr mac, Ipv4Addr ip);
+
+  KvmTap* FindTap(VmId vm);
+  std::uint64_t clones_completed() const { return clones_completed_; }
+
+ private:
+  // Second stage on KVM: vhost re-registration + tap + switch attach.
+  void HandleClone(VmId parent, VmId child);
+
+  KvmHost& host_;
+  HostSwitch& switch_;
+  std::map<VmId, std::unique_ptr<KvmTap>> taps_;
+  std::uint64_t clones_completed_ = 0;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_KVM_KVMCLONED_H_

@@ -1,0 +1,182 @@
+#include "src/net/switch.h"
+
+#include <algorithm>
+
+namespace nephele {
+
+// ---------------------------------------------------------------------------
+// Bridge
+// ---------------------------------------------------------------------------
+
+Status Bridge::Attach(SwitchPort* port) {
+  if (std::find(ports_.begin(), ports_.end(), port) != ports_.end()) {
+    return ErrAlreadyExists("port already attached");
+  }
+  ports_.push_back(port);
+  fdb_[port->mac()] = port;
+  return Status::Ok();
+}
+
+Status Bridge::Detach(SwitchPort* port) {
+  auto it = std::find(ports_.begin(), ports_.end(), port);
+  if (it == ports_.end()) {
+    return ErrNotFound("port not attached");
+  }
+  ports_.erase(it);
+  std::erase_if(fdb_, [port](const auto& kv) { return kv.second == port; });
+  return Status::Ok();
+}
+
+void Bridge::TransmitFromGuest(SwitchPort* from, const Packet& packet) {
+  fdb_[from->mac()] = from;  // learn source
+  auto it = fdb_.find(packet.dst_mac);
+  if (it != fdb_.end() && it->second != from) {
+    it->second->DeliverToGuest(packet);
+    return;
+  }
+  ToUplink(packet);
+}
+
+void Bridge::InjectFromUplink(const Packet& packet) {
+  auto it = fdb_.find(packet.dst_mac);
+  if (it != fdb_.end()) {
+    it->second->DeliverToGuest(packet);
+    return;
+  }
+  // Unknown MAC: match on IP (ARP is not modelled), else drop.
+  for (SwitchPort* p : ports_) {
+    if (p->ip() == packet.dst_ip) {
+      p->DeliverToGuest(packet);
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bond
+// ---------------------------------------------------------------------------
+
+Status Bond::Attach(SwitchPort* port) {
+  if (std::find(slaves_.begin(), slaves_.end(), port) != slaves_.end()) {
+    return ErrAlreadyExists("slave already enslaved");
+  }
+  slaves_.push_back(port);
+  return Status::Ok();
+}
+
+Status Bond::Detach(SwitchPort* port) {
+  auto it = std::find(slaves_.begin(), slaves_.end(), port);
+  if (it == slaves_.end()) {
+    return ErrNotFound("slave not enslaved");
+  }
+  slaves_.erase(it);
+  return Status::Ok();
+}
+
+std::size_t Bond::SelectIndex(const Packet& packet) const {
+  return Layer34Hash(packet) % slaves_.size();
+}
+
+void Bond::TransmitFromGuest(SwitchPort* /*from*/, const Packet& packet) {
+  // Egress through the bond master goes straight to the uplink; the bond is
+  // stateless (Sec. 5.2.1: "this approach does not keep any state").
+  ToUplink(packet);
+}
+
+void Bond::InjectFromUplink(const Packet& packet) {
+  if (slaves_.empty()) {
+    return;
+  }
+  slaves_[SelectIndex(packet)]->DeliverToGuest(packet);
+}
+
+// ---------------------------------------------------------------------------
+// OvsGroup
+// ---------------------------------------------------------------------------
+
+OvsGroup::OvsGroup() {
+  selector_ = [](const Packet& p, std::size_t buckets) { return Layer34Hash(p) % buckets; };
+}
+
+Status OvsGroup::Attach(SwitchPort* port) {
+  if (std::find(buckets_.begin(), buckets_.end(), port) != buckets_.end()) {
+    return ErrAlreadyExists("bucket already present");
+  }
+  buckets_.push_back(port);
+  return Status::Ok();
+}
+
+Status OvsGroup::Detach(SwitchPort* port) {
+  auto it = std::find(buckets_.begin(), buckets_.end(), port);
+  if (it == buckets_.end()) {
+    return ErrNotFound("bucket not present");
+  }
+  buckets_.erase(it);
+  return Status::Ok();
+}
+
+void OvsGroup::TransmitFromGuest(SwitchPort* /*from*/, const Packet& packet) {
+  ToUplink(packet);
+}
+
+void OvsGroup::InjectFromUplink(const Packet& packet) {
+  if (buckets_.empty()) {
+    return;
+  }
+  ++flow_counts_[KeyOf(packet)];
+  buckets_[selector_(packet, buckets_.size()) % buckets_.size()]->DeliverToGuest(packet);
+}
+
+void OvsGroup::UseLeastLoadedSelector() {
+  selector_ = [this](const Packet& p, std::size_t num_buckets) -> std::size_t {
+    if (bucket_load_.size() != num_buckets) {
+      bucket_load_.assign(num_buckets, 0);
+      // Recount existing assignments that still fit.
+      for (auto& [flow, bucket] : flow_assignment_) {
+        if (bucket < num_buckets) {
+          ++bucket_load_[bucket];
+        }
+      }
+    }
+    FlowKey key = KeyOf(p);
+    auto it = flow_assignment_.find(key);
+    if (it != flow_assignment_.end() && it->second < num_buckets) {
+      return it->second;  // flow affinity
+    }
+    std::size_t best = 0;
+    for (std::size_t b = 1; b < num_buckets; ++b) {
+      if (bucket_load_[b] < bucket_load_[best]) {
+        best = b;
+      }
+    }
+    flow_assignment_[key] = best;
+    ++bucket_load_[best];
+    return best;
+  };
+}
+
+std::size_t OvsGroup::BucketLoad(std::size_t bucket) const {
+  return bucket < bucket_load_.size() ? bucket_load_[bucket] : 0;
+}
+
+Result<std::uint16_t> FindPortForSlave(Ipv4Addr src_ip, Ipv4Addr dst_ip, std::uint16_t dst_port,
+                                       IpProto proto, std::size_t num_slaves,
+                                       std::size_t want_index, std::uint16_t start_port) {
+  if (num_slaves == 0 || want_index >= num_slaves) {
+    return ErrInvalidArgument("bad slave index");
+  }
+  Packet probe;
+  probe.proto = proto;
+  probe.src_ip = src_ip;
+  probe.dst_ip = dst_ip;
+  probe.dst_port = dst_port;
+  for (std::uint32_t port = start_port; port <= 65535; ++port) {
+    probe.src_port = static_cast<std::uint16_t>(port);
+    if (Layer34Hash(probe) % num_slaves == want_index) {
+      return static_cast<std::uint16_t>(port);
+    }
+  }
+  return ErrNotFound("no port maps to requested slave");
+}
+
+}  // namespace nephele

@@ -1,0 +1,10 @@
+#include "src/sim/cost_model.h"
+
+namespace nephele {
+
+const CostModel& DefaultCostModel() {
+  static const CostModel model;
+  return model;
+}
+
+}  // namespace nephele

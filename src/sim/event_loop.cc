@@ -1,0 +1,52 @@
+#include "src/sim/event_loop.h"
+
+#include <utility>
+
+namespace nephele {
+
+void EventLoop::Post(SimDuration delay, std::function<void()> fn) {
+  if (delay.ns() < 0) {
+    delay = SimDuration(0);
+  }
+  PostAt(now_ + delay, std::move(fn));
+}
+
+void EventLoop::PostAt(SimTime when, std::function<void()> fn) {
+  if (when < now_) {
+    when = now_;
+  }
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+std::size_t EventLoop::Run() {
+  std::size_t count = 0;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (now_ < ev.when) {
+      now_ = ev.when;
+    }
+    ev.fn();
+    ++count;
+  }
+  return count;
+}
+
+std::size_t EventLoop::RunUntil(SimTime deadline) {
+  std::size_t count = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (now_ < ev.when) {
+      now_ = ev.when;
+    }
+    ev.fn();
+    ++count;
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return count;
+}
+
+}  // namespace nephele

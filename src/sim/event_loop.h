@@ -1,0 +1,70 @@
+// Single-threaded discrete-event loop driving the whole virtualization
+// environment. Components charge virtual time with AdvanceBy() for work that
+// happens "inline" (hypercalls, memory copies) and Post() deferred work for
+// asynchronous activity (daemon wakeups, packet delivery, timers).
+
+#ifndef SRC_SIM_EVENT_LOOP_H_
+#define SRC_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace nephele {
+
+class EventLoop {
+ public:
+  EventLoop() = default;
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Charges `d` of virtual time to the currently-executing activity.
+  void AdvanceBy(SimDuration d) { now_ = now_ + d; }
+
+  // Schedules `fn` to run at Now() + delay. Events scheduled for the same
+  // instant run in FIFO order (stable by sequence number), which keeps the
+  // simulation deterministic.
+  void Post(SimDuration delay, std::function<void()> fn);
+
+  // Schedules `fn` at an absolute time (clamped to Now()).
+  void PostAt(SimTime when, std::function<void()> fn);
+
+  // Runs events until the queue drains. Returns the number of events run.
+  std::size_t Run();
+
+  // Runs events with scheduled time <= deadline; leaves later events queued
+  // and sets Now() to the deadline (if it moved past it).
+  std::size_t RunUntil(SimTime deadline);
+
+  bool HasPendingEvents() const { return !queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return b.when < a.when;
+      }
+      return b.seq < a.seq;
+    }
+  };
+
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_SIM_EVENT_LOOP_H_

@@ -1,0 +1,51 @@
+// Deterministic RNG (SplitMix64 core) so every experiment is reproducible
+// from a seed. Kept separate from <random> engines to guarantee identical
+// streams across standard libraries.
+
+#ifndef SRC_SIM_RNG_H_
+#define SRC_SIM_RNG_H_
+
+#include <cstdint>
+
+namespace nephele {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  std::uint64_t NextU64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) { return NextU64() % bound; }
+
+  // Uniform in [lo, hi].
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(NextBelow(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0); }
+
+  // Approximately normal via sum of uniforms (Irwin–Hall, 12 terms).
+  double NextGaussian(double mean, double stddev) {
+    double sum = 0.0;
+    for (int i = 0; i < 12; ++i) {
+      sum += NextDouble();
+    }
+    return mean + (sum - 6.0) * stddev;
+  }
+
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_SIM_RNG_H_

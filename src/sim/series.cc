@@ -1,0 +1,72 @@
+#include "src/sim/series.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace nephele {
+
+SeriesTable::SeriesTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void SeriesTable::AddRow(std::vector<double> row) {
+  assert(row.size() == columns_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::vector<double> SeriesTable::Column(std::size_t index) const {
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const auto& r : rows_) {
+    out.push_back(r[index]);
+  }
+  return out;
+}
+
+void SeriesTable::Print(std::FILE* out) const {
+  std::fprintf(out, "# %s\n", title_.c_str());
+  std::fprintf(out, "#");
+  for (const auto& c : columns_) {
+    std::fprintf(out, "\t%s", c.c_str());
+  }
+  std::fprintf(out, "\n");
+  for (const auto& r : rows_) {
+    bool first = true;
+    for (double v : r) {
+      std::fprintf(out, first ? "%.4f" : "\t%.4f", v);
+      first = false;
+    }
+    std::fprintf(out, "\n");
+  }
+}
+
+void RunningStat::Add(double x) {
+  if (count_ == 0 || x < min_) {
+    min_ = x;
+  }
+  if (count_ == 0 || x > max_) {
+    max_ = x;
+  }
+  ++count_;
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+double RunningStat::stddev() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  double n = static_cast<double>(count_);
+  double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void PrintSummary(const std::string& label, double value, const std::string& unit) {
+  if (unit.empty()) {
+    std::printf("# %s: %.3f\n", label.c_str(), value);
+  } else {
+    std::printf("# %s: %.3f %s\n", label.c_str(), value, unit.c_str());
+  }
+}
+
+}  // namespace nephele

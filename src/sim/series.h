@@ -1,0 +1,63 @@
+// Small helpers for emitting benchmark output: named-column tables (one per
+// paper figure) and summary statistics. Output format is gnuplot-friendly
+// TSV with '#' comment headers, so each bench prints exactly the series the
+// corresponding figure plots.
+
+#ifndef SRC_SIM_SERIES_H_
+#define SRC_SIM_SERIES_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace nephele {
+
+// Accumulates rows of doubles under named columns and prints them as TSV.
+class SeriesTable {
+ public:
+  SeriesTable(std::string title, std::vector<std::string> columns);
+
+  void AddRow(std::vector<double> row);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<double>& row(std::size_t i) const { return rows_[i]; }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  // Returns the values of one column.
+  std::vector<double> Column(std::size_t index) const;
+
+  void Print(std::FILE* out = stdout) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+// Basic running statistics for repeated measurements.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  // Sample standard deviation.
+  double stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Prints "# <label>: <value>" summary lines used for the headline claims
+// (e.g. "clone vs boot speedup: 8.1x").
+void PrintSummary(const std::string& label, double value, const std::string& unit = "");
+
+}  // namespace nephele
+
+#endif  // SRC_SIM_SERIES_H_

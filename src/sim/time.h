@@ -1,0 +1,82 @@
+// Virtual time for the discrete-event simulation. All durations reported by
+// benchmarks are SimDuration values accumulated from the cost model; no wall
+// clock is ever consulted.
+
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace nephele {
+
+// Nanoseconds since simulation start.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double ToMillis() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double ToSeconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  friend constexpr bool operator==(SimTime a, SimTime b) { return a.ns_ == b.ns_; }
+  friend constexpr bool operator!=(SimTime a, SimTime b) { return a.ns_ != b.ns_; }
+  friend constexpr bool operator<(SimTime a, SimTime b) { return a.ns_ < b.ns_; }
+  friend constexpr bool operator<=(SimTime a, SimTime b) { return a.ns_ <= b.ns_; }
+  friend constexpr bool operator>(SimTime a, SimTime b) { return a.ns_ > b.ns_; }
+  friend constexpr bool operator>=(SimTime a, SimTime b) { return a.ns_ >= b.ns_; }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+// Signed span of virtual time.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+  constexpr explicit SimDuration(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr SimDuration Nanos(std::int64_t v) { return SimDuration(v); }
+  static constexpr SimDuration Micros(double v) {
+    return SimDuration(static_cast<std::int64_t>(v * 1e3));
+  }
+  static constexpr SimDuration Millis(double v) {
+    return SimDuration(static_cast<std::int64_t>(v * 1e6));
+  }
+  static constexpr SimDuration Seconds(double v) {
+    return SimDuration(static_cast<std::int64_t>(v * 1e9));
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double ToMicros() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double ToMillis() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double ToSeconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr SimDuration operator+(SimDuration o) const { return SimDuration(ns_ + o.ns_); }
+  constexpr SimDuration operator-(SimDuration o) const { return SimDuration(ns_ - o.ns_); }
+  constexpr SimDuration operator*(double k) const {
+    return SimDuration(static_cast<std::int64_t>(static_cast<double>(ns_) * k));
+  }
+  SimDuration& operator+=(SimDuration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+
+  friend constexpr bool operator==(SimDuration a, SimDuration b) { return a.ns_ == b.ns_; }
+  friend constexpr bool operator!=(SimDuration a, SimDuration b) { return a.ns_ != b.ns_; }
+  friend constexpr bool operator<(SimDuration a, SimDuration b) { return a.ns_ < b.ns_; }
+  friend constexpr bool operator<=(SimDuration a, SimDuration b) { return a.ns_ <= b.ns_; }
+  friend constexpr bool operator>(SimDuration a, SimDuration b) { return a.ns_ > b.ns_; }
+  friend constexpr bool operator>=(SimDuration a, SimDuration b) { return a.ns_ >= b.ns_; }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+constexpr SimTime operator+(SimTime t, SimDuration d) { return SimTime(t.ns() + d.ns()); }
+constexpr SimDuration operator-(SimTime a, SimTime b) { return SimDuration(a.ns() - b.ns()); }
+
+}  // namespace nephele
+
+#endif  // SRC_SIM_TIME_H_

@@ -1,0 +1,555 @@
+#include "src/toolstack/toolstack.h"
+
+#include "src/base/log.h"
+#include "src/xenstore/path.h"
+
+namespace nephele {
+
+Toolstack::Toolstack(Hypervisor& hv, XenstoreDaemon& xs, DeviceManager& devices, EventLoop& loop,
+                     const CostModel& costs)
+    : hv_(hv), xs_(xs), devices_(devices), loop_(loop), costs_(costs) {
+  default_switch_ = &builtin_bridge_;
+}
+
+std::size_t Toolstack::Dom0FreeBytes() const {
+  std::size_t used = kDom0BaseServicesBytes;
+  used += xs_.ApproxMemoryBytes();
+  used += devices_.Dom0BackendBytes();
+  used += configs_.size() * kDom0BytesPerDomainBookkeeping;
+  return used >= kDom0TotalBytes ? 0 : kDom0TotalBytes - used;
+}
+
+void Toolstack::WriteBaseXenstoreEntries(DomId dom, const DomainConfig& config) {
+  const std::string dp = XsDomainPath(dom);
+  (void)xs_.Write(dp + "/name", config.name);
+  (void)xs_.Write(dp + "/domid", std::to_string(dom));
+  (void)xs_.Write(dp + "/console/ring-ref", "consring");
+  (void)xs_.Write(dp + "/console/port", "2");
+  (void)xs_.Write(dp + "/console/type", "xenconsoled");
+  (void)xs_.Write(dp + "/console/limit", "1048576");
+  (void)xs_.Write(dp + "/store/ring-ref", "storering");
+  (void)xs_.Write(dp + "/store/port", "1");
+  (void)xs_.Write("/vm/" + std::to_string(dom) + "/name", config.name);
+  (void)xs_.Write("/vm/" + std::to_string(dom) + "/uuid", "uuid-" + std::to_string(dom));
+  (void)xs_.Write("/libxl/" + std::to_string(dom) + "/type", "pv");
+}
+
+Status Toolstack::PopulateGuestMemory(DomId dom, const DomainConfig& config,
+                                      bool charge_image_copy) {
+  const GuestMemoryLayout layout = ComputeGuestLayout(config, hv_.config().min_domain_pages);
+  if (layout.heap_pages == 0 &&
+      layout.total_pages <
+          layout.text_pages + layout.data_pages + layout.io_pages + layout.special_pages) {
+    return ErrInvalidArgument("memory too small for image + I/O pages");
+  }
+
+  NEPHELE_RETURN_IF_ERROR(
+      hv_.PopulatePhysmap(dom, layout.text_pages, PageRole::kImageText).status());
+  NEPHELE_RETURN_IF_ERROR(hv_.PopulatePhysmap(dom, layout.data_pages, PageRole::kData).status());
+  NEPHELE_RETURN_IF_ERROR(hv_.PopulatePhysmap(dom, layout.heap_pages, PageRole::kData).status());
+  NEPHELE_RETURN_IF_ERROR(hv_.AllocSpecialPage(dom, PageRole::kStartInfo).status());
+  NEPHELE_RETURN_IF_ERROR(hv_.AllocSpecialPage(dom, PageRole::kConsoleRing).status());
+  NEPHELE_RETURN_IF_ERROR(hv_.AllocSpecialPage(dom, PageRole::kXenstoreRing).status());
+  if (charge_image_copy) {
+    // Loading text+data from the image file into guest memory.
+    loop_.AdvanceBy(costs_.page_copy *
+                    static_cast<double>(config.image_text_pages + config.image_data_pages));
+  }
+  return Status::Ok();
+}
+
+Status Toolstack::SetupVif(DomId dom, const DomainConfig& config, GuestDevices& devices) {
+  const int devid = 0;
+  const std::string fe_path = XsFrontendPath(dom, "vif", devid);
+  const std::string be_path = XsBackendPath(kDom0, "vif", dom, devid);
+
+  MacAddr mac = config.mac != 0 ? config.mac : NextMac();
+  Ipv4Addr ip = config.ip != 0 ? config.ip : NextIp();
+  devices.net = std::make_unique<NetFrontend>(hv_, dom, devid, mac, ip);
+
+  // Stage 1 of the negotiation: toolstack seeds both directories.
+  (void)xs_.Write(fe_path + "/backend", be_path);
+  (void)xs_.Write(fe_path + "/backend-id", "0");
+  (void)xs_.Write(fe_path + "/handle", std::to_string(devid));
+  (void)xs_.Write(fe_path + "/mac", std::to_string(mac));
+  (void)xs_.Write(fe_path + "/state", XenbusStateValue(XenbusState::kInitialising));
+  (void)xs_.Write(be_path + "/frontend", fe_path);
+  (void)xs_.Write(be_path + "/frontend-id", std::to_string(dom));
+  (void)xs_.Write(be_path + "/handle", std::to_string(devid));
+  (void)xs_.Write(be_path + "/mac", std::to_string(mac));
+  (void)xs_.Write(be_path + "/bridge", "xenbr0");
+  (void)xs_.Write(be_path + "/state", XenbusStateValue(XenbusState::kInitialising));
+
+  // Backend probes the new device and signals InitWait.
+  (void)xs_.Read(be_path + "/frontend");
+  (void)xs_.Read(be_path + "/mac");
+  loop_.AdvanceBy(costs_.xenbus_transition);
+  (void)xs_.Write(be_path + "/state", XenbusStateValue(XenbusState::kInitWait));
+
+  // Frontend allocates rings from guest memory, grants them, Initialised.
+  NEPHELE_RETURN_IF_ERROR(devices.net->AllocateRings());
+  (void)xs_.Write(fe_path + "/tx-ring-ref", std::to_string(devices.net->tx_ring_gfn()));
+  (void)xs_.Write(fe_path + "/rx-ring-ref", std::to_string(devices.net->rx_ring_gfn()));
+  (void)xs_.Write(fe_path + "/event-channel", "4");
+  loop_.AdvanceBy(costs_.xenbus_transition);
+  (void)xs_.Write(fe_path + "/state", XenbusStateValue(XenbusState::kInitialised));
+
+  // Backend maps the rings and connects (emits the udev add event; on the
+  // boot path we run the hotplug work inline and the duplicate event is
+  // ignored by its idempotent handler).
+  (void)xs_.Read(fe_path + "/tx-ring-ref");
+  (void)xs_.Read(fe_path + "/rx-ring-ref");
+  loop_.AdvanceBy(costs_.xenbus_transition);
+  DeviceId dev_id{dom, DeviceType::kVif, devid};
+  NEPHELE_ASSIGN_OR_RETURN(Vif * vif, devices_.netback().ConnectDevice(dev_id, devices.net.get()));
+  (void)xs_.Write(be_path + "/state", XenbusStateValue(XenbusState::kConnected));
+
+  // Hotplug: udev wakeup + script run + switch attach.
+  loop_.AdvanceBy(costs_.udev_event);
+  NEPHELE_RETURN_IF_ERROR(HandleVifHotplug(UdevEvent{UdevEvent::Kind::kAdd, dev_id,
+                                                     vif->port_name()}));
+
+  // Frontend observes Connected.
+  (void)xs_.Read(be_path + "/state");
+  loop_.AdvanceBy(costs_.xenbus_transition);
+  (void)xs_.Write(fe_path + "/state", XenbusStateValue(XenbusState::kConnected));
+  return Status::Ok();
+}
+
+Status Toolstack::HandleVifHotplug(const UdevEvent& event) {
+  if (event.kind != UdevEvent::Kind::kAdd) {
+    return Status::Ok();
+  }
+  Vif* vif = devices_.netback().FindVif(event.device);
+  if (vif == nullptr) {
+    return ErrNotFound("vif for hotplug");
+  }
+  if (vif->attached_switch() != nullptr) {
+    return Status::Ok();  // already handled (idempotent)
+  }
+  loop_.AdvanceBy(costs_.switch_attach);
+  NEPHELE_RETURN_IF_ERROR(default_switch_->Attach(vif));
+  vif->set_attached_switch(default_switch_);
+  const std::string be_path =
+      XsBackendPath(kDom0, "vif", event.device.dom, event.device.devid);
+  (void)xs_.Write(be_path + "/hotplug-status", "connected");
+  return Status::Ok();
+}
+
+Status Toolstack::SetupP9(DomId dom, const DomainConfig& config, GuestDevices& devices) {
+  const std::string fe_path = XsFrontendPath(dom, "9pfs", 0);
+  const std::string be_path = XsBackendPath(kDom0, "9pfs", dom, 0);
+  (void)xs_.Write(fe_path + "/backend", be_path);
+  (void)xs_.Write(fe_path + "/backend-id", "0");
+  (void)xs_.Write(fe_path + "/state", XenbusStateValue(XenbusState::kInitialising));
+  (void)xs_.Write(be_path + "/frontend", fe_path);
+  (void)xs_.Write(be_path + "/frontend-id", std::to_string(dom));
+  (void)xs_.Write(be_path + "/security_model", "none");
+  (void)xs_.Write(be_path + "/path", config.p9_export);
+  (void)xs_.Write(be_path + "/state", XenbusStateValue(XenbusState::kInitialising));
+
+  // xl launches the QEMU 9pfs backend process for this guest (Sec. 5,
+  // "on booting, xl launches the 9pfs filesystem backend as a process for
+  // each new guest").
+  NEPHELE_ASSIGN_OR_RETURN(P9BackendProcess * proc,
+                           devices_.p9().LaunchForDomain(dom, config.p9_export));
+  devices.p9 = proc;
+  loop_.AdvanceBy(costs_.xenbus_transition);
+  (void)xs_.Write(be_path + "/state", XenbusStateValue(XenbusState::kConnected));
+  loop_.AdvanceBy(costs_.xenbus_transition);
+  (void)xs_.Write(fe_path + "/state", XenbusStateValue(XenbusState::kConnected));
+  NEPHELE_ASSIGN_OR_RETURN(devices.p9_root_fid, proc->Attach(dom));
+  return Status::Ok();
+}
+
+
+Status Toolstack::SetupVbd(DomId dom, const DomainConfig& config, GuestDevices& devices) {
+  const std::string fe_path = XsFrontendPath(dom, "vbd", 0);
+  const std::string be_path = XsBackendPath(kDom0, "vbd", dom, 0);
+  (void)xs_.Write(fe_path + "/backend", be_path);
+  (void)xs_.Write(fe_path + "/backend-id", "0");
+  (void)xs_.Write(fe_path + "/state", XenbusStateValue(XenbusState::kInitialising));
+  (void)xs_.Write(be_path + "/frontend", fe_path);
+  (void)xs_.Write(be_path + "/frontend-id", std::to_string(dom));
+  (void)xs_.Write(be_path + "/sectors", std::to_string(config.vbd_size_mb * kMiB / 512));
+  (void)xs_.Write(be_path + "/state", XenbusStateValue(XenbusState::kInitialising));
+
+  DeviceId dev_id{dom, DeviceType::kVbd, 0};
+  NEPHELE_RETURN_IF_ERROR(devices_.vbd().CreateDisk(dev_id, config.vbd_size_mb));
+  devices.vbd = std::make_unique<VbdFrontend>(devices_.vbd(), dev_id);
+  loop_.AdvanceBy(costs_.xenbus_transition);
+  (void)xs_.Write(be_path + "/state", XenbusStateValue(XenbusState::kConnected));
+  loop_.AdvanceBy(costs_.xenbus_transition);
+  (void)xs_.Write(fe_path + "/state", XenbusStateValue(XenbusState::kConnected));
+  return Status::Ok();
+}
+
+Result<DomId> Toolstack::CreateDomain(const DomainConfig& config) {
+  // xl process startup + config parsing.
+  loop_.AdvanceBy(costs_.xl_exec_overhead);
+
+  if (name_check_enabled_) {
+    // Vanilla xl scans every running VM's name — the superlinear growth
+    // LightVM reported (Sec. 6.1).
+    loop_.AdvanceBy(costs_.name_check_per_domain * static_cast<double>(configs_.size()));
+    for (const auto& [id, cfg] : configs_) {
+      if (cfg.name == config.name) {
+        return ErrAlreadyExists("domain name in use");
+      }
+    }
+  }
+
+  hv_.ChargeHypercall();
+  NEPHELE_ASSIGN_OR_RETURN(DomId dom, hv_.CreateDomain(config.name, config.vcpus));
+
+  auto fail = [&](Status s) -> Result<DomId> {
+    (void)hv_.DestroyDomain(dom);
+    return s;
+  };
+
+  if (Status s = PopulateGuestMemory(dom, config, /*charge_image_copy=*/true); !s.ok()) {
+    return fail(s);
+  }
+  if (Status s = hv_.BuildPageTables(dom); !s.ok()) {
+    return fail(s);
+  }
+  if (config.max_clones > 0) {
+    hv_.ChargeHypercall();
+    (void)hv_.SetCloneConfig(dom, /*enabled=*/true, config.max_clones);
+  }
+
+  (void)xs_.IntroduceDomain(dom);
+  WriteBaseXenstoreEntries(dom, config);
+
+  GuestDevices devices;
+  if (Status s = devices_.console().CreateConsole(
+          dom, hv_.FindDomain(dom)->console_ring_gfn);
+      !s.ok()) {
+    return fail(s);
+  }
+  if (config.with_vif) {
+    if (Status s = SetupVif(dom, config, devices); !s.ok()) {
+      return fail(s);
+    }
+  }
+  if (config.with_p9fs) {
+    if (Status s = SetupP9(dom, config, devices); !s.ok()) {
+      return fail(s);
+    }
+  }
+  if (config.with_vbd) {
+    if (Status s = SetupVbd(dom, config, devices); !s.ok()) {
+      return fail(s);
+    }
+  }
+
+  guest_devices_[dom] = std::move(devices);
+  configs_[dom] = config;
+  ++domains_booted_;
+
+  hv_.ChargeHypercall();
+  (void)hv_.UnpauseDomain(dom);
+  return dom;
+}
+
+Result<DomainImage> Toolstack::SaveDomain(DomId dom) {
+  const Domain* d = hv_.FindDomain(dom);
+  if (d == nullptr) {
+    return ErrNotFound("no such domain");
+  }
+  auto cfg_it = configs_.find(dom);
+  if (cfg_it == configs_.end()) {
+    return ErrNotFound("domain not managed by toolstack");
+  }
+  (void)hv_.PauseDomain(dom);
+  loop_.AdvanceBy(costs_.save_fixed);
+  // The whole allocation is serialized, used or not (Sec. 6.1).
+  loop_.AdvanceBy(costs_.page_copy * static_cast<double>(d->tot_pages()));
+  DomainImage image{cfg_it->second, d->tot_pages()};
+  (void)hv_.UnpauseDomain(dom);
+  return image;
+}
+
+Result<DomId> Toolstack::RestoreDomain(const DomainImage& image) {
+  loop_.AdvanceBy(costs_.xl_exec_overhead);
+  loop_.AdvanceBy(costs_.restore_fixed);
+  hv_.ChargeHypercall();
+  NEPHELE_ASSIGN_OR_RETURN(DomId dom, hv_.CreateDomain(image.config.name, image.config.vcpus));
+  auto fail = [&](Status s) -> Result<DomId> {
+    (void)hv_.DestroyDomain(dom);
+    return s;
+  };
+  if (Status s = PopulateGuestMemory(dom, image.config, /*charge_image_copy=*/false); !s.ok()) {
+    return fail(s);
+  }
+  // "The entire allocated VM memory is copied back from the image ...
+  // regardless of the amount of memory that is actually used" (Sec. 6.1).
+  loop_.AdvanceBy(costs_.page_copy * static_cast<double>(image.pages));
+  if (Status s = hv_.BuildPageTables(dom); !s.ok()) {
+    return fail(s);
+  }
+  if (image.config.max_clones > 0) {
+    hv_.ChargeHypercall();
+    (void)hv_.SetCloneConfig(dom, /*enabled=*/true, image.config.max_clones);
+  }
+
+  (void)xs_.IntroduceDomain(dom);
+  WriteBaseXenstoreEntries(dom, image.config);
+
+  GuestDevices devices;
+  if (Status s =
+          devices_.console().CreateConsole(dom, hv_.FindDomain(dom)->console_ring_gfn);
+      !s.ok()) {
+    return fail(s);
+  }
+  if (image.config.with_vif) {
+    if (Status s = SetupVif(dom, image.config, devices); !s.ok()) {
+      return fail(s);
+    }
+  }
+  if (image.config.with_p9fs) {
+    if (Status s = SetupP9(dom, image.config, devices); !s.ok()) {
+      return fail(s);
+    }
+  }
+  if (image.config.with_vbd) {
+    if (Status s = SetupVbd(dom, image.config, devices); !s.ok()) {
+      return fail(s);
+    }
+  }
+  guest_devices_[dom] = std::move(devices);
+  configs_[dom] = image.config;
+
+  hv_.ChargeHypercall();
+  (void)hv_.UnpauseDomain(dom);
+  return dom;
+}
+
+
+
+Result<MigrationStream> Toolstack::MigrateOutLive(DomId dom, unsigned max_rounds,
+                                                  std::function<void()> between_rounds,
+                                                  LiveMigrationStats* stats) {
+  Domain* d = hv_.FindDomain(dom);
+  if (d == nullptr) {
+    return ErrNotFound("no such domain");
+  }
+  auto cfg_it = configs_.find(dom);
+  if (cfg_it == configs_.end()) {
+    return ErrNotFound("domain not managed by toolstack");
+  }
+  if (d->parent != kDomInvalid || !d->children.empty()) {
+    return ErrFailedPrecondition("domain has family relations; cannot migrate");
+  }
+
+  MigrationStream stream;
+  stream.config = cfg_it->second;
+  stream.pages = d->tot_pages();
+  LiveMigrationStats local;
+  const FrameTable& frames = hv_.frames();
+
+  auto ship_page = [&](Gfn gfn) {
+    loop_.AdvanceBy(costs_.migrate_per_page);
+    const FrameInfo& info = frames.info(d->p2m[gfn].mfn);
+    if (info.data != nullptr) {
+      stream.written_pages[gfn] =
+          std::vector<std::uint8_t>(info.data->begin(), info.data->end());
+      loop_.AdvanceBy(costs_.MigrateTransferCost(kPageSize));
+    } else {
+      stream.written_pages.erase(gfn);
+    }
+    ++local.pages_shipped;
+  };
+
+  // Round 0: full sweep while the guest keeps running.
+  NEPHELE_RETURN_IF_ERROR(hv_.SetDirtyLogging(dom, true));
+  for (Gfn gfn = 0; gfn < d->p2m.size(); ++gfn) {
+    ship_page(gfn);
+  }
+  ++local.precopy_rounds;
+
+  // Convergence rounds: re-ship what got dirtied meanwhile.
+  for (unsigned round = 1; round < max_rounds; ++round) {
+    if (between_rounds) {
+      between_rounds();
+    }
+    NEPHELE_ASSIGN_OR_RETURN(std::vector<Gfn> dirty, hv_.FetchAndResetDirtyLog(dom));
+    if (dirty.empty()) {
+      break;
+    }
+    for (Gfn gfn : dirty) {
+      ship_page(gfn);
+    }
+    ++local.precopy_rounds;
+  }
+
+  // Stop-and-copy: the downtime window.
+  (void)hv_.PauseDomain(dom);
+  SimTime down_start = loop_.Now();
+  NEPHELE_ASSIGN_OR_RETURN(std::vector<Gfn> last_dirty, hv_.FetchAndResetDirtyLog(dom));
+  for (Gfn gfn : last_dirty) {
+    ship_page(gfn);
+  }
+  loop_.AdvanceBy(costs_.save_fixed);
+  local.downtime = loop_.Now() - down_start;
+  (void)hv_.SetDirtyLogging(dom, false);
+  NEPHELE_RETURN_IF_ERROR(DestroyDomain(dom));
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return stream;
+}
+
+Result<MigrationStream> Toolstack::MigrateOut(DomId dom) {
+  Domain* d = hv_.FindDomain(dom);
+  if (d == nullptr) {
+    return ErrNotFound("no such domain");
+  }
+  auto cfg_it = configs_.find(dom);
+  if (cfg_it == configs_.end()) {
+    return ErrNotFound("domain not managed by toolstack");
+  }
+  // Sec. 8: moving family members off-host would break the page sharing
+  // potential; only unrelated domains migrate.
+  if (d->parent != kDomInvalid || !d->children.empty()) {
+    return ErrFailedPrecondition("domain has family relations; cannot migrate");
+  }
+  (void)hv_.PauseDomain(dom);
+  loop_.AdvanceBy(costs_.save_fixed);
+
+  MigrationStream stream;
+  stream.config = cfg_it->second;
+  stream.pages = d->tot_pages();
+  // Stop-and-copy: walk the p2m, shipping materialised page contents.
+  const FrameTable& frames = hv_.frames();
+  for (Gfn gfn = 0; gfn < d->p2m.size(); ++gfn) {
+    loop_.AdvanceBy(costs_.migrate_per_page);
+    const FrameInfo& info = frames.info(d->p2m[gfn].mfn);
+    if (info.data != nullptr) {
+      stream.written_pages[gfn] =
+          std::vector<std::uint8_t>(info.data->begin(), info.data->end());
+      loop_.AdvanceBy(costs_.MigrateTransferCost(kPageSize));
+    }
+  }
+  NEPHELE_RETURN_IF_ERROR(DestroyDomain(dom));
+  return stream;
+}
+
+Result<DomId> Toolstack::MigrateIn(const MigrationStream& stream) {
+  loop_.AdvanceBy(costs_.restore_fixed);
+  hv_.ChargeHypercall();
+  NEPHELE_ASSIGN_OR_RETURN(DomId dom,
+                           hv_.CreateDomain(stream.config.name, stream.config.vcpus));
+  auto fail = [&](Status s) -> Result<DomId> {
+    (void)hv_.DestroyDomain(dom);
+    return s;
+  };
+  if (Status s = PopulateGuestMemory(dom, stream.config, /*charge_image_copy=*/false); !s.ok()) {
+    return fail(s);
+  }
+  // Replay the shipped pages, then rebuild page tables from the p2m and
+  // update it with the new machine frame numbers (Sec. 5.2).
+  for (const auto& [gfn, bytes] : stream.written_pages) {
+    if (Status s = hv_.WriteGuestPage(dom, gfn, 0, bytes.data(), bytes.size()); !s.ok()) {
+      return fail(s);
+    }
+  }
+  loop_.AdvanceBy(costs_.migrate_per_page * static_cast<double>(stream.pages));
+  if (Status s = hv_.BuildPageTables(dom); !s.ok()) {
+    return fail(s);
+  }
+  if (stream.config.max_clones > 0) {
+    hv_.ChargeHypercall();
+    (void)hv_.SetCloneConfig(dom, /*enabled=*/true, stream.config.max_clones);
+  }
+
+  (void)xs_.IntroduceDomain(dom);
+  WriteBaseXenstoreEntries(dom, stream.config);
+  GuestDevices devices;
+  if (Status s = devices_.console().CreateConsole(dom, hv_.FindDomain(dom)->console_ring_gfn);
+      !s.ok()) {
+    return fail(s);
+  }
+  if (stream.config.with_vif) {
+    if (Status s = SetupVif(dom, stream.config, devices); !s.ok()) {
+      return fail(s);
+    }
+  }
+  if (stream.config.with_p9fs) {
+    if (Status s = SetupP9(dom, stream.config, devices); !s.ok()) {
+      return fail(s);
+    }
+  }
+  if (stream.config.with_vbd) {
+    if (Status s = SetupVbd(dom, stream.config, devices); !s.ok()) {
+      return fail(s);
+    }
+  }
+  guest_devices_[dom] = std::move(devices);
+  configs_[dom] = stream.config;
+  hv_.ChargeHypercall();
+  (void)hv_.UnpauseDomain(dom);
+  return dom;
+}
+
+Status Toolstack::DestroyDomain(DomId dom) {
+  auto cfg_it = configs_.find(dom);
+  if (cfg_it == configs_.end()) {
+    return ErrNotFound("domain not managed by toolstack");
+  }
+  if (cfg_it->second.with_vif) {
+    (void)devices_.netback().DestroyDevice(DeviceId{dom, DeviceType::kVif, 0});
+  }
+  if (GuestDevices* gd = FindDevices(dom); gd != nullptr && gd->p9 != nullptr) {
+    (void)gd->p9->ReleaseDomain(dom);
+  }
+  if (cfg_it->second.with_vbd) {
+    (void)devices_.vbd().DestroyDisk(DeviceId{dom, DeviceType::kVbd, 0});
+  }
+  (void)devices_.console().DestroyConsole(dom);
+  (void)xs_.Rm(XsDomainPath(dom));
+  (void)xs_.Rm("/vm/" + std::to_string(dom));
+  (void)xs_.Rm("/libxl/" + std::to_string(dom));
+  // Backend directories live under Dom0's path and must go too.
+  if (cfg_it->second.with_vif) {
+    (void)xs_.Rm(XsBackendPath(kDom0, "vif", dom, 0));
+  }
+  if (cfg_it->second.with_p9fs) {
+    (void)xs_.Rm(XsBackendPath(kDom0, "9pfs", dom, 0));
+  }
+  if (cfg_it->second.with_vbd) {
+    (void)xs_.Rm(XsBackendPath(kDom0, "vbd", dom, 0));
+  }
+  (void)xs_.ReleaseDomain(dom);
+  guest_devices_.erase(dom);
+  configs_.erase(dom);
+  hv_.ChargeHypercall();
+  return hv_.DestroyDomain(dom);
+}
+
+GuestDevices* Toolstack::FindDevices(DomId dom) {
+  auto it = guest_devices_.find(dom);
+  return it == guest_devices_.end() ? nullptr : &it->second;
+}
+
+const DomainConfig* Toolstack::FindConfig(DomId dom) const {
+  auto it = configs_.find(dom);
+  return it == configs_.end() ? nullptr : &it->second;
+}
+
+std::vector<DomId> Toolstack::RunningDomains() const {
+  std::vector<DomId> out;
+  out.reserve(configs_.size());
+  for (const auto& [id, cfg] : configs_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+void Toolstack::AdoptClonedDomain(DomId child, const DomainConfig& config,
+                                  GuestDevices devices) {
+  configs_[child] = config;
+  guest_devices_[child] = std::move(devices);
+}
+
+}  // namespace nephele

@@ -1,0 +1,30 @@
+// Xenstore path helpers: '/'-separated hierarchical keys.
+
+#ifndef SRC_XENSTORE_PATH_H_
+#define SRC_XENSTORE_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nephele {
+
+// Splits "/local/domain/3" into {"local", "domain", "3"}; empty components
+// are dropped.
+std::vector<std::string> SplitXsPath(std::string_view path);
+
+// Joins components with '/', producing an absolute path.
+std::string JoinXsPath(const std::vector<std::string>& components);
+
+// True if `path` equals `prefix` or is beneath it.
+bool XsPathHasPrefix(std::string_view path, std::string_view prefix);
+
+// Canonical per-domain roots.
+std::string XsDomainPath(unsigned domid);                        // /local/domain/<id>
+std::string XsBackendPath(unsigned backend_domid, std::string_view type, unsigned frontend_domid,
+                          unsigned devid);                       // /local/domain/0/backend/...
+std::string XsFrontendPath(unsigned domid, std::string_view type, unsigned devid);
+
+}  // namespace nephele
+
+#endif  // SRC_XENSTORE_PATH_H_

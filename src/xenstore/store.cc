@@ -1,0 +1,365 @@
+#include "src/xenstore/store.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+#include "src/xenstore/path.h"
+
+namespace nephele {
+
+namespace {
+// Approximate oxenstored per-node overhead (tree node, perms, strings).
+constexpr std::size_t kPerNodeBytes = 320;
+}  // namespace
+
+XenstoreDaemon::XenstoreDaemon(EventLoop& loop, const CostModel& costs)
+    : loop_(loop), costs_(costs) {}
+
+void XenstoreDaemon::ChargeRequest() {
+  ++stats_.requests;
+  SimDuration cost = costs_.xs_request_base;
+  cost += SimDuration::Nanos(costs_.xs_per_entry_scan.ns() *
+                             static_cast<std::int64_t>(stats_.entries));
+  if (access_log_enabled_) {
+    cost += costs_.xs_log_append;
+    if (++requests_since_rotation_ >= costs_.xs_log_rotate_every) {
+      requests_since_rotation_ = 0;
+      ++stats_.log_rotations;
+      cost += costs_.xs_log_rotate;
+    }
+  }
+  loop_.AdvanceBy(cost);
+}
+
+XenstoreDaemon::Node* XenstoreDaemon::Lookup(const std::string& path) {
+  Node* n = &root_;
+  for (const auto& comp : SplitXsPath(path)) {
+    auto it = n->children.find(comp);
+    if (it == n->children.end()) {
+      return nullptr;
+    }
+    n = it->second.get();
+  }
+  return n;
+}
+
+const XenstoreDaemon::Node* XenstoreDaemon::Lookup(const std::string& path) const {
+  return const_cast<XenstoreDaemon*>(this)->Lookup(path);
+}
+
+XenstoreDaemon::Node* XenstoreDaemon::LookupOrCreate(const std::string& path) {
+  Node* n = &root_;
+  for (const auto& comp : SplitXsPath(path)) {
+    auto it = n->children.find(comp);
+    if (it == n->children.end()) {
+      auto child = std::make_unique<Node>();
+      Node* raw = child.get();
+      n->children.emplace(comp, std::move(child));
+      approx_bytes_ += kPerNodeBytes + comp.size();
+      n = raw;
+    } else {
+      n = it->second.get();
+    }
+  }
+  return n;
+}
+
+void XenstoreDaemon::InternalWrite(const std::string& path, const std::string& value,
+                                   bool fire_watches) {
+  Node* n = LookupOrCreate(path);
+  if (!n->has_value) {
+    n->has_value = true;
+    ++stats_.entries;
+  }
+  approx_bytes_ += value.size() > n->value.size() ? value.size() - n->value.size() : 0;
+  n->value = value;
+  if (fire_watches) {
+    FireWatches(path);
+  }
+}
+
+Status XenstoreDaemon::Write(const std::string& path, const std::string& value) {
+  ChargeRequest();
+  ++stats_.writes;
+  InternalWrite(path, value, /*fire_watches=*/true);
+  JournalWrite(path);
+  return Status::Ok();
+}
+
+void XenstoreDaemon::JournalWrite(const std::string& path) {
+  write_journal_.emplace_back(++write_version_, path);
+  // Bound the journal; transactions older than the window simply conflict.
+  if (write_journal_.size() > 4096) {
+    write_journal_.erase(write_journal_.begin(), write_journal_.begin() + 2048);
+  }
+}
+
+Result<std::string> XenstoreDaemon::Read(const std::string& path) {
+  ChargeRequest();
+  ++stats_.reads;
+  const Node* n = Lookup(path);
+  if (n == nullptr || !n->has_value) {
+    return ErrNotFound(path);
+  }
+  return n->value;
+}
+
+Status XenstoreDaemon::Mkdir(const std::string& path) {
+  ChargeRequest();
+  ++stats_.writes;
+  LookupOrCreate(path);
+  FireWatches(path);
+  return Status::Ok();
+}
+
+void XenstoreDaemon::CountRemovedSubtree(const Node& node) {
+  if (node.has_value) {
+    --stats_.entries;
+    approx_bytes_ -= std::min(approx_bytes_, node.value.size());
+  }
+  approx_bytes_ -= std::min(approx_bytes_, kPerNodeBytes);
+  for (const auto& [name, child] : node.children) {
+    CountRemovedSubtree(*child);
+  }
+}
+
+Status XenstoreDaemon::Rm(const std::string& path) {
+  ChargeRequest();
+  ++stats_.writes;
+  auto comps = SplitXsPath(path);
+  if (comps.empty()) {
+    return ErrInvalidArgument("cannot remove root");
+  }
+  std::string leaf = comps.back();
+  comps.pop_back();
+  Node* parent = Lookup(JoinXsPath(comps));
+  if (parent == nullptr) {
+    return ErrNotFound(path);
+  }
+  auto it = parent->children.find(leaf);
+  if (it == parent->children.end()) {
+    return ErrNotFound(path);
+  }
+  CountRemovedSubtree(*it->second);
+  parent->children.erase(it);
+  FireWatches(path);
+  JournalWrite(path);
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> XenstoreDaemon::Directory(const std::string& path) {
+  ChargeRequest();
+  ++stats_.directory_lists;
+  const Node* n = Lookup(path);
+  if (n == nullptr) {
+    return ErrNotFound(path);
+  }
+  std::vector<std::string> names;
+  names.reserve(n->children.size());
+  for (const auto& [name, child] : n->children) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+
+Result<XsTransactionId> XenstoreDaemon::TransactionStart() {
+  ChargeRequest();
+  XsTransactionId id = next_txn_++;
+  Transaction t;
+  t.start_version = write_version_;
+  transactions_[id] = std::move(t);
+  return id;
+}
+
+Status XenstoreDaemon::TxnWrite(XsTransactionId txn, const std::string& path,
+                                const std::string& value) {
+  ChargeRequest();
+  ++stats_.writes;
+  auto it = transactions_.find(txn);
+  if (it == transactions_.end()) {
+    return ErrNotFound("no such transaction");
+  }
+  it->second.writes.emplace_back(path, value);
+  return Status::Ok();
+}
+
+Result<std::string> XenstoreDaemon::TxnRead(XsTransactionId txn, const std::string& path) {
+  ChargeRequest();
+  ++stats_.reads;
+  auto it = transactions_.find(txn);
+  if (it == transactions_.end()) {
+    return ErrNotFound("no such transaction");
+  }
+  it->second.reads.push_back(path);
+  // Read-your-writes within the transaction.
+  for (auto w = it->second.writes.rbegin(); w != it->second.writes.rend(); ++w) {
+    if (w->first == path) {
+      return w->second;
+    }
+  }
+  const Node* n = Lookup(path);
+  if (n == nullptr || !n->has_value) {
+    return ErrNotFound(path);
+  }
+  return n->value;
+}
+
+Status XenstoreDaemon::TransactionEnd(XsTransactionId txn, bool commit) {
+  ChargeRequest();
+  auto it = transactions_.find(txn);
+  if (it == transactions_.end()) {
+    return ErrNotFound("no such transaction");
+  }
+  Transaction t = std::move(it->second);
+  transactions_.erase(it);
+  if (!commit) {
+    return Status::Ok();
+  }
+  // Conflict detection: any committed write since transaction start that
+  // touches one of this transaction's paths aborts it (EAGAIN).
+  auto touches = [&](const std::string& path) {
+    for (const auto& [version, written] : write_journal_) {
+      if (version > t.start_version && written == path) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const auto& [path, value] : t.writes) {
+    if (touches(path)) {
+      return ErrAborted("transaction conflict");
+    }
+  }
+  for (const auto& path : t.reads) {
+    if (touches(path)) {
+      return ErrAborted("transaction conflict");
+    }
+  }
+  for (const auto& [path, value] : t.writes) {
+    InternalWrite(path, value, /*fire_watches=*/true);
+    JournalWrite(path);
+  }
+  return Status::Ok();
+}
+
+Status XenstoreDaemon::Watch(const std::string& prefix, const std::string& token,
+                             const std::string& owner_tag, XsWatchCallback callback) {
+  ChargeRequest();
+  watches_.push_back(WatchEntry{prefix, token, owner_tag, std::move(callback)});
+  return Status::Ok();
+}
+
+Status XenstoreDaemon::Unwatch(const std::string& prefix, const std::string& token) {
+  ChargeRequest();
+  auto before = watches_.size();
+  std::erase_if(watches_, [&](const WatchEntry& w) {
+    return w.prefix == prefix && w.token == token;
+  });
+  return watches_.size() < before ? Status::Ok() : ErrNotFound("no such watch");
+}
+
+void XenstoreDaemon::RemoveWatchesOwnedBy(const std::string& owner_tag) {
+  std::erase_if(watches_, [&](const WatchEntry& w) { return w.owner_tag == owner_tag; });
+}
+
+void XenstoreDaemon::FireWatches(const std::string& path) {
+  for (const auto& w : watches_) {
+    if (XsPathHasPrefix(path, w.prefix)) {
+      ++stats_.watches_fired;
+      // Watch events are delivered asynchronously over the client socket.
+      auto cb = w.callback;
+      auto token = w.token;
+      loop_.Post(SimDuration::Micros(20), [cb, path, token] { cb(path, token); });
+    }
+  }
+}
+
+Status XenstoreDaemon::IntroduceDomain(DomId domid, DomId parent) {
+  ChargeRequest();
+  if (known_domains_.contains(domid)) {
+    return ErrAlreadyExists("domain already introduced");
+  }
+  known_domains_[domid] = parent;
+  return Status::Ok();
+}
+
+Status XenstoreDaemon::ReleaseDomain(DomId domid) {
+  ChargeRequest();
+  if (known_domains_.erase(domid) == 0) {
+    return ErrNotFound("domain not introduced");
+  }
+  return Status::Ok();
+}
+
+bool XenstoreDaemon::DomainKnown(DomId domid) const { return known_domains_.contains(domid); }
+
+std::string XenstoreDaemon::GetDomainPath(DomId domid) const { return XsDomainPath(domid); }
+
+std::string XenstoreDaemon::RewriteValue(const std::string& value, DomId parent, DomId child,
+                                         XsCloneOp op) const {
+  if (op == XsCloneOp::kBasic) {
+    return value;
+  }
+  const std::string parent_str = std::to_string(parent);
+  const std::string child_str = std::to_string(child);
+  // Whole-value domid reference (e.g. "frontend-id" = "7").
+  if (value == parent_str) {
+    return child_str;
+  }
+  // Path fragment references (e.g. backend = ".../vif/7/0").
+  std::string out = value;
+  const std::string needle = "/" + parent_str + "/";
+  const std::string repl = "/" + child_str + "/";
+  std::size_t pos = 0;
+  while ((pos = out.find(needle, pos)) != std::string::npos) {
+    out.replace(pos, needle.size(), repl);
+    pos += repl.size();
+  }
+  // Trailing "/domain/<id>" references.
+  const std::string tail = "/domain/" + parent_str;
+  if (out.size() >= tail.size() && out.compare(out.size() - tail.size(), tail.size(), tail) == 0) {
+    out.replace(out.size() - tail.size(), tail.size(), "/domain/" + child_str);
+  }
+  return out;
+}
+
+void XenstoreDaemon::CloneSubtree(const Node& src, const std::string& dst_path, DomId parent,
+                                  DomId child, XsCloneOp op) {
+  // Server-side per-node work is far cheaper than a client request: no
+  // socket roundtrip, no log append.
+  loop_.AdvanceBy(SimDuration::Micros(2));
+  if (src.has_value) {
+    InternalWrite(dst_path, RewriteValue(src.value, parent, child, op), /*fire_watches=*/false);
+  } else {
+    LookupOrCreate(dst_path);
+  }
+  for (const auto& [name, node] : src.children) {
+    CloneSubtree(*node, dst_path + "/" + name, parent, child, op);
+  }
+}
+
+Status XenstoreDaemon::XsClone(DomId parent_domid, DomId child_domid, XsCloneOp op,
+                               const std::string& parent_path, const std::string& child_path) {
+  ChargeRequest();
+  ++stats_.xs_clone_requests;
+  const Node* src = Lookup(parent_path);
+  if (src == nullptr) {
+    return ErrNotFound(parent_path);
+  }
+  if (!known_domains_.contains(child_domid)) {
+    return ErrFailedPrecondition("child domain not introduced");
+  }
+  CloneSubtree(*src, child_path, parent_domid, child_domid, op);
+  // One watch event for the cloned directory root: backends subscribed to
+  // the device root discover the new subtree from it.
+  FireWatches(child_path);
+  return Status::Ok();
+}
+
+bool XenstoreDaemon::Exists(const std::string& path) const {
+  const Node* n = Lookup(path);
+  return n != nullptr;
+}
+
+}  // namespace nephele

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include "src/apps/faas_app.h"
+#include "src/apps/fuzz_target_app.h"
+#include "src/apps/mem_app.h"
+#include "src/apps/nginx_app.h"
+#include "src/apps/redis_app.h"
+#include "src/apps/udp_ready_app.h"
+#include "src/guest/guest_manager.h"
+
+namespace nephele {
+namespace {
+
+class AppsTest : public ::testing::Test {
+ protected:
+  AppsTest() : system_(SmallSystem()), guests_(system_) {}
+
+  static SystemConfig SmallSystem() {
+    SystemConfig cfg;
+    cfg.hypervisor.pool_frames = 256 * 1024;
+    return cfg;
+  }
+
+  NepheleSystem system_;
+  GuestManager guests_;
+};
+
+TEST_F(AppsTest, UdpReadyAppEchoes) {
+  DomainConfig cfg;
+  cfg.name = "udp";
+  auto dom = guests_.Launch(cfg, std::make_unique<UdpReadyApp>(UdpReadyConfig{}));
+  system_.Settle();
+  std::vector<Packet> uplink;
+  system_.toolstack().default_switch()->set_uplink_sink(
+      [&](const Packet& p) { uplink.push_back(p); });
+  GuestDevices* gd = system_.toolstack().FindDevices(*dom);
+  Packet probe;
+  probe.proto = IpProto::kUdp;
+  probe.src_ip = MakeIpv4(10, 8, 255, 1);
+  probe.src_port = 4242;
+  probe.dst_ip = gd->net->ip();
+  probe.dst_port = 7;
+  probe.payload = {1, 2, 3};
+  system_.toolstack().default_switch()->InjectFromUplink(probe);
+  system_.Settle();
+  ASSERT_EQ(uplink.size(), 1u);
+  EXPECT_EQ(uplink[0].dst_port, 4242);
+  EXPECT_EQ(uplink[0].payload, (std::vector<std::uint8_t>{1, 2, 3}));
+  auto* app = dynamic_cast<UdpReadyApp*>(guests_.AppOf(*dom));
+  EXPECT_EQ(app->packets_echoed(), 1u);
+}
+
+TEST_F(AppsTest, MemAppAllocatesResidentChunk) {
+  DomainConfig cfg;
+  cfg.name = "mem";
+  cfg.memory_mb = 16;
+  auto dom = guests_.Launch(cfg, std::make_unique<MemApp>(MemAppConfig{.alloc_mb = 8}));
+  system_.Settle();
+  auto* app = dynamic_cast<MemApp*>(guests_.AppOf(*dom));
+  ASSERT_TRUE(app->allocated());
+  EXPECT_EQ(app->block().size, 8 * kMiB);
+  EXPECT_TRUE(guests_.ContextOf(*dom)->net().IsTcpListening(4000));
+}
+
+TEST_F(AppsTest, MemAppForkCommandRepliesWithChildId) {
+  DomainConfig cfg;
+  cfg.name = "mem";
+  cfg.memory_mb = 8;
+  cfg.max_clones = 4;
+  auto dom = guests_.Launch(cfg, std::make_unique<MemApp>(MemAppConfig{.alloc_mb = 1}));
+  system_.Settle();
+  std::vector<Packet> uplink;
+  system_.toolstack().default_switch()->set_uplink_sink(
+      [&](const Packet& p) { uplink.push_back(p); });
+  GuestDevices* gd = system_.toolstack().FindDevices(*dom);
+  Packet fork_req;
+  fork_req.proto = IpProto::kTcp;
+  fork_req.src_ip = MakeIpv4(10, 8, 255, 1);
+  fork_req.src_port = 5000;
+  fork_req.dst_ip = gd->net->ip();
+  fork_req.dst_port = 4000;
+  std::string cmd = "fork";
+  fork_req.payload.assign(cmd.begin(), cmd.end());
+  system_.toolstack().default_switch()->InjectFromUplink(fork_req);
+  system_.Settle();
+  ASSERT_EQ(uplink.size(), 1u);
+  std::string reply(uplink[0].payload.begin(), uplink[0].payload.end());
+  EXPECT_EQ(reply.rfind("forked:", 0), 0u);
+  // The clone exists and is part of the family.
+  DomId child = static_cast<DomId>(std::stoi(reply.substr(7)));
+  EXPECT_TRUE(system_.hypervisor().IsDescendantOf(child, *dom));
+}
+
+TEST_F(AppsTest, NginxMasterForksWorkers) {
+  DomainConfig cfg;
+  cfg.name = "nginx";
+  cfg.max_clones = 8;
+  NginxConfig ncfg;
+  ncfg.workers = 4;
+  auto dom = guests_.Launch(cfg, std::make_unique<NginxApp>(ncfg));
+  system_.Settle();
+  const Domain* d = system_.hypervisor().FindDomain(*dom);
+  EXPECT_EQ(d->children.size(), 3u);  // master + 3 clones = 4 workers
+  for (DomId c : d->children) {
+    auto* worker = dynamic_cast<NginxApp*>(guests_.AppOf(c));
+    ASSERT_NE(worker, nullptr);
+    EXPECT_TRUE(worker->is_worker());
+    EXPECT_TRUE(guests_.ContextOf(c)->net().IsTcpListening(80));
+  }
+}
+
+TEST_F(AppsTest, NginxServesHttp) {
+  DomainConfig cfg;
+  cfg.name = "nginx";
+  auto dom = guests_.Launch(cfg, std::make_unique<NginxApp>(NginxConfig{}));
+  system_.Settle();
+  std::vector<Packet> uplink;
+  system_.toolstack().default_switch()->set_uplink_sink(
+      [&](const Packet& p) { uplink.push_back(p); });
+  GuestDevices* gd = system_.toolstack().FindDevices(*dom);
+  Packet req;
+  req.proto = IpProto::kTcp;
+  req.src_ip = MakeIpv4(10, 8, 255, 1);
+  req.src_port = 7777;
+  req.dst_ip = gd->net->ip();
+  req.dst_port = 80;
+  std::string get = "GET / HTTP/1.1";
+  req.payload.assign(get.begin(), get.end());
+  system_.toolstack().default_switch()->InjectFromUplink(req);
+  system_.Settle();
+  ASSERT_EQ(uplink.size(), 1u);
+  std::string reply(uplink[0].payload.begin(), uplink[0].payload.end());
+  EXPECT_EQ(reply.rfind("HTTP/1.1 200 OK", 0), 0u);
+  EXPECT_EQ(dynamic_cast<NginxApp*>(guests_.AppOf(*dom))->requests_served(), 1u);
+}
+
+TEST_F(AppsTest, RedisSetGet) {
+  DomainConfig cfg;
+  cfg.name = "redis";
+  cfg.memory_mb = 16;
+  auto dom = guests_.Launch(cfg, std::make_unique<RedisApp>(RedisConfig{}));
+  system_.Settle();
+  auto* redis = dynamic_cast<RedisApp*>(guests_.AppOf(*dom));
+  GuestContext* ctx = guests_.ContextOf(*dom);
+  ASSERT_TRUE(redis->Set(*ctx, "k1", "v1").ok());
+  EXPECT_EQ(*redis->Get("k1"), "v1");
+  EXPECT_EQ(redis->Get("missing").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(redis->num_keys(), 1u);
+}
+
+TEST_F(AppsTest, RedisMassInsertDirtiesGuestMemory) {
+  DomainConfig cfg;
+  cfg.name = "redis";
+  cfg.memory_mb = 32;
+  auto dom = guests_.Launch(cfg, std::make_unique<RedisApp>(RedisConfig{}));
+  system_.Settle();
+  auto* redis = dynamic_cast<RedisApp*>(guests_.AppOf(*dom));
+  GuestContext* ctx = guests_.ContextOf(*dom);
+  std::size_t allocated_before = ctx->arena().allocated_bytes();
+  ASSERT_TRUE(redis->MassInsert(*ctx, 10000).ok());
+  EXPECT_EQ(redis->num_keys(), 10000u);
+  EXPECT_GT(ctx->arena().allocated_bytes(), allocated_before + 900 * 1000);
+}
+
+TEST_F(AppsTest, RedisSaveForksSerializesAndChildExits) {
+  DomainConfig cfg;
+  cfg.name = "redis";
+  cfg.memory_mb = 16;
+  cfg.max_clones = 8;
+  cfg.with_p9fs = true;
+  auto dom = guests_.Launch(cfg, std::make_unique<RedisApp>(RedisConfig{}));
+  system_.Settle();
+  auto* redis = dynamic_cast<RedisApp*>(guests_.AppOf(*dom));
+  GuestContext* ctx = guests_.ContextOf(*dom);
+  ASSERT_TRUE(redis->Set(*ctx, "k", "v").ok());
+  DomId saver = kDomInvalid;
+  redis->set_on_saved([&](DomId child) { saver = child; });
+  ASSERT_TRUE(redis->Save(*ctx).ok());
+  system_.Settle();
+  ASSERT_NE(saver, kDomInvalid);
+  // The dump landed on the 9pfs share and the clone destroyed itself.
+  EXPECT_TRUE(system_.devices().hostfs().Exists(cfg.p9_export + "/dump.rdb"));
+  EXPECT_FALSE(guests_.Alive(saver));
+  EXPECT_TRUE(guests_.Alive(*dom));  // parent unaffected
+}
+
+TEST_F(AppsTest, RedisBgsaveOverTcp) {
+  DomainConfig cfg;
+  cfg.name = "redis";
+  cfg.memory_mb = 16;
+  cfg.max_clones = 8;
+  cfg.with_p9fs = true;
+  auto dom = guests_.Launch(cfg, std::make_unique<RedisApp>(RedisConfig{}));
+  system_.Settle();
+  std::vector<Packet> uplink;
+  system_.toolstack().default_switch()->set_uplink_sink(
+      [&](const Packet& p) { uplink.push_back(p); });
+  GuestDevices* gd = system_.toolstack().FindDevices(*dom);
+  auto send_cmd = [&](const std::string& cmd) {
+    Packet p;
+    p.proto = IpProto::kTcp;
+    p.src_ip = MakeIpv4(10, 8, 255, 1);
+    p.src_port = 6000;
+    p.dst_ip = gd->net->ip();
+    p.dst_port = 6379;
+    p.payload.assign(cmd.begin(), cmd.end());
+    system_.toolstack().default_switch()->InjectFromUplink(p);
+    system_.Settle();
+  };
+  send_cmd("SET mykey myval");
+  send_cmd("GET mykey");
+  send_cmd("BGSAVE");
+  send_cmd("DBSIZE");
+  ASSERT_EQ(uplink.size(), 4u);
+  EXPECT_EQ(std::string(uplink[0].payload.begin(), uplink[0].payload.end()), "+OK");
+  EXPECT_EQ(std::string(uplink[1].payload.begin(), uplink[1].payload.end()), "$myval");
+  EXPECT_EQ(std::string(uplink[2].payload.begin(), uplink[2].payload.end()),
+            "+Background saving started");
+  EXPECT_EQ(std::string(uplink[3].payload.begin(), uplink[3].payload.end()), ":1");
+  EXPECT_TRUE(system_.devices().hostfs().Exists(cfg.p9_export + "/dump.rdb"));
+}
+
+TEST_F(AppsTest, FuzzTargetCoverageVariesWithInput) {
+  DomainConfig cfg;
+  cfg.name = "fuzz";
+  cfg.memory_mb = 8;
+  cfg.with_vif = false;
+  auto dom = guests_.Launch(cfg, std::make_unique<FuzzTargetApp>(FuzzTargetConfig{}));
+  system_.Settle();
+  auto* app = dynamic_cast<FuzzTargetApp*>(guests_.AppOf(*dom));
+  GuestContext* ctx = guests_.ContextOf(*dom);
+  std::vector<std::uint8_t> supported{1, 0, 0, 0};
+  std::vector<std::uint8_t> unsupported{60, 0, 0, 0};  // nr 60 >= 44
+  ExecOutcome a = app->ExecuteInput(*ctx, supported);
+  ExecOutcome b = app->ExecuteInput(*ctx, unsupported);
+  EXPECT_FALSE(a.crashed);
+  EXPECT_TRUE(b.crashed);
+  EXPECT_NE(a.coverage, b.coverage);
+  EXPECT_EQ(a.pages_dirtied, 3u);
+}
+
+TEST_F(AppsTest, FuzzTargetGetppidModeIsStable) {
+  DomainConfig cfg;
+  cfg.name = "fuzz";
+  cfg.memory_mb = 8;
+  cfg.with_vif = false;
+  FuzzTargetConfig fcfg;
+  fcfg.trivial_getppid_mode = true;
+  auto dom = guests_.Launch(cfg, std::make_unique<FuzzTargetApp>(fcfg));
+  system_.Settle();
+  auto* app = dynamic_cast<FuzzTargetApp*>(guests_.AppOf(*dom));
+  GuestContext* ctx = guests_.ContextOf(*dom);
+  ExecOutcome a = app->ExecuteInput(*ctx, {{1, 2, 3, 4}});
+  ExecOutcome b = app->ExecuteInput(*ctx, {{9, 9, 9, 9}});
+  EXPECT_EQ(a.coverage, b.coverage);
+  EXPECT_FALSE(a.crashed);
+  EXPECT_EQ(a.pages_dirtied, 1u);
+}
+
+TEST_F(AppsTest, FaasAppServesAtModelledCapacity) {
+  DomainConfig cfg;
+  cfg.name = "faas";
+  auto dom = guests_.Launch(cfg, std::make_unique<FaasApp>(FaasAppConfig{}));
+  system_.Settle();
+  std::vector<Packet> uplink;
+  system_.toolstack().default_switch()->set_uplink_sink(
+      [&](const Packet& p) { uplink.push_back(p); });
+  GuestDevices* gd = system_.toolstack().FindDevices(*dom);
+  SimTime before = system_.Now();
+  for (int i = 0; i < 30; ++i) {
+    Packet req;
+    req.proto = IpProto::kTcp;
+    req.src_ip = MakeIpv4(10, 8, 255, 1);
+    req.src_port = static_cast<std::uint16_t>(20000 + i);
+    req.dst_ip = gd->net->ip();
+    req.dst_port = 8080;
+    system_.toolstack().default_switch()->InjectFromUplink(req);
+  }
+  system_.Settle();
+  EXPECT_EQ(uplink.size(), 30u);
+  // 30 back-to-back requests at ~300 req/s take ~100 ms of busy time.
+  double elapsed_ms = (system_.Now() - before).ToMillis();
+  EXPECT_GT(elapsed_ms, 80.0);
+  EXPECT_LT(elapsed_ms, 140.0);
+}
+
+}  // namespace
+}  // namespace nephele

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "src/base/log.h"
+#include "src/base/result.h"
+#include "src/base/status.h"
+#include "src/base/units.h"
+
+namespace nephele {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = ErrNotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "not_found: missing thing");
+}
+
+TEST(Status, EqualityComparesCodesOnly) {
+  EXPECT_EQ(ErrNotFound("a"), ErrNotFound("b"));
+  EXPECT_FALSE(ErrNotFound("a") == ErrInternal("a"));
+  EXPECT_EQ(Status::Ok(), Status());
+}
+
+TEST(Status, AllConstructorsMapToCodes) {
+  EXPECT_EQ(ErrInvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ErrAlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(ErrPermissionDenied("").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(ErrResourceExhausted("").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ErrFailedPrecondition("").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ErrOutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ErrUnimplemented("").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(ErrInternal("").code(), StatusCode::kInternal);
+  EXPECT_EQ(ErrUnavailable("").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(ErrAborted("").code(), StatusCode::kAborted);
+}
+
+TEST(Status, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted), "resource_exhausted");
+  EXPECT_EQ(StatusCodeName(StatusCode::kAborted), "aborted");
+}
+
+Status HelperReturnIfError(bool fail) {
+  NEPHELE_RETURN_IF_ERROR(fail ? ErrInternal("inner") : Status::Ok());
+  return ErrAborted("reached end");
+}
+
+TEST(Status, ReturnIfErrorPropagates) {
+  EXPECT_EQ(HelperReturnIfError(true).code(), StatusCode::kInternal);
+  EXPECT_EQ(HelperReturnIfError(false).code(), StatusCode::kAborted);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = ErrNotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, ValueOrPrefersValue) {
+  Result<int> r = 7;
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+TEST(Result, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+Result<int> HelperAssign(bool fail) {
+  Result<int> inner = fail ? Result<int>(ErrUnavailable("busy")) : Result<int>(10);
+  NEPHELE_ASSIGN_OR_RETURN(int v, inner);
+  return v + 1;
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  EXPECT_EQ(*HelperAssign(false), 11);
+  EXPECT_EQ(HelperAssign(true).status().code(), StatusCode::kUnavailable);
+}
+
+TEST(Units, PageArithmetic) {
+  EXPECT_EQ(BytesToPages(1), 1u);
+  EXPECT_EQ(BytesToPages(kPageSize), 1u);
+  EXPECT_EQ(BytesToPages(kPageSize + 1), 2u);
+  EXPECT_EQ(PagesToBytes(3), 3 * kPageSize);
+  EXPECT_EQ(MiBToPages(4), 1024u);
+}
+
+TEST(Units, PageTablePagesGrowWithMapping) {
+  // 4 MiB guest: 1024 pages -> 2 L1 + 1 + 1 + 1.
+  EXPECT_EQ(PageTablePagesFor(1024), 5u);
+  // 4 GiB: 1 Mi pages -> 2048 L1 + 4 L2 + 1 + 1.
+  EXPECT_EQ(PageTablePagesFor(1 << 20), 2048u + 4 + 1 + 1);
+  EXPECT_GT(PageTablePagesFor(1 << 20), PageTablePagesFor(1024));
+}
+
+TEST(Log, LevelGatesOutput) {
+  LogLevel old = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  NEPHELE_LOG(kDebug, "test") << "suppressed";
+  SetLogLevel(old);
+}
+
+}  // namespace
+}  // namespace nephele

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "src/baseline/linux_process.h"
+#include "src/base/units.h"
+
+namespace nephele {
+namespace {
+
+class LinuxProcessTest : public ::testing::Test {
+ protected:
+  LinuxProcessTest() : model_(loop_, costs_) {}
+  CostModel costs_;
+  EventLoop loop_;
+  LinuxProcessModel model_;
+};
+
+TEST_F(LinuxProcessTest, SpawnCreatesResidentProcess) {
+  auto pid = model_.Spawn(16);
+  ASSERT_TRUE(pid.ok());
+  const auto* p = model_.Find(*pid);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->resident_pages, MiBToPages(16));
+  EXPECT_FALSE(p->cow_marked);
+}
+
+TEST_F(LinuxProcessTest, ForkDuplicatesAndMarksCow) {
+  auto pid = model_.Spawn(16);
+  auto child = model_.Fork(*pid);
+  ASSERT_TRUE(child.ok());
+  EXPECT_TRUE(model_.Find(*pid)->cow_marked);
+  EXPECT_TRUE(model_.Find(*child)->cow_marked);
+  EXPECT_EQ(model_.Find(*child)->parent, *pid);
+  EXPECT_EQ(model_.Find(*child)->resident_pages, MiBToPages(16));
+}
+
+TEST_F(LinuxProcessTest, FirstForkSlowerThanSecond) {
+  auto pid = model_.Spawn(1024);
+  SimTime t0 = loop_.Now();
+  ASSERT_TRUE(model_.Fork(*pid).ok());
+  SimDuration first = loop_.Now() - t0;
+  SimTime t1 = loop_.Now();
+  ASSERT_TRUE(model_.Fork(*pid).ok());
+  SimDuration second = loop_.Now() - t1;
+  EXPECT_GT(first, second);  // Fig. 6: COW marking happens once
+}
+
+TEST_F(LinuxProcessTest, SecondForkMatchesFigureSixAnchor) {
+  auto pid = model_.Spawn(4096);
+  ASSERT_TRUE(model_.Fork(*pid).ok());
+  SimTime t1 = loop_.Now();
+  ASSERT_TRUE(model_.Fork(*pid).ok());
+  double ms = (loop_.Now() - t1).ToMillis();
+  EXPECT_NEAR(ms, 65.2, 6.0);  // paper: 65.2 ms at 4096 MiB
+}
+
+TEST_F(LinuxProcessTest, SmallForkIsFast) {
+  auto pid = model_.Spawn(1);
+  ASSERT_TRUE(model_.Fork(*pid).ok());
+  SimTime t1 = loop_.Now();
+  ASSERT_TRUE(model_.Fork(*pid).ok());
+  double ms = (loop_.Now() - t1).ToMillis();
+  EXPECT_LT(ms, 0.2);  // paper: 0.07 ms at 1 MiB
+}
+
+TEST_F(LinuxProcessTest, ForkGrowExitLifecycle) {
+  auto pid = model_.Spawn(4);
+  ASSERT_TRUE(model_.GrowResident(*pid, 4).ok());
+  EXPECT_EQ(model_.Find(*pid)->resident_pages, MiBToPages(8));
+  ASSERT_TRUE(model_.TouchCowPages(*pid, 16).ok());
+  ASSERT_TRUE(model_.Exit(*pid).ok());
+  EXPECT_EQ(model_.Find(*pid), nullptr);
+  EXPECT_EQ(model_.Fork(*pid).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ReuseportGroup, SameFlowSticksToWorker) {
+  ReuseportServerGroup group(ReuseportServerGroup::Config{.workers = 4}, 1);
+  Packet p;
+  p.proto = IpProto::kTcp;
+  p.src_ip = 7;
+  p.src_port = 1234;
+  p.dst_ip = 5;
+  p.dst_port = 80;
+  SimTime t;
+  SimTime first_completion = group.Submit(p, t);
+  SimTime second_completion = group.Submit(p, t);
+  // Second request on the same flow queues behind the first (same worker).
+  EXPECT_GT(second_completion, first_completion);
+  EXPECT_EQ(group.requests_served(), 2u);
+}
+
+TEST(ReuseportGroup, MoreWorkersMoreParallelism) {
+  auto run = [](unsigned workers) {
+    ReuseportServerGroup group(ReuseportServerGroup::Config{.workers = workers}, 1);
+    SimTime now;
+    SimTime last;
+    for (std::uint16_t i = 0; i < 400; ++i) {
+      Packet p;
+      p.proto = IpProto::kTcp;
+      p.src_ip = 7;
+      p.src_port = static_cast<std::uint16_t>(1000 + i);
+      p.dst_ip = 5;
+      p.dst_port = 80;
+      SimTime done = group.Submit(p, now);
+      if (last < done) {
+        last = done;
+      }
+    }
+    return last;
+  };
+  // Makespan shrinks roughly linearly with the worker count.
+  SimTime one = run(1);
+  SimTime four = run(4);
+  EXPECT_LT(four.ns() * 3, one.ns());
+}
+
+}  // namespace
+}  // namespace nephele

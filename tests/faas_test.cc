@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "src/faas/gateway.h"
+
+namespace nephele {
+namespace {
+
+SystemConfig FaasSystem() {
+  SystemConfig cfg;
+  cfg.hypervisor.pool_frames = 1024 * 1024;  // 4 GiB pool for 64 MiB guests
+  return cfg;
+}
+
+TEST(ContainerBackend, ReadinessLatencies) {
+  EventLoop loop;
+  ContainerBackend backend(loop, ContainerBackend::Config{});
+  ASSERT_TRUE(backend.Deploy().ok());
+  EXPECT_EQ(backend.ScaleUp().code(), StatusCode::kOk);
+  EXPECT_EQ(backend.ReadyInstances(), 0u);
+  // Nothing is ready before the image pull completes (~33 s) — the early
+  // scale-up cannot leapfrog it.
+  loop.RunUntil(SimTime(SimDuration::Seconds(30).ns()));
+  EXPECT_EQ(backend.ReadyInstances(), 0u);
+  loop.RunUntil(SimTime(SimDuration::Seconds(40).ns()));
+  EXPECT_EQ(backend.ReadyInstances(), 2u);
+  ASSERT_EQ(backend.ReadinessTimes().size(), 2u);
+  EXPECT_NEAR(backend.ReadinessTimes()[0], 33.0, 1.0);
+}
+
+TEST(ContainerBackend, MemoryStepsPerInstance) {
+  EventLoop loop;
+  ContainerBackend::Config cfg;
+  ContainerBackend backend(loop, cfg);
+  EXPECT_EQ(backend.MemoryBytes(), 0u);
+  ASSERT_TRUE(backend.Deploy().ok());
+  EXPECT_EQ(backend.MemoryBytes(), cfg.first_instance_bytes);
+  ASSERT_TRUE(backend.ScaleUp().ok());
+  EXPECT_EQ(backend.MemoryBytes(), cfg.first_instance_bytes + cfg.instance_bytes);
+}
+
+TEST(ContainerBackend, DeployTwiceRejected) {
+  EventLoop loop;
+  ContainerBackend backend(loop, ContainerBackend::Config{});
+  ASSERT_TRUE(backend.Deploy().ok());
+  EXPECT_EQ(backend.Deploy().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(UnikernelBackend, DeployBootsRealGuest) {
+  NepheleSystem system(FaasSystem());
+  GuestManager guests(system);
+  (void)system.devices().hostfs().CreateFile("/srv/guest-root/python3");
+  UnikernelBackend backend(guests, UnikernelBackend::Config{});
+  ASSERT_TRUE(backend.Deploy().ok());
+  system.loop().RunUntil(system.Now() + SimDuration::Seconds(5));
+  EXPECT_EQ(backend.ReadyInstances(), 1u);
+  EXPECT_EQ(backend.TotalInstances(), 1u);
+  // First instance: ~64 MiB VM + ~21 MiB services (Sec. 7.3: 85 MB).
+  double mb = static_cast<double>(backend.MemoryBytes()) / (1 << 20);
+  EXPECT_GT(mb, 70.0);
+  EXPECT_LT(mb, 100.0);
+}
+
+TEST(UnikernelBackend, ScaleUpClonesCheaply) {
+  NepheleSystem system(FaasSystem());
+  GuestManager guests(system);
+  (void)system.devices().hostfs().CreateFile("/srv/guest-root/python3");
+  UnikernelBackend backend(guests, UnikernelBackend::Config{});
+  ASSERT_TRUE(backend.Deploy().ok());
+  system.loop().RunUntil(system.Now() + SimDuration::Seconds(5));
+  double first_mb = static_cast<double>(backend.MemoryBytes()) / (1 << 20);
+  ASSERT_TRUE(backend.ScaleUp().ok());
+  system.loop().RunUntil(system.Now() + SimDuration::Seconds(5));
+  EXPECT_EQ(backend.ReadyInstances(), 2u);
+  double per_clone_mb = static_cast<double>(backend.MemoryBytes()) / (1 << 20) - first_mb;
+  // Sec. 7.3: "tens of megabytes (35 MB on average)" per additional
+  // unikernel instance, vs hundreds for containers.
+  EXPECT_GT(per_clone_mb, 20.0);
+  EXPECT_LT(per_clone_mb, 60.0);
+  // The clone is a real domain in the parent's family.
+  ASSERT_EQ(backend.instances().size(), 2u);
+  EXPECT_TRUE(system.hypervisor().IsDescendantOf(backend.instances()[1],
+                                                 backend.instances()[0]));
+}
+
+TEST(Gateway, ScalesWhenLoadExceedsThreshold) {
+  EventLoop loop;
+  ContainerBackend backend(loop, ContainerBackend::Config{});
+  GatewayConfig gcfg;
+  gcfg.query_interval = SimDuration::Seconds(10);
+  OpenFaasGateway gateway(loop, backend, gcfg);
+  auto result = gateway.Run(SimDuration::Seconds(60), [](double) { return 60.0; });
+  // 60 RPS demand / 10 RPS threshold: the autoscaler keeps adding instances.
+  EXPECT_GT(backend.TotalInstances(), 3u);
+  EXPECT_EQ(result.series.size(), 60u);
+}
+
+TEST(Gateway, NoScaleUnderThreshold) {
+  EventLoop loop;
+  ContainerBackend backend(loop, ContainerBackend::Config{});
+  OpenFaasGateway gateway(loop, backend, GatewayConfig{});
+  (void)gateway.Run(SimDuration::Seconds(60), [](double) { return 5.0; });
+  EXPECT_EQ(backend.TotalInstances(), 1u);  // just the deployment
+}
+
+TEST(Gateway, MaxInstancesCap) {
+  EventLoop loop;
+  ContainerBackend backend(loop, ContainerBackend::Config{});
+  GatewayConfig gcfg;
+  gcfg.max_instances = 3;
+  gcfg.query_interval = SimDuration::Seconds(5);
+  OpenFaasGateway gateway(loop, backend, gcfg);
+  (void)gateway.Run(SimDuration::Seconds(120), [](double) { return 1e6; });
+  EXPECT_EQ(backend.TotalInstances(), 3u);
+}
+
+TEST(Gateway, ServedTracksCapacity) {
+  EventLoop loop;
+  ContainerBackend::Config ccfg;
+  ccfg.capacity_rps = 600;
+  ContainerBackend backend(loop, ccfg);
+  GatewayConfig gcfg;
+  gcfg.max_instances = 1;  // isolate the capacity model from autoscaling
+  OpenFaasGateway gateway(loop, backend, gcfg);
+  auto result = gateway.Run(SimDuration::Seconds(40), [](double) { return 1000.0; });
+  // Before the first instance is ready nothing is served; afterwards the
+  // single instance saturates at its capacity.
+  EXPECT_DOUBLE_EQ(result.series[10].served_rps, 0.0);
+  EXPECT_DOUBLE_EQ(result.series.back().served_rps, 600.0);
+}
+
+TEST(Gateway, UnikernelsReactFasterThanContainers) {
+  // The Fig. 11 headline: clones start serving much sooner.
+  EventLoop closs;
+  ContainerBackend containers(closs, ContainerBackend::Config{});
+  OpenFaasGateway cgw(closs, containers, GatewayConfig{});
+  auto cres = cgw.Run(SimDuration::Seconds(60), [](double) { return 1450.0; });
+
+  NepheleSystem system(FaasSystem());
+  GuestManager guests(system);
+  (void)system.devices().hostfs().CreateFile("/srv/guest-root/python3");
+  UnikernelBackend unikernels(guests, UnikernelBackend::Config{});
+  OpenFaasGateway ugw(system.loop(), unikernels, GatewayConfig{});
+  auto ures = ugw.Run(SimDuration::Seconds(60), [](double) { return 1450.0; });
+
+  ASSERT_FALSE(cres.readiness_times.empty());
+  ASSERT_FALSE(ures.readiness_times.empty());
+  EXPECT_LT(ures.readiness_times[0], 5.0);   // ~3 s
+  EXPECT_GT(cres.readiness_times[0], 25.0);  // ~33 s
+  // Cumulative served requests over the first minute favour unikernels.
+  EXPECT_GT(ures.total_served, cres.total_served);
+}
+
+}  // namespace
+}  // namespace nephele

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "src/fuzz/fuzz_session.h"
+#include "src/fuzz/kfx.h"
+
+namespace nephele {
+namespace {
+
+TEST(CoverageMap, MergeCountsFreshEdges) {
+  CoverageMap map;
+  EXPECT_EQ(map.Merge({1, 2, 3}), 3u);
+  EXPECT_EQ(map.Merge({1, 2, 3}), 0u);
+  EXPECT_EQ(map.Merge({3, 4}), 1u);
+  EXPECT_EQ(map.edges_covered(), 4u);
+  EXPECT_TRUE(map.Covered(4));
+  EXPECT_FALSE(map.Covered(5));
+  map.Reset();
+  EXPECT_EQ(map.edges_covered(), 0u);
+}
+
+TEST(CoverageMap, EdgesAliasModuloMapSize) {
+  CoverageMap map;
+  map.Merge({7});
+  EXPECT_TRUE(map.Covered(7 + CoverageMap::kMapSize));
+}
+
+TEST(AflEngine, SeedsFeedMutation) {
+  AflEngine afl(1);
+  afl.AddSeed({1, 2, 3, 4});
+  auto input = afl.NextInput();
+  EXPECT_FALSE(input.empty());
+  EXPECT_EQ(afl.executions(), 1u);
+}
+
+TEST(AflEngine, NewCoverageGrowsQueue) {
+  AflEngine afl(1);
+  afl.AddSeed({0, 0, 0, 0});
+  std::size_t q0 = afl.queue_size();
+  afl.ReportResult({1, 1, 1, 1}, {101, 1009}, false);
+  EXPECT_EQ(afl.queue_size(), q0 + 1);
+  // Same coverage again: not queued.
+  afl.ReportResult({2, 2, 2, 2}, {101, 1009}, false);
+  EXPECT_EQ(afl.queue_size(), q0 + 1);
+}
+
+TEST(AflEngine, CrashesCounted) {
+  AflEngine afl(1);
+  afl.ReportResult({1}, {5000}, true);
+  EXPECT_EQ(afl.crashes(), 1u);
+}
+
+TEST(AflEngine, DeterministicAcrossRuns) {
+  AflEngine a(42), b(42);
+  a.AddSeed({9, 9, 9, 9});
+  b.AddSeed({9, 9, 9, 9});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.NextInput(), b.NextInput());
+  }
+}
+
+class KfxTest : public ::testing::Test {
+ protected:
+  KfxTest() : system_(SmallSystem()), guests_(system_), afl_(7) {}
+
+  static SystemConfig SmallSystem() {
+    SystemConfig cfg;
+    cfg.hypervisor.pool_frames = 128 * 1024;
+    return cfg;
+  }
+
+  DomId LaunchTarget() {
+    DomainConfig cfg;
+    cfg.name = "target";
+    cfg.memory_mb = 8;
+    cfg.max_clones = 64;
+    cfg.with_vif = false;
+    auto dom = guests_.Launch(cfg, std::make_unique<FuzzTargetApp>(FuzzTargetConfig{}));
+    EXPECT_TRUE(dom.ok());
+    system_.Settle();
+    return *dom;
+  }
+
+  NepheleSystem system_;
+  GuestManager guests_;
+  AflEngine afl_;
+};
+
+TEST_F(KfxTest, SetupClonesAndInstruments) {
+  DomId target = LaunchTarget();
+  KfxHarness harness(guests_, afl_);
+  ASSERT_TRUE(harness.Setup(target).ok());
+  EXPECT_NE(harness.clone_dom(), kDomInvalid);
+  EXPECT_TRUE(system_.hypervisor().IsDescendantOf(harness.clone_dom(), target));
+  // Instrumented text pages are clone-private now.
+  const Domain* c = system_.hypervisor().FindDomain(harness.clone_dom());
+  const Domain* p = system_.hypervisor().FindDomain(target);
+  EXPECT_NE(c->p2m[0].mfn, p->p2m[0].mfn);
+  // And excluded from the reset baseline.
+  EXPECT_TRUE(c->dirty_since_clone.empty());
+}
+
+TEST_F(KfxTest, IterationsExecuteAndReset) {
+  DomId target = LaunchTarget();
+  KfxHarness harness(guests_, afl_);
+  ASSERT_TRUE(harness.Setup(target).ok());
+  for (int i = 0; i < 20; ++i) {
+    auto it = harness.RunIteration();
+    ASSERT_TRUE(it.ok());
+    EXPECT_LE(it->pages_reset, 4u);
+  }
+  EXPECT_EQ(harness.iterations(), 20u);
+  EXPECT_GT(afl_.edges_covered(), 0u);
+  // Memory state is pristine between iterations: dirty list empty.
+  EXPECT_TRUE(
+      system_.hypervisor().FindDomain(harness.clone_dom())->dirty_since_clone.empty());
+}
+
+TEST_F(KfxTest, IterationThroughputMatchesPaperBand) {
+  DomId target = LaunchTarget();
+  KfxHarness harness(guests_, afl_);
+  ASSERT_TRUE(harness.Setup(target).ok());
+  SimTime t0 = system_.Now();
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(harness.RunIteration().ok());
+  }
+  double execs_per_s = n / (system_.Now() - t0).ToSeconds();
+  // Sec. 7.2: ~470 exec/s with cloning.
+  EXPECT_GT(execs_per_s, 350.0);
+  EXPECT_LT(execs_per_s, 600.0);
+}
+
+TEST(FuzzSession, LinuxProcessFasterThanKernelModule) {
+  SystemConfig scfg;
+  scfg.hypervisor.pool_frames = 64 * 1024;
+  NepheleSystem sys_a(scfg);
+  GuestManager mgr_a(sys_a);
+  FuzzSessionConfig cfg;
+  cfg.duration = SimDuration::Seconds(5);
+  cfg.sample_every = SimDuration::Seconds(1);
+  cfg.mode = FuzzMode::kLinuxProcess;
+  auto proc = RunFuzzSession(mgr_a, cfg);
+
+  NepheleSystem sys_b(scfg);
+  GuestManager mgr_b(sys_b);
+  cfg.mode = FuzzMode::kLinuxKernelModule;
+  auto module = RunFuzzSession(mgr_b, cfg);
+
+  EXPECT_GT(proc.average_execs_per_second, module.average_execs_per_second);
+  EXPECT_NEAR(proc.average_execs_per_second, 590, 120);
+  EXPECT_NEAR(module.average_execs_per_second, 320, 80);
+  EXPECT_EQ(proc.series.size(), 5u);
+}
+
+TEST(FuzzSession, NoCloneModeIsOrdersOfMagnitudeSlower) {
+  SystemConfig scfg;
+  scfg.hypervisor.pool_frames = 64 * 1024;
+  NepheleSystem sys(scfg);
+  GuestManager mgr(sys);
+  FuzzSessionConfig cfg;
+  cfg.mode = FuzzMode::kUnikraftNoClone;
+  cfg.duration = SimDuration::Seconds(5);
+  cfg.sample_every = SimDuration::Seconds(1);
+  auto result = RunFuzzSession(mgr, cfg);
+  EXPECT_LT(result.average_execs_per_second, 5.0);  // paper: ~2 exec/s
+  EXPECT_GT(result.average_execs_per_second, 0.5);
+}
+
+}  // namespace
+}  // namespace nephele

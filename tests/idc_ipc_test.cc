@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include "src/core/idc.h"
+#include "src/core/system.h"
+#include "src/guest/ipc.h"
+#include "src/sim/rng.h"
+
+namespace nephele {
+namespace {
+
+class IdcTest : public ::testing::Test {
+ protected:
+  IdcTest() : system_(SmallSystem()) {}
+
+  static SystemConfig SmallSystem() {
+    SystemConfig cfg;
+    cfg.hypervisor.pool_frames = 128 * 1024;
+    return cfg;
+  }
+
+  DomId BootParent() {
+    DomainConfig cfg;
+    cfg.name = "idc-parent";
+    cfg.max_clones = 16;
+    cfg.with_vif = false;
+    auto dom = system_.toolstack().CreateDomain(cfg);
+    EXPECT_TRUE(dom.ok());
+    return *dom;
+  }
+
+  DomId CloneOnce(DomId parent) {
+    const Domain* p = system_.hypervisor().FindDomain(parent);
+    auto children =
+        system_.clone_engine().Clone(parent, parent, p->p2m[p->start_info_gfn].mfn, 1);
+    EXPECT_TRUE(children.ok()) << children.status().ToString();
+    system_.Settle();
+    return children->front();
+  }
+
+  NepheleSystem system_;
+};
+
+TEST_F(IdcTest, RegionReadWriteByOwner) {
+  DomId parent = BootParent();
+  auto region = IdcRegion::Create(system_.hypervisor(), parent, 2);
+  ASSERT_TRUE(region.ok());
+  const char msg[] = "shared!";
+  ASSERT_TRUE(region->Write(parent, 100, msg, sizeof(msg)).ok());
+  char out[8] = {};
+  ASSERT_TRUE(region->Read(parent, 100, out, sizeof(msg)).ok());
+  EXPECT_STREQ(out, "shared!");
+}
+
+TEST_F(IdcTest, RegionSpansPages) {
+  DomId parent = BootParent();
+  auto region = IdcRegion::Create(system_.hypervisor(), parent, 2);
+  ASSERT_TRUE(region.ok());
+  std::vector<std::uint8_t> data(kPageSize, 0x7E);
+  ASSERT_TRUE(region->Write(parent, kPageSize / 2, data.data(), data.size()).ok());
+  std::uint8_t b = 0;
+  ASSERT_TRUE(region->Read(parent, kPageSize + 10, &b, 1).ok());
+  EXPECT_EQ(b, 0x7E);
+  EXPECT_EQ(region->Write(parent, 2 * kPageSize - 1, data.data(), 2).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(IdcTest, RegionIsTrulySharedWithClone) {
+  DomId parent = BootParent();
+  auto region = IdcRegion::Create(system_.hypervisor(), parent, 1);
+  ASSERT_TRUE(region.ok());
+  DomId child = CloneOnce(parent);
+
+  // Child writes, parent reads — IDC pages are NOT COW (invariant 8).
+  const char msg[] = "from-child";
+  ASSERT_TRUE(region->Write(child, 0, msg, sizeof(msg)).ok());
+  char out[16] = {};
+  ASSERT_TRUE(region->Read(parent, 0, out, sizeof(msg)).ok());
+  EXPECT_STREQ(out, "from-child");
+
+  // And the other way.
+  const char reply[] = "from-parent";
+  ASSERT_TRUE(region->Write(parent, 64, reply, sizeof(reply)).ok());
+  ASSERT_TRUE(region->Read(child, 64, out, sizeof(reply)).ok());
+  EXPECT_STREQ(out, "from-parent");
+}
+
+TEST_F(IdcTest, RegionRejectsStrangers) {
+  DomId parent = BootParent();
+  DomId stranger = BootParent();
+  auto region = IdcRegion::Create(system_.hypervisor(), parent, 1);
+  ASSERT_TRUE(region.ok());
+  char b = 0;
+  EXPECT_EQ(region->Write(stranger, 0, &b, 1).code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(region->Read(stranger, 0, &b, 1).code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(IdcTest, RegionSharedOwnershipMovesToDomCow) {
+  DomId parent = BootParent();
+  auto region = IdcRegion::Create(system_.hypervisor(), parent, 1);
+  ASSERT_TRUE(region.ok());
+  const Domain* p = system_.hypervisor().FindDomain(parent);
+  Mfn mfn = p->p2m[region->first_gfn()].mfn;
+  EXPECT_EQ(system_.hypervisor().frames().OwnerOf(mfn), parent);
+  (void)CloneOnce(parent);
+  EXPECT_EQ(system_.hypervisor().frames().OwnerOf(mfn), kDomCow);
+  // Still writable by the parent (no COW fault).
+  EXPECT_TRUE(system_.hypervisor().FindDomain(parent)->p2m[region->first_gfn()].writable);
+}
+
+TEST_F(IdcTest, GrandchildInheritsAccess) {
+  DomId parent = BootParent();
+  auto region = IdcRegion::Create(system_.hypervisor(), parent, 1);
+  ASSERT_TRUE(region.ok());
+  DomId child = CloneOnce(parent);
+  DomId grandchild = CloneOnce(child);
+  const char msg[] = "gc";
+  ASSERT_TRUE(region->Write(grandchild, 0, msg, sizeof(msg)).ok());
+  char out[4] = {};
+  ASSERT_TRUE(region->Read(parent, 0, out, sizeof(msg)).ok());
+  EXPECT_STREQ(out, "gc");
+}
+
+TEST_F(IdcTest, ChannelBindsCloneAutomatically) {
+  DomId parent = BootParent();
+  auto channel = IdcChannel::Create(system_.hypervisor(), parent);
+  ASSERT_TRUE(channel.ok());
+  // Before the clone, the port is an unbound DOMID_CHILD endpoint.
+  const Domain* p = system_.hypervisor().FindDomain(parent);
+  EXPECT_EQ(p->evtchns.entry(channel->port()).state, EvtchnState::kUnbound);
+  EXPECT_EQ(p->evtchns.entry(channel->port()).remote_dom, kDomChild);
+
+  DomId child = CloneOnce(parent);
+  // After the clone both ends are connected (invariant 8).
+  const Domain* c = system_.hypervisor().FindDomain(child);
+  EXPECT_EQ(c->evtchns.entry(channel->port()).state, EvtchnState::kInterdomain);
+  EXPECT_EQ(c->evtchns.entry(channel->port()).remote_dom, parent);
+  EXPECT_EQ(system_.hypervisor().FindDomain(parent)->evtchns.entry(channel->port()).remote_dom,
+            child);
+}
+
+TEST_F(IdcTest, ChannelNotifyReachesPeer) {
+  DomId parent = BootParent();
+  auto channel = IdcChannel::Create(system_.hypervisor(), parent);
+  ASSERT_TRUE(channel.ok());
+  DomId child = CloneOnce(parent);
+  int parent_notified = 0;
+  system_.hypervisor().SetEvtchnHandler(parent, [&](EvtchnPort) { ++parent_notified; });
+  ASSERT_TRUE(channel->Notify(child).ok());
+  system_.Settle();
+  EXPECT_EQ(parent_notified, 1);
+}
+
+TEST_F(IdcTest, PipeWriteReadAcrossClone) {
+  DomId parent = BootParent();
+  auto pipe = IdcPipe::Create(system_.hypervisor(), parent);
+  ASSERT_TRUE(pipe.ok());
+  DomId child = CloneOnce(parent);
+
+  auto wrote = (*pipe)->Write(parent, {1, 2, 3, 4});
+  ASSERT_TRUE(wrote.ok());
+  EXPECT_EQ(*wrote, 4u);
+  EXPECT_EQ(*(*pipe)->BytesAvailable(child), 4u);
+  auto read = (*pipe)->Read(child, 10);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  EXPECT_EQ(*(*pipe)->BytesAvailable(child), 0u);
+}
+
+TEST_F(IdcTest, PipeIsByteStreamWithWrapAround) {
+  DomId parent = BootParent();
+  auto pipe = IdcPipe::Create(system_.hypervisor(), parent);
+  ASSERT_TRUE(pipe.ok());
+  std::size_t cap = (*pipe)->capacity();
+  std::vector<std::uint8_t> big(cap, 0xEE);
+  // Fill completely, drain, then fill again across the wrap point.
+  EXPECT_EQ(*(*pipe)->Write(parent, big), cap);
+  EXPECT_EQ(*(*pipe)->Write(parent, {1}), 0u);  // full
+  EXPECT_EQ((*pipe)->Read(parent, cap)->size(), cap);
+  std::vector<std::uint8_t> wrap{7, 8, 9};
+  EXPECT_EQ(*(*pipe)->Write(parent, wrap), 3u);
+  EXPECT_EQ(*(*pipe)->Read(parent, 3), wrap);
+}
+
+TEST_F(IdcTest, PipePartialWriteWhenNearlyFull) {
+  DomId parent = BootParent();
+  auto pipe = IdcPipe::Create(system_.hypervisor(), parent);
+  std::size_t cap = (*pipe)->capacity();
+  std::vector<std::uint8_t> almost(cap - 2, 1);
+  EXPECT_EQ(*(*pipe)->Write(parent, almost), cap - 2);
+  EXPECT_EQ(*(*pipe)->Write(parent, {2, 2, 2, 2}), 2u);  // only 2 fit
+}
+
+TEST_F(IdcTest, SocketPairBothDirections) {
+  DomId parent = BootParent();
+  auto pair = IdcSocketPair::Create(system_.hypervisor(), parent);
+  ASSERT_TRUE(pair.ok());
+  DomId child = CloneOnce(parent);
+
+  // Parent (endpoint 0) -> child (endpoint 1).
+  ASSERT_TRUE((*pair)->Send(parent, 0, {10, 11}).ok());
+  auto at_child = (*pair)->Recv(child, 1, 16);
+  ASSERT_TRUE(at_child.ok());
+  EXPECT_EQ(*at_child, (std::vector<std::uint8_t>{10, 11}));
+
+  // Child -> parent.
+  ASSERT_TRUE((*pair)->Send(child, 1, {42}).ok());
+  auto at_parent = (*pair)->Recv(parent, 0, 16);
+  ASSERT_TRUE(at_parent.ok());
+  EXPECT_EQ(*at_parent, (std::vector<std::uint8_t>{42}));
+}
+
+TEST_F(IdcTest, SocketPairStrangerRejected) {
+  DomId parent = BootParent();
+  DomId stranger = BootParent();
+  auto pair = IdcSocketPair::Create(system_.hypervisor(), parent);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ((*pair)->Send(stranger, 0, {1}).status().code(), StatusCode::kPermissionDenied);
+}
+
+// Property: pipe preserves arbitrary interleavings of writes/reads — the
+// stream read equals the stream written (FIFO, no loss/duplication).
+class PipeStreamProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipeStreamProperty, RandomInterleaving) {
+  SystemConfig scfg;
+  scfg.hypervisor.pool_frames = 64 * 1024;
+  NepheleSystem system(scfg);
+  DomainConfig dcfg;
+  dcfg.name = "p";
+  dcfg.max_clones = 2;
+  dcfg.with_vif = false;
+  auto parent = system.toolstack().CreateDomain(dcfg);
+  ASSERT_TRUE(parent.ok());
+  auto pipe = IdcPipe::Create(system.hypervisor(), *parent);
+  ASSERT_TRUE(pipe.ok());
+  const Domain* p = system.hypervisor().FindDomain(*parent);
+  auto children = system.clone_engine().Clone(*parent, *parent,
+                                              p->p2m[p->start_info_gfn].mfn, 1);
+  ASSERT_TRUE(children.ok());
+  system.Settle();
+  DomId child = children->front();
+
+  Rng rng(GetParam());
+  std::vector<std::uint8_t> sent, received;
+  std::uint8_t next = 0;
+  for (int step = 0; step < 500; ++step) {
+    if (rng.NextBool(0.5)) {
+      std::vector<std::uint8_t> chunk(1 + rng.NextBelow(64));
+      for (auto& b : chunk) {
+        b = next++;
+      }
+      auto n = (*pipe)->Write(*parent, chunk);
+      ASSERT_TRUE(n.ok());
+      sent.insert(sent.end(), chunk.begin(), chunk.begin() + static_cast<std::ptrdiff_t>(*n));
+      next = static_cast<std::uint8_t>(sent.empty() ? 0 : sent.back() + 1);
+    } else {
+      auto chunk = (*pipe)->Read(child, 1 + rng.NextBelow(96));
+      ASSERT_TRUE(chunk.ok());
+      received.insert(received.end(), chunk->begin(), chunk->end());
+    }
+  }
+  auto rest = (*pipe)->Read(child, (*pipe)->capacity());
+  ASSERT_TRUE(rest.ok());
+  received.insert(received.end(), rest->begin(), rest->end());
+  EXPECT_EQ(received, sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipeStreamProperty, ::testing::Values(3, 7, 11, 19, 23));
+
+}  // namespace
+}  // namespace nephele
