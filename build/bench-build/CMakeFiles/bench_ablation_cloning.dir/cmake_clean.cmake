@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_cloning"
+  "../bench/bench_ablation_cloning.pdb"
+  "CMakeFiles/bench_ablation_cloning.dir/bench_ablation_cloning.cc.o"
+  "CMakeFiles/bench_ablation_cloning.dir/bench_ablation_cloning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cloning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_kvm.cc" "bench-build/CMakeFiles/bench_ext_kvm.dir/bench_ext_kvm.cc.o" "gcc" "bench-build/CMakeFiles/bench_ext_kvm.dir/bench_ext_kvm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/faas/CMakeFiles/nephele_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuzz/CMakeFiles/nephele_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvm/CMakeFiles/nephele_kvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/nephele_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/nephele_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/nephele_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nephele_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolstack/CMakeFiles/nephele_toolstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/nephele_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nephele_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/xenstore/CMakeFiles/nephele_xenstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/nephele_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nephele_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/nephele_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_kvm"
+  "../bench/bench_ext_kvm.pdb"
+  "CMakeFiles/bench_ext_kvm.dir/bench_ext_kvm.cc.o"
+  "CMakeFiles/bench_ext_kvm.dir/bench_ext_kvm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_kvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

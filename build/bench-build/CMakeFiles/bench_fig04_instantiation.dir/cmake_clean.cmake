@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_instantiation"
+  "../bench/bench_fig04_instantiation.pdb"
+  "CMakeFiles/bench_fig04_instantiation.dir/bench_fig04_instantiation.cc.o"
+  "CMakeFiles/bench_fig04_instantiation.dir/bench_fig04_instantiation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_instantiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

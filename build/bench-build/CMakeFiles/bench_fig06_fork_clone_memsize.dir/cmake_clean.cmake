@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_fork_clone_memsize"
+  "../bench/bench_fig06_fork_clone_memsize.pdb"
+  "CMakeFiles/bench_fig06_fork_clone_memsize.dir/bench_fig06_fork_clone_memsize.cc.o"
+  "CMakeFiles/bench_fig06_fork_clone_memsize.dir/bench_fig06_fork_clone_memsize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_fork_clone_memsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

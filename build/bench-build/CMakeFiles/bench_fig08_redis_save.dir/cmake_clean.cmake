@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_redis_save"
+  "../bench/bench_fig08_redis_save.pdb"
+  "CMakeFiles/bench_fig08_redis_save.dir/bench_fig08_redis_save.cc.o"
+  "CMakeFiles/bench_fig08_redis_save.dir/bench_fig08_redis_save.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_redis_save.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

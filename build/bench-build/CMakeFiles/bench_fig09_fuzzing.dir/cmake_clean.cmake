@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_fuzzing"
+  "../bench/bench_fig09_fuzzing.pdb"
+  "CMakeFiles/bench_fig09_fuzzing.dir/bench_fig09_fuzzing.cc.o"
+  "CMakeFiles/bench_fig09_fuzzing.dir/bench_fig09_fuzzing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_fuzzing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

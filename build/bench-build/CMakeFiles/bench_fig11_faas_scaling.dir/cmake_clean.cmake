@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_faas_scaling"
+  "../bench/bench_fig11_faas_scaling.pdb"
+  "CMakeFiles/bench_fig11_faas_scaling.dir/bench_fig11_faas_scaling.cc.o"
+  "CMakeFiles/bench_fig11_faas_scaling.dir/bench_fig11_faas_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_faas_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/faas_autoscale"
+  "../examples/faas_autoscale.pdb"
+  "CMakeFiles/faas_autoscale.dir/faas_autoscale.cpp.o"
+  "CMakeFiles/faas_autoscale.dir/faas_autoscale.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/forkjoin_sum"
+  "../examples/forkjoin_sum.pdb"
+  "CMakeFiles/forkjoin_sum.dir/forkjoin_sum.cpp.o"
+  "CMakeFiles/forkjoin_sum.dir/forkjoin_sum.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forkjoin_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

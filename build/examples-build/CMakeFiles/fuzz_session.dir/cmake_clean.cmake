@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/fuzz_session"
+  "../examples/fuzz_session.pdb"
+  "CMakeFiles/fuzz_session.dir/fuzz_session.cpp.o"
+  "CMakeFiles/fuzz_session.dir/fuzz_session.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

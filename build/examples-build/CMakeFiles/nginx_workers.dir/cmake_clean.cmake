@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/nginx_workers"
+  "../examples/nginx_workers.pdb"
+  "CMakeFiles/nginx_workers.dir/nginx_workers.cpp.o"
+  "CMakeFiles/nginx_workers.dir/nginx_workers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nginx_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/redis_snapshot"
+  "../examples/redis_snapshot.pdb"
+  "CMakeFiles/redis_snapshot.dir/redis_snapshot.cpp.o"
+  "CMakeFiles/redis_snapshot.dir/redis_snapshot.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redis_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for redis_snapshot.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/xl_shell"
+  "../examples/xl_shell.pdb"
+  "CMakeFiles/xl_shell.dir/xl_shell.cpp.o"
+  "CMakeFiles/xl_shell.dir/xl_shell.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xl_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

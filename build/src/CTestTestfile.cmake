@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("sim")
+subdirs("hypervisor")
+subdirs("xenstore")
+subdirs("net")
+subdirs("devices")
+subdirs("toolstack")
+subdirs("core")
+subdirs("guest")
+subdirs("apps")
+subdirs("baseline")
+subdirs("fuzz")
+subdirs("faas")
+subdirs("kvm")

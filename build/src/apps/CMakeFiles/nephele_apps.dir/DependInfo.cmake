@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/faas_app.cc" "src/apps/CMakeFiles/nephele_apps.dir/faas_app.cc.o" "gcc" "src/apps/CMakeFiles/nephele_apps.dir/faas_app.cc.o.d"
+  "/root/repo/src/apps/forkjoin_app.cc" "src/apps/CMakeFiles/nephele_apps.dir/forkjoin_app.cc.o" "gcc" "src/apps/CMakeFiles/nephele_apps.dir/forkjoin_app.cc.o.d"
+  "/root/repo/src/apps/fuzz_target_app.cc" "src/apps/CMakeFiles/nephele_apps.dir/fuzz_target_app.cc.o" "gcc" "src/apps/CMakeFiles/nephele_apps.dir/fuzz_target_app.cc.o.d"
+  "/root/repo/src/apps/mem_app.cc" "src/apps/CMakeFiles/nephele_apps.dir/mem_app.cc.o" "gcc" "src/apps/CMakeFiles/nephele_apps.dir/mem_app.cc.o.d"
+  "/root/repo/src/apps/nginx_app.cc" "src/apps/CMakeFiles/nephele_apps.dir/nginx_app.cc.o" "gcc" "src/apps/CMakeFiles/nephele_apps.dir/nginx_app.cc.o.d"
+  "/root/repo/src/apps/redis_app.cc" "src/apps/CMakeFiles/nephele_apps.dir/redis_app.cc.o" "gcc" "src/apps/CMakeFiles/nephele_apps.dir/redis_app.cc.o.d"
+  "/root/repo/src/apps/udp_ready_app.cc" "src/apps/CMakeFiles/nephele_apps.dir/udp_ready_app.cc.o" "gcc" "src/apps/CMakeFiles/nephele_apps.dir/udp_ready_app.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/guest/CMakeFiles/nephele_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nephele_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolstack/CMakeFiles/nephele_toolstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/nephele_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/xenstore/CMakeFiles/nephele_xenstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/nephele_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nephele_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nephele_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/nephele_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nephele_apps.dir/faas_app.cc.o"
+  "CMakeFiles/nephele_apps.dir/faas_app.cc.o.d"
+  "CMakeFiles/nephele_apps.dir/forkjoin_app.cc.o"
+  "CMakeFiles/nephele_apps.dir/forkjoin_app.cc.o.d"
+  "CMakeFiles/nephele_apps.dir/fuzz_target_app.cc.o"
+  "CMakeFiles/nephele_apps.dir/fuzz_target_app.cc.o.d"
+  "CMakeFiles/nephele_apps.dir/mem_app.cc.o"
+  "CMakeFiles/nephele_apps.dir/mem_app.cc.o.d"
+  "CMakeFiles/nephele_apps.dir/nginx_app.cc.o"
+  "CMakeFiles/nephele_apps.dir/nginx_app.cc.o.d"
+  "CMakeFiles/nephele_apps.dir/redis_app.cc.o"
+  "CMakeFiles/nephele_apps.dir/redis_app.cc.o.d"
+  "CMakeFiles/nephele_apps.dir/udp_ready_app.cc.o"
+  "CMakeFiles/nephele_apps.dir/udp_ready_app.cc.o.d"
+  "libnephele_apps.a"
+  "libnephele_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nephele_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nephele_base.dir/log.cc.o"
+  "CMakeFiles/nephele_base.dir/log.cc.o.d"
+  "CMakeFiles/nephele_base.dir/status.cc.o"
+  "CMakeFiles/nephele_base.dir/status.cc.o.d"
+  "libnephele_base.a"
+  "libnephele_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nephele_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nephele_baseline.dir/linux_process.cc.o"
+  "CMakeFiles/nephele_baseline.dir/linux_process.cc.o.d"
+  "libnephele_baseline.a"
+  "libnephele_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nephele_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

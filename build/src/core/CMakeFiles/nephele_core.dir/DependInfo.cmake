@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/clone_engine.cc" "src/core/CMakeFiles/nephele_core.dir/clone_engine.cc.o" "gcc" "src/core/CMakeFiles/nephele_core.dir/clone_engine.cc.o.d"
+  "/root/repo/src/core/idc.cc" "src/core/CMakeFiles/nephele_core.dir/idc.cc.o" "gcc" "src/core/CMakeFiles/nephele_core.dir/idc.cc.o.d"
+  "/root/repo/src/core/smp.cc" "src/core/CMakeFiles/nephele_core.dir/smp.cc.o" "gcc" "src/core/CMakeFiles/nephele_core.dir/smp.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/nephele_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/nephele_core.dir/system.cc.o.d"
+  "/root/repo/src/core/xencloned.cc" "src/core/CMakeFiles/nephele_core.dir/xencloned.cc.o" "gcc" "src/core/CMakeFiles/nephele_core.dir/xencloned.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/nephele_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nephele_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/nephele_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/xenstore/CMakeFiles/nephele_xenstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/nephele_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nephele_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolstack/CMakeFiles/nephele_toolstack.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

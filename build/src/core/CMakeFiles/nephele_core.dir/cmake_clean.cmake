@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nephele_core.dir/clone_engine.cc.o"
+  "CMakeFiles/nephele_core.dir/clone_engine.cc.o.d"
+  "CMakeFiles/nephele_core.dir/idc.cc.o"
+  "CMakeFiles/nephele_core.dir/idc.cc.o.d"
+  "CMakeFiles/nephele_core.dir/smp.cc.o"
+  "CMakeFiles/nephele_core.dir/smp.cc.o.d"
+  "CMakeFiles/nephele_core.dir/system.cc.o"
+  "CMakeFiles/nephele_core.dir/system.cc.o.d"
+  "CMakeFiles/nephele_core.dir/xencloned.cc.o"
+  "CMakeFiles/nephele_core.dir/xencloned.cc.o.d"
+  "libnephele_core.a"
+  "libnephele_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nephele_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

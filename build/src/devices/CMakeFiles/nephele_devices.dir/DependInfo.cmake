@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/console.cc" "src/devices/CMakeFiles/nephele_devices.dir/console.cc.o" "gcc" "src/devices/CMakeFiles/nephele_devices.dir/console.cc.o.d"
+  "/root/repo/src/devices/device_manager.cc" "src/devices/CMakeFiles/nephele_devices.dir/device_manager.cc.o" "gcc" "src/devices/CMakeFiles/nephele_devices.dir/device_manager.cc.o.d"
+  "/root/repo/src/devices/hostfs.cc" "src/devices/CMakeFiles/nephele_devices.dir/hostfs.cc.o" "gcc" "src/devices/CMakeFiles/nephele_devices.dir/hostfs.cc.o.d"
+  "/root/repo/src/devices/netif.cc" "src/devices/CMakeFiles/nephele_devices.dir/netif.cc.o" "gcc" "src/devices/CMakeFiles/nephele_devices.dir/netif.cc.o.d"
+  "/root/repo/src/devices/p9.cc" "src/devices/CMakeFiles/nephele_devices.dir/p9.cc.o" "gcc" "src/devices/CMakeFiles/nephele_devices.dir/p9.cc.o.d"
+  "/root/repo/src/devices/vbd.cc" "src/devices/CMakeFiles/nephele_devices.dir/vbd.cc.o" "gcc" "src/devices/CMakeFiles/nephele_devices.dir/vbd.cc.o.d"
+  "/root/repo/src/devices/xenbus.cc" "src/devices/CMakeFiles/nephele_devices.dir/xenbus.cc.o" "gcc" "src/devices/CMakeFiles/nephele_devices.dir/xenbus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/nephele_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nephele_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/nephele_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/xenstore/CMakeFiles/nephele_xenstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nephele_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nephele_devices.dir/console.cc.o"
+  "CMakeFiles/nephele_devices.dir/console.cc.o.d"
+  "CMakeFiles/nephele_devices.dir/device_manager.cc.o"
+  "CMakeFiles/nephele_devices.dir/device_manager.cc.o.d"
+  "CMakeFiles/nephele_devices.dir/hostfs.cc.o"
+  "CMakeFiles/nephele_devices.dir/hostfs.cc.o.d"
+  "CMakeFiles/nephele_devices.dir/netif.cc.o"
+  "CMakeFiles/nephele_devices.dir/netif.cc.o.d"
+  "CMakeFiles/nephele_devices.dir/p9.cc.o"
+  "CMakeFiles/nephele_devices.dir/p9.cc.o.d"
+  "CMakeFiles/nephele_devices.dir/vbd.cc.o"
+  "CMakeFiles/nephele_devices.dir/vbd.cc.o.d"
+  "CMakeFiles/nephele_devices.dir/xenbus.cc.o"
+  "CMakeFiles/nephele_devices.dir/xenbus.cc.o.d"
+  "libnephele_devices.a"
+  "libnephele_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nephele_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

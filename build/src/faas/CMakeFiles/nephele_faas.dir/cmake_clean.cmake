@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nephele_faas.dir/backend.cc.o"
+  "CMakeFiles/nephele_faas.dir/backend.cc.o.d"
+  "CMakeFiles/nephele_faas.dir/gateway.cc.o"
+  "CMakeFiles/nephele_faas.dir/gateway.cc.o.d"
+  "libnephele_faas.a"
+  "libnephele_faas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nephele_faas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nephele_fuzz.dir/afl.cc.o"
+  "CMakeFiles/nephele_fuzz.dir/afl.cc.o.d"
+  "CMakeFiles/nephele_fuzz.dir/coverage.cc.o"
+  "CMakeFiles/nephele_fuzz.dir/coverage.cc.o.d"
+  "CMakeFiles/nephele_fuzz.dir/fuzz_session.cc.o"
+  "CMakeFiles/nephele_fuzz.dir/fuzz_session.cc.o.d"
+  "CMakeFiles/nephele_fuzz.dir/kfx.cc.o"
+  "CMakeFiles/nephele_fuzz.dir/kfx.cc.o.d"
+  "libnephele_fuzz.a"
+  "libnephele_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nephele_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guest/arena.cc" "src/guest/CMakeFiles/nephele_guest.dir/arena.cc.o" "gcc" "src/guest/CMakeFiles/nephele_guest.dir/arena.cc.o.d"
+  "/root/repo/src/guest/guest_manager.cc" "src/guest/CMakeFiles/nephele_guest.dir/guest_manager.cc.o" "gcc" "src/guest/CMakeFiles/nephele_guest.dir/guest_manager.cc.o.d"
+  "/root/repo/src/guest/ipc.cc" "src/guest/CMakeFiles/nephele_guest.dir/ipc.cc.o" "gcc" "src/guest/CMakeFiles/nephele_guest.dir/ipc.cc.o.d"
+  "/root/repo/src/guest/ministack.cc" "src/guest/CMakeFiles/nephele_guest.dir/ministack.cc.o" "gcc" "src/guest/CMakeFiles/nephele_guest.dir/ministack.cc.o.d"
+  "/root/repo/src/guest/mq.cc" "src/guest/CMakeFiles/nephele_guest.dir/mq.cc.o" "gcc" "src/guest/CMakeFiles/nephele_guest.dir/mq.cc.o.d"
+  "/root/repo/src/guest/p9_client.cc" "src/guest/CMakeFiles/nephele_guest.dir/p9_client.cc.o" "gcc" "src/guest/CMakeFiles/nephele_guest.dir/p9_client.cc.o.d"
+  "/root/repo/src/guest/posix.cc" "src/guest/CMakeFiles/nephele_guest.dir/posix.cc.o" "gcc" "src/guest/CMakeFiles/nephele_guest.dir/posix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nephele_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolstack/CMakeFiles/nephele_toolstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/nephele_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nephele_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/xenstore/CMakeFiles/nephele_xenstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/nephele_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nephele_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/nephele_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

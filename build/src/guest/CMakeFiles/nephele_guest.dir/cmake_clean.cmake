@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nephele_guest.dir/arena.cc.o"
+  "CMakeFiles/nephele_guest.dir/arena.cc.o.d"
+  "CMakeFiles/nephele_guest.dir/guest_manager.cc.o"
+  "CMakeFiles/nephele_guest.dir/guest_manager.cc.o.d"
+  "CMakeFiles/nephele_guest.dir/ipc.cc.o"
+  "CMakeFiles/nephele_guest.dir/ipc.cc.o.d"
+  "CMakeFiles/nephele_guest.dir/ministack.cc.o"
+  "CMakeFiles/nephele_guest.dir/ministack.cc.o.d"
+  "CMakeFiles/nephele_guest.dir/mq.cc.o"
+  "CMakeFiles/nephele_guest.dir/mq.cc.o.d"
+  "CMakeFiles/nephele_guest.dir/p9_client.cc.o"
+  "CMakeFiles/nephele_guest.dir/p9_client.cc.o.d"
+  "CMakeFiles/nephele_guest.dir/posix.cc.o"
+  "CMakeFiles/nephele_guest.dir/posix.cc.o.d"
+  "libnephele_guest.a"
+  "libnephele_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nephele_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hypervisor/event_channel.cc" "src/hypervisor/CMakeFiles/nephele_hypervisor.dir/event_channel.cc.o" "gcc" "src/hypervisor/CMakeFiles/nephele_hypervisor.dir/event_channel.cc.o.d"
+  "/root/repo/src/hypervisor/frame_table.cc" "src/hypervisor/CMakeFiles/nephele_hypervisor.dir/frame_table.cc.o" "gcc" "src/hypervisor/CMakeFiles/nephele_hypervisor.dir/frame_table.cc.o.d"
+  "/root/repo/src/hypervisor/grant_table.cc" "src/hypervisor/CMakeFiles/nephele_hypervisor.dir/grant_table.cc.o" "gcc" "src/hypervisor/CMakeFiles/nephele_hypervisor.dir/grant_table.cc.o.d"
+  "/root/repo/src/hypervisor/hypervisor.cc" "src/hypervisor/CMakeFiles/nephele_hypervisor.dir/hypervisor.cc.o" "gcc" "src/hypervisor/CMakeFiles/nephele_hypervisor.dir/hypervisor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/nephele_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nephele_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nephele_hypervisor.dir/event_channel.cc.o"
+  "CMakeFiles/nephele_hypervisor.dir/event_channel.cc.o.d"
+  "CMakeFiles/nephele_hypervisor.dir/frame_table.cc.o"
+  "CMakeFiles/nephele_hypervisor.dir/frame_table.cc.o.d"
+  "CMakeFiles/nephele_hypervisor.dir/grant_table.cc.o"
+  "CMakeFiles/nephele_hypervisor.dir/grant_table.cc.o.d"
+  "CMakeFiles/nephele_hypervisor.dir/hypervisor.cc.o"
+  "CMakeFiles/nephele_hypervisor.dir/hypervisor.cc.o.d"
+  "libnephele_hypervisor.a"
+  "libnephele_hypervisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nephele_hypervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

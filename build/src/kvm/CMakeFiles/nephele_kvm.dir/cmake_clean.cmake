@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nephele_kvm.dir/kvm_host.cc.o"
+  "CMakeFiles/nephele_kvm.dir/kvm_host.cc.o.d"
+  "CMakeFiles/nephele_kvm.dir/kvmcloned.cc.o"
+  "CMakeFiles/nephele_kvm.dir/kvmcloned.cc.o.d"
+  "libnephele_kvm.a"
+  "libnephele_kvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nephele_kvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nephele_net.dir/packet.cc.o"
+  "CMakeFiles/nephele_net.dir/packet.cc.o.d"
+  "CMakeFiles/nephele_net.dir/switch.cc.o"
+  "CMakeFiles/nephele_net.dir/switch.cc.o.d"
+  "libnephele_net.a"
+  "libnephele_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nephele_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

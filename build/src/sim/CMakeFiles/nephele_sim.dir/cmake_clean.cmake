@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nephele_sim.dir/cost_model.cc.o"
+  "CMakeFiles/nephele_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/nephele_sim.dir/event_loop.cc.o"
+  "CMakeFiles/nephele_sim.dir/event_loop.cc.o.d"
+  "CMakeFiles/nephele_sim.dir/series.cc.o"
+  "CMakeFiles/nephele_sim.dir/series.cc.o.d"
+  "libnephele_sim.a"
+  "libnephele_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nephele_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nephele_toolstack.dir/domain_config.cc.o"
+  "CMakeFiles/nephele_toolstack.dir/domain_config.cc.o.d"
+  "CMakeFiles/nephele_toolstack.dir/toolstack.cc.o"
+  "CMakeFiles/nephele_toolstack.dir/toolstack.cc.o.d"
+  "libnephele_toolstack.a"
+  "libnephele_toolstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nephele_toolstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nephele_xenstore.dir/path.cc.o"
+  "CMakeFiles/nephele_xenstore.dir/path.cc.o.d"
+  "CMakeFiles/nephele_xenstore.dir/store.cc.o"
+  "CMakeFiles/nephele_xenstore.dir/store.cc.o.d"
+  "libnephele_xenstore.a"
+  "libnephele_xenstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nephele_xenstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnephele_xenstore.a"
+)

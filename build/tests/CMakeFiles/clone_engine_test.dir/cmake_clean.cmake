@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clone_engine_test.dir/clone_engine_test.cc.o"
+  "CMakeFiles/clone_engine_test.dir/clone_engine_test.cc.o.d"
+  "clone_engine_test"
+  "clone_engine_test.pdb"
+  "clone_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clone_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forkjoin_test.dir/forkjoin_test.cc.o"
+  "CMakeFiles/forkjoin_test.dir/forkjoin_test.cc.o.d"
+  "forkjoin_test"
+  "forkjoin_test.pdb"
+  "forkjoin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forkjoin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_table_test.dir/frame_table_test.cc.o"
+  "CMakeFiles/frame_table_test.dir/frame_table_test.cc.o.d"
+  "frame_table_test"
+  "frame_table_test.pdb"
+  "frame_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idc_ipc_test.dir/idc_ipc_test.cc.o"
+  "CMakeFiles/idc_ipc_test.dir/idc_ipc_test.cc.o.d"
+  "idc_ipc_test"
+  "idc_ipc_test.pdb"
+  "idc_ipc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idc_ipc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

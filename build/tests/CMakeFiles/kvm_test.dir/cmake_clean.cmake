@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvm_test.dir/kvm_test.cc.o"
+  "CMakeFiles/kvm_test.dir/kvm_test.cc.o.d"
+  "kvm_test"
+  "kvm_test.pdb"
+  "kvm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolstack_test.dir/toolstack_test.cc.o"
+  "CMakeFiles/toolstack_test.dir/toolstack_test.cc.o.d"
+  "toolstack_test"
+  "toolstack_test.pdb"
+  "toolstack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolstack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbd_test.dir/vbd_test.cc.o"
+  "CMakeFiles/vbd_test.dir/vbd_test.cc.o.d"
+  "vbd_test"
+  "vbd_test.pdb"
+  "vbd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

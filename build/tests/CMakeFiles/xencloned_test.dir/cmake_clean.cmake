@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xencloned_test.dir/xencloned_test.cc.o"
+  "CMakeFiles/xencloned_test.dir/xencloned_test.cc.o.d"
+  "xencloned_test"
+  "xencloned_test.pdb"
+  "xencloned_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xencloned_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

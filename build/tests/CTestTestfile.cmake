@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/frame_table_test[1]_include.cmake")
+include("/root/repo/build/tests/hypervisor_test[1]_include.cmake")
+include("/root/repo/build/tests/xenstore_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/devices_test[1]_include.cmake")
+include("/root/repo/build/tests/toolstack_test[1]_include.cmake")
+include("/root/repo/build/tests/clone_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/xencloned_test[1]_include.cmake")
+include("/root/repo/build/tests/idc_ipc_test[1]_include.cmake")
+include("/root/repo/build/tests/guest_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/faas_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/vbd_test[1]_include.cmake")
+include("/root/repo/build/tests/mq_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/migration_test[1]_include.cmake")
+include("/root/repo/build/tests/forkjoin_test[1]_include.cmake")
+include("/root/repo/build/tests/kvm_test[1]_include.cmake")
+include("/root/repo/build/tests/posix_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
