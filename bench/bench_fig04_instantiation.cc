@@ -10,10 +10,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
 #include "src/apps/udp_ready_app.h"
 #include "src/guest/guest_manager.h"
 #include "src/net/switch.h"
+#include "src/obs/metrics.h"
 #include "src/sim/series.h"
 
 namespace nephele {
@@ -100,10 +102,24 @@ std::vector<double> RunRestore(int n) {
   return out;
 }
 
+// Per-phase numbers for one clone run, sourced from the system's metrics
+// registry (the same data ExportJson() emits) rather than subsystem-private
+// counters.
+struct CloneRunStats {
+  std::uint64_t xenstore_requests = 0;
+  std::uint64_t log_rotations = 0;
+  double stage1_mean_ms = 0.0;  // CLONEOP first stage, registry histogram
+  double stage2_mean_ms = 0.0;  // xencloned second stage, registry histogram
+};
+
+double HistMeanMs(const MetricsRegistry& m, std::string_view name) {
+  const Histogram* h = m.FindHistogram(name);
+  return h == nullptr ? 0.0 : h->mean() / 1e6;
+}
+
 // One parent forks itself `n` times. Returns per-clone fork()->ready ms plus
-// Xenstore stats via out-params.
-std::vector<double> RunClone(int n, bool use_xs_clone, std::uint64_t* requests,
-                             std::uint64_t* rotations) {
+// registry-derived phase stats via the out-param.
+std::vector<double> RunClone(int n, bool use_xs_clone, CloneRunStats* stats) {
   NepheleSystem system(BigPool());
   GuestManager guests(system);
   Bond bond;  // stateless switching, identical MAC/IP for the family
@@ -119,8 +135,9 @@ std::vector<double> RunClone(int n, bool use_xs_clone, std::uint64_t* requests,
     return {};
   }
   system.Settle();
-  std::uint64_t requests_before = system.xenstore().stats().requests;
-  std::uint64_t rotations_before = system.xenstore().stats().log_rotations;
+  const MetricsRegistry& metrics = system.metrics();
+  std::uint64_t requests_before = metrics.CounterValue("xenstore/requests/total");
+  std::uint64_t rotations_before = metrics.CounterValue("xenstore/log/rotations");
 
   std::vector<double> out;
   std::uint16_t next_port = 20000;
@@ -144,8 +161,10 @@ std::vector<double> RunClone(int n, bool use_xs_clone, std::uint64_t* requests,
     system.Settle();
     out.push_back((tracker.last_ready - start).ToMillis());
   }
-  *requests = system.xenstore().stats().requests - requests_before;
-  *rotations = system.xenstore().stats().log_rotations - rotations_before;
+  stats->xenstore_requests = metrics.CounterValue("xenstore/requests/total") - requests_before;
+  stats->log_rotations = metrics.CounterValue("xenstore/log/rotations") - rotations_before;
+  stats->stage1_mean_ms = HistMeanMs(metrics, "clone/stage1/duration_ns");
+  stats->stage2_mean_ms = HistMeanMs(metrics, "clone/stage2/duration_ns");
   return out;
 }
 
@@ -158,12 +177,10 @@ int main(int argc, char** argv) {
 
   std::vector<double> boot = RunBoot(n);
   std::vector<double> restore = RunRestore(n);
-  std::uint64_t deep_requests = 0, deep_rotations = 0;
-  std::vector<double> deep = RunClone(n, /*use_xs_clone=*/false, &deep_requests,
-                                      &deep_rotations);
-  std::uint64_t clone_requests = 0, clone_rotations = 0;
-  std::vector<double> clone = RunClone(n, /*use_xs_clone=*/true, &clone_requests,
-                                       &clone_rotations);
+  CloneRunStats deep_stats;
+  std::vector<double> deep = RunClone(n, /*use_xs_clone=*/false, &deep_stats);
+  CloneRunStats clone_stats;
+  std::vector<double> clone = RunClone(n, /*use_xs_clone=*/true, &clone_stats);
 
   SeriesTable table("Figure 4: instantiation times for Mini-OS UDP server (ms)",
                     {"instance", "boot", "restore", "clone_xs_deep_copy", "clone"});
@@ -192,12 +209,16 @@ int main(int argc, char** argv) {
   PrintSummary("instantiation speedup (boot mean / clone mean)",
                avg(boot, 0, rows).mean() / avg(clone, 0, rows).mean(), "x");
   PrintSummary("xenstore requests per clone (xs_clone)",
-               static_cast<double>(clone_requests) / static_cast<double>(rows));
+               static_cast<double>(clone_stats.xenstore_requests) / static_cast<double>(rows));
   PrintSummary("xenstore requests per clone (deep copy)",
-               static_cast<double>(deep_requests) / static_cast<double>(rows));
+               static_cast<double>(deep_stats.xenstore_requests) / static_cast<double>(rows));
   PrintSummary("log-rotation spikes, clone run (xs_clone)",
-               static_cast<double>(clone_rotations));
+               static_cast<double>(clone_stats.log_rotations));
   PrintSummary("log-rotation spikes, clone run (deep copy)",
-               static_cast<double>(deep_rotations));
+               static_cast<double>(deep_stats.log_rotations));
+  PrintSummary("clone stage-1 mean (xs_clone)", clone_stats.stage1_mean_ms, "ms");
+  PrintSummary("clone stage-2 mean (xs_clone)", clone_stats.stage2_mean_ms, "ms");
+  PrintSummary("clone stage-1 mean (deep copy)", deep_stats.stage1_mean_ms, "ms");
+  PrintSummary("clone stage-2 mean (deep copy)", deep_stats.stage2_mean_ms, "ms");
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "src/base/status.h"
 
 #include <cassert>
+#include <ostream>
 
 namespace nephele {
 
@@ -34,6 +35,10 @@ std::string_view StatusCodeName(StatusCode code) {
   return "unknown";
 }
 
+Status::Status(StatusCode code) : code_(code) {
+  assert(code != StatusCode::kOk && "error status must carry an error code");
+}
+
 Status::Status(StatusCode code, std::string_view message) : code_(code) {
   assert(code != StatusCode::kOk && "error status must carry an error code");
   if (!message.empty()) {
@@ -52,6 +57,8 @@ std::string Status::ToString() const {
   }
   return out;
 }
+
+std::ostream& operator<<(std::ostream& os, const Status& s) { return os << s.ToString(); }
 
 Status ErrInvalidArgument(std::string_view msg) {
   return Status(StatusCode::kInvalidArgument, msg);

@@ -7,6 +7,7 @@
 #ifndef SRC_BASE_STATUS_H_
 #define SRC_BASE_STATUS_H_
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -40,6 +41,10 @@ class Status {
   // OK status.
   constexpr Status() noexcept = default;
 
+  // Error status without a message. `code` must not be kOk (checked in
+  // debug builds).
+  explicit Status(StatusCode code);
+
   // Error status. `code` must not be kOk (checked in debug builds).
   Status(StatusCode code, std::string_view message);
 
@@ -59,6 +64,9 @@ class Status {
   friend bool operator==(const Status& a, const Status& b) noexcept {
     return a.code_ == b.code_;
   }
+
+  // Streams ToString(), for gtest failure messages and logging.
+  friend std::ostream& operator<<(std::ostream& os, const Status& s);
 
  private:
   StatusCode code_ = StatusCode::kOk;

@@ -1,10 +1,45 @@
 #include "src/core/clone_engine.h"
 
+#include <algorithm>
+
 #include "src/base/log.h"
 
 namespace nephele {
 
-CloneEngine::CloneEngine(Hypervisor& hv) : hv_(hv), ring_(256) {}
+CloneEngine::CloneEngine(Hypervisor& hv, MetricsRegistry* metrics, TraceRecorder* trace)
+    : hv_(hv),
+      ring_(256),
+      own_metrics_(metrics == nullptr ? std::make_unique<MetricsRegistry>() : nullptr),
+      metrics_(metrics != nullptr ? metrics : own_metrics_.get()),
+      trace_(trace),
+      m_clones_(metrics_->GetCounter("clone/clones_total")),
+      m_batches_(metrics_->GetCounter("clone/batches_total")),
+      m_pages_shared_(metrics_->GetCounter("clone/stage1/pages_shared")),
+      m_pages_shared_first_(metrics_->GetCounter("clone/stage1/pages_shared_first")),
+      m_pages_shared_again_(metrics_->GetCounter("clone/stage1/pages_shared_again")),
+      m_pages_private_copied_(metrics_->GetCounter("clone/stage1/pages_private_copied")),
+      m_pages_idc_shared_(metrics_->GetCounter("clone/stage1/pages_idc_shared")),
+      m_resets_(metrics_->GetCounter("clone/reset/count")),
+      m_reset_pages_restored_(metrics_->GetCounter("clone/reset/pages_restored")),
+      m_explicit_cow_pages_(metrics_->GetCounter("clone/cow/explicit_pages")),
+      m_ring_backpressure_(metrics_->GetCounter("clone/ring/backpressure")),
+      m_stage1_ns_(metrics_->GetHistogram("clone/stage1/duration_ns")),
+      m_stage2_ns_(metrics_->GetHistogram("clone/stage2/duration_ns")) {
+  // COW faults are resolved inside the hypervisor; surface them to clone
+  // observers (metrics, fuzzing harnesses) through the engine.
+  hv_.SetCowFaultHook([this](DomId dom, Gfn gfn, bool copied) {
+    for (CloneObserver* obs : observers_) {
+      obs->OnCowFault(dom, gfn, copied);
+    }
+  });
+}
+
+void CloneEngine::AddObserver(CloneObserver* observer) { observers_.push_back(observer); }
+
+void CloneEngine::RemoveObserver(CloneObserver* observer) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+}
 
 void CloneEngine::CloneVcpus(const Domain& parent, Domain& child) {
   child.vcpus = parent.vcpus;
@@ -35,6 +70,7 @@ Status CloneEngine::CloneMemory(Domain& parent, Domain& child) {
       }
       child.p2m.push_back(P2mEntry{mfn, pe.role, /*writable=*/true});
       ++stats_.pages_private_copied;
+      m_pages_private_copied_.Increment();
       continue;
     }
     if (pe.role == PageRole::kIdcShared) {
@@ -49,6 +85,7 @@ Status CloneEngine::CloneMemory(Domain& parent, Domain& child) {
       }
       child.p2m.push_back(P2mEntry{pe.mfn, pe.role, /*writable=*/true});
       ++stats_.pages_idc_shared;
+      m_pages_idc_shared_.Increment();
       continue;
     }
     // Regular memory: share copy-on-write. Writable pages are marked
@@ -57,11 +94,14 @@ Status CloneEngine::CloneMemory(Domain& parent, Domain& child) {
       NEPHELE_RETURN_IF_ERROR(frames.ShareAgain(pe.mfn));
       hv_.loop().AdvanceBy(costs.page_share_again);
       ++stats_.pages_shared_again;
+      m_pages_shared_again_.Increment();
     } else {
       NEPHELE_RETURN_IF_ERROR(frames.ShareFirst(pe.mfn));
       hv_.loop().AdvanceBy(costs.page_share_first);
       ++stats_.pages_shared_first;
+      m_pages_shared_first_.Increment();
     }
+    m_pages_shared_.Increment();
     pe.writable = false;
     child.p2m.push_back(P2mEntry{pe.mfn, pe.role, /*writable=*/false});
   }
@@ -128,6 +168,7 @@ Result<DomId> CloneEngine::CloneOne(Domain& parent) {
   child->track_dirty = true;
   child->dirty_since_clone.clear();
   ++stats_.clones;
+  m_clones_.Increment();
   return child_id;
 }
 
@@ -162,8 +203,18 @@ Result<std::vector<DomId>> CloneEngine::Clone(DomId caller, DomId parent_id, Mfn
   if (ring_.size() + num_clones > ring_.capacity()) {
     // Backpressure: the notification ring is full; the first stage stalls
     // (Sec. 5). Callers retry after xencloned drains.
+    m_ring_backpressure_.Increment();
     return ErrUnavailable("clone notification ring full");
   }
+
+  m_batches_.Increment();
+  for (CloneObserver* obs : observers_) {
+    obs->OnCloneStart(parent_id, num_clones);
+  }
+  const SimTime stage1_start = hv_.loop().Now();
+  TraceSpan span = trace_ != nullptr ? trace_->BeginSpan("clone/stage1") : TraceSpan();
+  span.AddArg("parent", static_cast<std::int64_t>(parent_id));
+  span.AddArg("num_clones", static_cast<std::int64_t>(num_clones));
 
   // The parent is paused for the whole operation and stays paused until the
   // second stage completes for all children (Sec. 5).
@@ -175,7 +226,7 @@ Result<std::vector<DomId>> CloneEngine::Clone(DomId caller, DomId parent_id, Mfn
   for (unsigned i = 0; i < num_clones; ++i) {
     NEPHELE_ASSIGN_OR_RETURN(DomId child, CloneOne(*parent));
     children.push_back(child);
-    parent_of_pending_child_[child] = parent_id;
+    pending_children_[child] = PendingChild{parent_id, hv_.loop().Now()};
     ring_.Push(CloneNotification{parent_id, child,
                                  parent->p2m[parent->start_info_gfn].mfn,
                                  hv_.FindDomain(child)->p2m[parent->start_info_gfn].mfn});
@@ -186,17 +237,23 @@ Result<std::vector<DomId>> CloneEngine::Clone(DomId caller, DomId parent_id, Mfn
   for (auto& v : parent->vcpus) {
     v.rax = 0;
   }
+  m_stage1_ns_.Observe((hv_.loop().Now() - stage1_start).ns());
   return children;
 }
 
 Status CloneEngine::CloneCompletion(DomId child) {
   hv_.ChargeHypercall();
-  auto it = parent_of_pending_child_.find(child);
-  if (it == parent_of_pending_child_.end()) {
+  auto it = pending_children_.find(child);
+  if (it == pending_children_.end()) {
     return ErrNotFound("no pending clone for this child");
   }
-  DomId parent_id = it->second;
-  parent_of_pending_child_.erase(it);
+  DomId parent_id = it->second.parent;
+  m_stage2_ns_.Observe((hv_.loop().Now() - it->second.pushed_at).ns());
+  pending_children_.erase(it);
+
+  for (CloneObserver* obs : observers_) {
+    obs->OnCloneComplete(parent_id, child);
+  }
 
   Domain* child_dom = hv_.FindDomain(child);
   if (child_dom != nullptr && child_dom->state != DomainState::kPaused) {
@@ -221,14 +278,11 @@ Status CloneEngine::CloneCompletion(DomId child) {
 }
 
 void CloneEngine::FireResume(DomId dom, bool is_child) {
-  auto handler = on_resume_;
-  auto observers = resume_observers_;
-  hv_.loop().Post(SimDuration::Nanos(0), [handler, observers, dom, is_child] {
-    if (handler) {
-      handler(dom, is_child);
-    }
-    for (const auto& obs : observers) {
-      obs(dom, is_child);
+  // Observers are read at fire time, so registrations between the resume
+  // decision and its delivery are honoured — the engine outlives the loop.
+  hv_.loop().Post(SimDuration::Nanos(0), [this, dom, is_child] {
+    for (CloneObserver* obs : observers_) {
+      obs->OnResume(dom, is_child);
     }
   });
 }
@@ -241,6 +295,7 @@ Status CloneEngine::CloneCow(DomId caller, DomId dom, Gfn gfn, std::size_t count
   for (std::size_t i = 0; i < count; ++i) {
     NEPHELE_RETURN_IF_ERROR(hv_.ForceCowResolve(dom, gfn + static_cast<Gfn>(i)));
     ++stats_.explicit_cow_pages;
+    m_explicit_cow_pages_.Increment();
   }
   return Status::Ok();
 }
@@ -283,6 +338,8 @@ Result<std::size_t> CloneEngine::CloneReset(DomId caller, DomId child_id) {
   child->dirty_since_clone.clear();
   ++stats_.resets;
   stats_.reset_pages_restored += restored;
+  m_resets_.Increment();
+  m_reset_pages_restored_.Increment(restored);
   return restored;
 }
 

@@ -5,19 +5,27 @@
 #ifndef SRC_CORE_CLONE_ENGINE_H_
 #define SRC_CORE_CLONE_ENGINE_H_
 
-#include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "src/base/result.h"
 #include "src/core/clone_types.h"
 #include "src/hypervisor/hypervisor.h"
+#include "src/obs/clone_observer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace nephele {
 
 class CloneEngine {
  public:
-  explicit CloneEngine(Hypervisor& hv);
+  // `metrics`/`trace` may be null: the engine then records into a private
+  // registry (standalone constructions in tests keep working) and skips
+  // tracing. NepheleSystem passes its own instances so the whole stack
+  // exports through one registry.
+  explicit CloneEngine(Hypervisor& hv, MetricsRegistry* metrics = nullptr,
+                       TraceRecorder* trace = nullptr);
 
   // ---------------------------------------------------------------------
   // CLONEOP subcommands.
@@ -54,20 +62,19 @@ class CloneEngine {
   // ---------------------------------------------------------------------
   CloneNotificationRing& notification_ring() { return ring_; }
 
-  // Invoked when a domain resumes after cloning: the parent (is_child ==
-  // false, once per clone batch) or a child (is_child == true). The guest
-  // runtime uses this to continue execution on both sides.
-  using ResumeHandler = std::function<void(DomId dom, bool is_child)>;
-  void SetResumeHandler(ResumeHandler handler) { on_resume_ = std::move(handler); }
-  // Additional observers (benchmarks, tracing); run after the primary
-  // handler.
-  void AddResumeObserver(ResumeHandler observer) {
-    resume_observers_.push_back(std::move(observer));
-  }
+  // All clone-path instrumentation — the guest runtime, the metrics layer,
+  // tracing, benches — registers through this single interface. Observers
+  // are not owned; callers must RemoveObserver before destroying one. They
+  // run in registration order (see clone_observer.h for per-callback
+  // delivery semantics).
+  void AddObserver(CloneObserver* observer);
+  void RemoveObserver(CloneObserver* observer);
 
-  // Children of the last clone batch issued by `parent` (the "array filled
-  // by the hypervisor").
   const CloneStats& stats() const { return stats_; }
+
+  // Registry this engine records into (its own fallback unless one was
+  // injected).
+  MetricsRegistry& metrics() { return *metrics_; }
 
  private:
   // First-stage pieces.
@@ -78,14 +85,38 @@ class CloneEngine {
 
   void FireResume(DomId dom, bool is_child);
 
+  struct PendingChild {
+    DomId parent = kDomInvalid;
+    // When the notification was pushed: start of the second stage.
+    SimTime pushed_at;
+  };
+
   Hypervisor& hv_;
   CloneNotificationRing ring_;
   CloneStats stats_;
-  ResumeHandler on_resume_;
-  std::vector<ResumeHandler> resume_observers_;
+
+  std::unique_ptr<MetricsRegistry> own_metrics_;  // set when none injected
+  MetricsRegistry* metrics_;
+  TraceRecorder* trace_;
+
+  Counter& m_clones_;
+  Counter& m_batches_;
+  Counter& m_pages_shared_;
+  Counter& m_pages_shared_first_;
+  Counter& m_pages_shared_again_;
+  Counter& m_pages_private_copied_;
+  Counter& m_pages_idc_shared_;
+  Counter& m_resets_;
+  Counter& m_reset_pages_restored_;
+  Counter& m_explicit_cow_pages_;
+  Counter& m_ring_backpressure_;
+  Histogram& m_stage1_ns_;
+  Histogram& m_stage2_ns_;
+
+  std::vector<CloneObserver*> observers_;
   // Outstanding second-stage completions per parent.
   std::map<DomId, unsigned> outstanding_;
-  std::map<DomId, DomId> parent_of_pending_child_;
+  std::map<DomId, PendingChild> pending_children_;
 };
 
 }  // namespace nephele

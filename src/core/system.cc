@@ -3,13 +3,18 @@
 namespace nephele {
 
 NepheleSystem::NepheleSystem(SystemConfig config) : costs_(config.costs) {
-  hv_ = std::make_unique<Hypervisor>(loop_, costs_, config.hypervisor);
-  xs_ = std::make_unique<XenstoreDaemon>(loop_, costs_);
+  hv_ = std::make_unique<Hypervisor>(loop_, costs_, config.hypervisor, &metrics_);
+  xs_ = std::make_unique<XenstoreDaemon>(loop_, costs_, &metrics_);
   devices_ = std::make_unique<DeviceManager>(*hv_, *xs_, loop_, costs_);
-  toolstack_ = std::make_unique<Toolstack>(*hv_, *xs_, *devices_, loop_, costs_);
-  engine_ = std::make_unique<CloneEngine>(*hv_);
-  xencloned_ =
-      std::make_unique<Xencloned>(*hv_, *engine_, *xs_, *devices_, *toolstack_, loop_, costs_);
+  toolstack_ = std::make_unique<Toolstack>(*hv_, *xs_, *devices_, loop_, costs_, &metrics_,
+                                           &trace_);
+  engine_ = std::make_unique<CloneEngine>(*hv_, &metrics_, &trace_);
+  xencloned_ = std::make_unique<Xencloned>(*hv_, *engine_, *xs_, *devices_, *toolstack_, loop_,
+                                           costs_, &metrics_, &trace_);
+
+  // The metrics layer subscribes to the clone path like any other observer.
+  clone_metrics_ = std::make_unique<CloneMetricsObserver>(metrics_, loop_);
+  engine_->AddObserver(clone_metrics_.get());
 
   // Route udev events: devices of clones are completed by xencloned, freshly
   // booted ones by the toolstack hotplug scripts.

@@ -12,6 +12,9 @@
 #include "src/core/xencloned.h"
 #include "src/devices/device_manager.h"
 #include "src/hypervisor/hypervisor.h"
+#include "src/obs/clone_metrics.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/event_loop.h"
 #include "src/toolstack/toolstack.h"
@@ -42,6 +45,13 @@ class NepheleSystem {
   CloneEngine& clone_engine() { return *engine_; }
   Xencloned& xencloned() { return *xencloned_; }
 
+  // The system-wide observability surface: every subsystem records into this
+  // one registry, so MetricsRegistry::ExportJson() is the whole story of a
+  // run. Deterministic for a seeded scenario.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  TraceRecorder& trace() { return trace_; }
+
   // Runs the event loop until idle.
   void Settle() { loop_.Run(); }
   SimTime Now() const { return loop_.Now(); }
@@ -49,12 +59,15 @@ class NepheleSystem {
  private:
   CostModel costs_;
   EventLoop loop_;
+  MetricsRegistry metrics_;  // constructed before every subsystem using it
+  TraceRecorder trace_{loop_};
   std::unique_ptr<Hypervisor> hv_;
   std::unique_ptr<XenstoreDaemon> xs_;
   std::unique_ptr<DeviceManager> devices_;
   std::unique_ptr<Toolstack> toolstack_;
   std::unique_ptr<CloneEngine> engine_;
   std::unique_ptr<Xencloned> xencloned_;
+  std::unique_ptr<CloneMetricsObserver> clone_metrics_;
 };
 
 }  // namespace nephele

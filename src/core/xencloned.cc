@@ -7,14 +7,22 @@ namespace nephele {
 
 Xencloned::Xencloned(Hypervisor& hv, CloneEngine& engine, XenstoreDaemon& xs,
                      DeviceManager& devices, Toolstack& toolstack, EventLoop& loop,
-                     const CostModel& costs)
+                     const CostModel& costs, MetricsRegistry* metrics, TraceRecorder* trace)
     : hv_(hv),
       engine_(engine),
       xs_(xs),
       devices_(devices),
       toolstack_(toolstack),
       loop_(loop),
-      costs_(costs) {}
+      costs_(costs),
+      own_metrics_(metrics == nullptr ? std::make_unique<MetricsRegistry>() : nullptr),
+      metrics_(metrics != nullptr ? metrics : own_metrics_.get()),
+      trace_(trace),
+      m_clones_completed_(metrics_->GetCounter("xencloned/clones_completed")),
+      m_cache_hits_(metrics_->GetCounter("xencloned/cache_hits")),
+      m_cache_misses_(metrics_->GetCounter("xencloned/cache_misses")),
+      m_deep_copy_writes_(metrics_->GetCounter("xencloned/deep_copy_writes")),
+      m_stage2_ns_(metrics_->GetHistogram("xencloned/stage2/duration_ns")) {}
 
 Status Xencloned::Start() {
   // Bind VIRQ_CLONED and install the Dom0 upcall; the daemon then enables
@@ -39,9 +47,11 @@ const DomainConfig& Xencloned::ParentConfig(DomId parent) {
   ParentInfoCache& cache = parent_cache_[parent];
   if (cache.valid) {
     ++stats_.cache_hits;
+    m_cache_hits_.Increment();
     return cache.config;
   }
   ++stats_.cache_misses;
+  m_cache_misses_.Increment();
   // First clone of this parent: read its Xenstore information and keep it
   // cached to speed up future invocations (Sec. 6.2).
   loop_.AdvanceBy(costs_.xencloned_parent_scan);
@@ -85,6 +95,7 @@ void Xencloned::DeepCopyXenstoreEntries(DomId /*parent*/, DomId child,
   auto write = [&](const std::string& path, const std::string& value) {
     (void)xs_.Write(path, value);
     ++stats_.deep_copy_writes;
+    m_deep_copy_writes_.Increment();
   };
   write(dp + "/name", parent_name);
   write(dp + "/domid", std::to_string(child));
@@ -143,6 +154,9 @@ void Xencloned::DeepCopyXenstoreEntries(DomId /*parent*/, DomId child,
 
 void Xencloned::HandleNotification(const CloneNotification& n) {
   SimTime stage_start = loop_.Now();
+  TraceSpan span = trace_ != nullptr ? trace_->BeginSpan("clone/stage2") : TraceSpan();
+  span.AddArg("parent", static_cast<std::int64_t>(n.parent));
+  span.AddArg("child", static_cast<std::int64_t>(n.child));
   loop_.AdvanceBy(costs_.xencloned_fixed);
   const DomainConfig& parent_cfg = ParentConfig(n.parent);
 
@@ -214,7 +228,9 @@ void Xencloned::HandleNotification(const CloneNotification& n) {
     (void)hv_.PauseDomain(n.child);
   }
   ++stats_.clones_completed;
+  m_clones_completed_.Increment();
   stats_.last_second_stage = loop_.Now() - stage_start;
+  m_stage2_ns_.Observe(stats_.last_second_stage.ns());
   if (!wait_for_udev) {
     // Step 2.4: nothing left in userspace; report completion now.
     (void)engine_.CloneCompletion(n.child);

@@ -10,12 +10,15 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "src/base/result.h"
 #include "src/core/clone_engine.h"
 #include "src/core/clone_types.h"
 #include "src/devices/device_manager.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/toolstack/toolstack.h"
 #include "src/xenstore/store.h"
 
@@ -34,8 +37,11 @@ struct XenclonedStats {
 
 class Xencloned {
  public:
+  // `metrics`/`trace` may be null: the daemon then records into a private
+  // registry and skips tracing (standalone constructions keep working).
   Xencloned(Hypervisor& hv, CloneEngine& engine, XenstoreDaemon& xs, DeviceManager& devices,
-            Toolstack& toolstack, EventLoop& loop, const CostModel& costs);
+            Toolstack& toolstack, EventLoop& loop, const CostModel& costs,
+            MetricsRegistry* metrics = nullptr, TraceRecorder* trace = nullptr);
 
   // Binds VIRQ_CLONED, submits the notification ring and enables cloning
   // globally — the daemon's startup sequence.
@@ -76,6 +82,15 @@ class Xencloned {
   Toolstack& toolstack_;
   EventLoop& loop_;
   const CostModel& costs_;
+
+  std::unique_ptr<MetricsRegistry> own_metrics_;  // set when none injected
+  MetricsRegistry* metrics_;
+  TraceRecorder* trace_;
+  Counter& m_clones_completed_;
+  Counter& m_cache_hits_;
+  Counter& m_cache_misses_;
+  Counter& m_deep_copy_writes_;
+  Histogram& m_stage2_ns_;
 
   bool use_xs_clone_ = true;
   std::map<DomId, ParentInfoCache> parent_cache_;

@@ -51,9 +51,12 @@ void GuestContext::Exit() {
 // ---------------------------------------------------------------------------
 
 GuestManager::GuestManager(NepheleSystem& system) : system_(system) {
-  system_.clone_engine().SetResumeHandler(
-      [this](DomId dom, bool is_child) { OnCloneResume(dom, is_child); });
+  system_.clone_engine().AddObserver(this);
 }
+
+GuestManager::~GuestManager() { system_.clone_engine().RemoveObserver(this); }
+
+void GuestManager::OnResume(DomId dom, bool is_child) { OnCloneResume(dom, is_child); }
 
 std::unique_ptr<GuestContext> GuestManager::BuildContext(DomId dom, const DomainConfig& config,
                                                          const GuestContext* parent_ctx) {
@@ -156,16 +159,14 @@ Status GuestManager::Fork(DomId parent, unsigned num_children, ForkContinuation 
     caller = parent;
   }
 
-  auto children =
-      system_.clone_engine().Clone(caller, parent, start_info_mfn, num_children);
-  if (!children.ok()) {
-    return children.status();
-  }
+  NEPHELE_ASSIGN_OR_RETURN(
+      std::vector<DomId> children,
+      system_.clone_engine().Clone(caller, parent, start_info_mfn, num_children));
 
   PendingFork pending;
   pending.continuation = std::move(continuation);
-  pending.children = *children;
-  for (DomId child : *children) {
+  pending.children = children;
+  for (DomId child : children) {
     // The snapshot is the child's execution state at CLONEOP time.
     pending.snapshots[child] = git->second.app->CloneApp();
     pending_child_parent_[child] = parent;

@@ -13,12 +13,16 @@
 #include "src/core/system.h"
 #include "src/guest/guest_app.h"
 #include "src/guest/guest_context.h"
+#include "src/obs/clone_observer.h"
 
 namespace nephele {
 
-class GuestManager {
+// The guest runtime registers on the clone engine like any other observer:
+// OnResume drives fork continuation dispatch on both sides.
+class GuestManager : public CloneObserver {
  public:
   explicit GuestManager(NepheleSystem& system);
+  ~GuestManager() override;
 
   NepheleSystem& system() { return system_; }
 
@@ -48,6 +52,10 @@ class GuestManager {
   GuestContext* ContextOf(DomId dom);
   bool Alive(DomId dom) const { return guests_.contains(dom); }
   std::size_t NumGuests() const { return guests_.size(); }
+
+  // CloneObserver: delivered through the event loop when a domain really
+  // resumes after cloning.
+  void OnResume(DomId dom, bool is_child) override;
 
  private:
   friend class GuestContext;

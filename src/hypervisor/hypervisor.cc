@@ -7,8 +7,40 @@
 
 namespace nephele {
 
-Hypervisor::Hypervisor(EventLoop& loop, const CostModel& costs, HypervisorConfig config)
-    : loop_(loop), costs_(costs), config_(config), frames_(config.pool_frames) {
+Hypervisor::Hypervisor(EventLoop& loop, const CostModel& costs, HypervisorConfig config,
+                       MetricsRegistry* metrics)
+    : loop_(loop),
+      costs_(costs),
+      config_(config),
+      frames_(config.pool_frames),
+      own_metrics_(metrics == nullptr ? std::make_unique<MetricsRegistry>() : nullptr),
+      metrics_(metrics != nullptr ? metrics : own_metrics_.get()),
+      m_hypercalls_(metrics_->GetCounter("hypervisor/hypercalls")),
+      m_cow_faults_(metrics_->GetCounter("hypervisor/cow/faults")),
+      m_cow_pages_copied_(metrics_->GetCounter("hypervisor/cow/pages_copied")),
+      m_grant_accesses_(metrics_->GetCounter("hypervisor/grant/accesses")),
+      m_grant_end_accesses_(metrics_->GetCounter("hypervisor/grant/end_accesses")),
+      m_grant_maps_(metrics_->GetCounter("hypervisor/grant/maps")),
+      m_grant_unmaps_(metrics_->GetCounter("hypervisor/grant/unmaps")),
+      m_domains_created_(metrics_->GetCounter("hypervisor/domains/created")),
+      m_domains_destroyed_(metrics_->GetCounter("hypervisor/domains/destroyed")) {
+  // Pool occupancy gauges sample the frame table live at export time, so no
+  // hot-path updates are needed anywhere in the allocator.
+  metrics_->GetGauge("hypervisor/frames/free").SetProvider([this] {
+    return static_cast<std::int64_t>(frames_.free_frames());
+  });
+  metrics_->GetGauge("hypervisor/frames/allocated").SetProvider([this] {
+    return static_cast<std::int64_t>(frames_.allocated_frames());
+  });
+  metrics_->GetGauge("hypervisor/frames/shared").SetProvider([this] {
+    return static_cast<std::int64_t>(frames_.shared_frames());
+  });
+  metrics_->GetGauge("hypervisor/frames/saved_by_sharing").SetProvider([this] {
+    return static_cast<std::int64_t>(frames_.frames_saved_by_sharing());
+  });
+  metrics_->GetGauge("hypervisor/domains/live").SetProvider([this] {
+    return static_cast<std::int64_t>(domains_.size());
+  });
   // Dom0 exists from boot; its memory lives outside the guest pool (the
   // 4 GiB / 12 GiB machine split of Sec. 6.2 is modelled in src/toolstack).
   auto dom0 = std::make_unique<Domain>();
@@ -36,6 +68,7 @@ Result<DomId> Hypervisor::CreateDomain(const std::string& name, int vcpus) {
   d->grants = GrantTable(config_.grant_entries_per_domain);
   d->evtchns = EvtchnTable(config_.evtchn_ports_per_domain);
   domains_[id] = std::move(d);
+  m_domains_created_.Increment();
   return id;
 }
 
@@ -92,6 +125,7 @@ Status Hypervisor::DestroyDomain(DomId dom) {
   }
   evtchn_handlers_.erase(dom);
   domains_.erase(it);
+  m_domains_destroyed_.Increment();
   return Status::Ok();
 }
 
@@ -268,8 +302,15 @@ Status Hypervisor::ResolveCowForWrite(Domain& d, Gfn gfn) {
   entry.writable = true;
   ++d.cow_faults;
   ++total_cow_faults_;
+  m_cow_faults_.Increment();
+  if (res.copied) {
+    m_cow_pages_copied_.Increment();
+  }
   if (d.track_dirty) {
     d.dirty_since_clone.push_back(gfn);
+  }
+  if (cow_fault_hook_) {
+    cow_fault_hook_(d.id, gfn, res.copied);
   }
   return Status::Ok();
 }
@@ -303,8 +344,15 @@ Status Hypervisor::ForceCowResolve(DomId dom, Gfn gfn) {
   entry.writable = true;
   ++d->cow_faults;
   ++total_cow_faults_;
+  m_cow_faults_.Increment();
+  if (res.copied) {
+    m_cow_pages_copied_.Increment();
+  }
   if (d->track_dirty) {
     d->dirty_since_clone.push_back(gfn);
+  }
+  if (cow_fault_hook_) {
+    cow_fault_hook_(d->id, gfn, res.copied);
   }
   return Status::Ok();
 }
@@ -390,7 +438,11 @@ Result<GrantRef> Hypervisor::GrantAccess(DomId granter, DomId grantee, Gfn gfn, 
   if (gfn >= g->p2m.size()) {
     return ErrOutOfRange("gfn outside granter p2m");
   }
-  return g->grants.GrantAccess(grantee, gfn, readonly);
+  auto ref = g->grants.GrantAccess(grantee, gfn, readonly);
+  if (ref.ok()) {
+    m_grant_accesses_.Increment();
+  }
+  return ref;
 }
 
 Result<Gfn> Hypervisor::MapGrant(DomId mapper, DomId granter, GrantRef ref) {
@@ -399,7 +451,11 @@ Result<Gfn> Hypervisor::MapGrant(DomId mapper, DomId granter, GrantRef ref) {
     return ErrNotFound("no such granter");
   }
   bool is_child = IsDescendantOf(mapper, granter);
-  return g->grants.Map(ref, mapper, is_child);
+  auto gfn = g->grants.Map(ref, mapper, is_child);
+  if (gfn.ok()) {
+    m_grant_maps_.Increment();
+  }
+  return gfn;
 }
 
 Status Hypervisor::UnmapGrant(DomId /*mapper*/, DomId granter, GrantRef ref) {
@@ -407,7 +463,11 @@ Status Hypervisor::UnmapGrant(DomId /*mapper*/, DomId granter, GrantRef ref) {
   if (g == nullptr) {
     return ErrNotFound("no such granter");
   }
-  return g->grants.Unmap(ref);
+  Status s = g->grants.Unmap(ref);
+  if (s.ok()) {
+    m_grant_unmaps_.Increment();
+  }
+  return s;
 }
 
 Status Hypervisor::EndGrantAccess(DomId granter, GrantRef ref) {
@@ -415,7 +475,11 @@ Status Hypervisor::EndGrantAccess(DomId granter, GrantRef ref) {
   if (g == nullptr) {
     return ErrNotFound("no such granter");
   }
-  return g->grants.EndAccess(ref);
+  Status s = g->grants.EndAccess(ref);
+  if (s.ok()) {
+    m_grant_end_accesses_.Increment();
+  }
+  return s;
 }
 
 Result<EvtchnPort> Hypervisor::EvtchnAllocUnbound(DomId dom, DomId remote) {

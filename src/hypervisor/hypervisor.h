@@ -19,6 +19,7 @@
 #include "src/hypervisor/domain.h"
 #include "src/hypervisor/frame_table.h"
 #include "src/hypervisor/types.h"
+#include "src/obs/metrics.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/event_loop.h"
 
@@ -36,7 +37,11 @@ struct HypervisorConfig {
 
 class Hypervisor {
  public:
-  Hypervisor(EventLoop& loop, const CostModel& costs, HypervisorConfig config = {});
+  // `metrics` may be null: the hypervisor then records into a private
+  // registry so standalone constructions stay valid. NepheleSystem injects
+  // its shared registry.
+  Hypervisor(EventLoop& loop, const CostModel& costs, HypervisorConfig config = {},
+             MetricsRegistry* metrics = nullptr);
 
   Hypervisor(const Hypervisor&) = delete;
   Hypervisor& operator=(const Hypervisor&) = delete;
@@ -152,7 +157,18 @@ class Hypervisor {
   void ChargeHypercall() {
     loop_.AdvanceBy(costs_.hypercall);
     ++hypercall_count_;
+    m_hypercalls_.Increment();
   }
+
+  // Invoked after every resolved COW fault (`copied` is true when a fresh
+  // frame was allocated, false for in-place ownership transfer). CloneEngine
+  // installs this to fan faults out to its CloneObservers.
+  using CowFaultHook = std::function<void(DomId dom, Gfn gfn, bool copied)>;
+  void SetCowFaultHook(CowFaultHook hook) { cow_fault_hook_ = std::move(hook); }
+
+  // Registry this hypervisor records into (its own fallback unless one was
+  // injected).
+  MetricsRegistry& metrics() { return *metrics_; }
 
  private:
   Result<Mfn> AllocFrameFor(DomId dom);
@@ -163,6 +179,19 @@ class Hypervisor {
   const CostModel& costs_;
   HypervisorConfig config_;
   FrameTable frames_;
+
+  std::unique_ptr<MetricsRegistry> own_metrics_;  // set when none injected
+  MetricsRegistry* metrics_;
+  Counter& m_hypercalls_;
+  Counter& m_cow_faults_;
+  Counter& m_cow_pages_copied_;
+  Counter& m_grant_accesses_;
+  Counter& m_grant_end_accesses_;
+  Counter& m_grant_maps_;
+  Counter& m_grant_unmaps_;
+  Counter& m_domains_created_;
+  Counter& m_domains_destroyed_;
+  CowFaultHook cow_fault_hook_;
 
   std::map<DomId, std::unique_ptr<Domain>> domains_;
   std::map<DomId, EvtchnHandler> evtchn_handlers_;

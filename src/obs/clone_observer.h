@@ -1,0 +1,40 @@
+// CloneObserver: the single instrumentation/observer interface of the clone
+// path. The guest runtime, the metrics layer, tracing and benches all
+// register through CloneEngine::AddObserver() — this replaces the old
+// SetResumeHandler/AddResumeObserver dual path.
+//
+// Callback order: observers run in registration order. OnCloneStart and
+// OnCloneComplete fire synchronously inside the CLONEOP handlers; OnResume is
+// delivered through the event loop (the domain really runs again at that
+// simulated instant); OnCowFault fires synchronously when a COW fault
+// un-shares a page of any family member.
+
+#ifndef SRC_OBS_CLONE_OBSERVER_H_
+#define SRC_OBS_CLONE_OBSERVER_H_
+
+#include "src/hypervisor/types.h"
+
+namespace nephele {
+
+class CloneObserver {
+ public:
+  virtual ~CloneObserver() = default;
+
+  // A clone batch passed validation and enters the first stage.
+  virtual void OnCloneStart(DomId /*parent*/, unsigned /*num_clones*/) {}
+
+  // xencloned reported second-stage completion for `child`.
+  virtual void OnCloneComplete(DomId /*parent*/, DomId /*child*/) {}
+
+  // A domain resumes after cloning: each child once, and the parent once per
+  // batch after every child completed.
+  virtual void OnResume(DomId /*dom*/, bool /*is_child*/) {}
+
+  // A COW fault resolved for `dom`. `copied` is true when a fresh frame was
+  // allocated (refcount > 1), false when ownership moved in place.
+  virtual void OnCowFault(DomId /*dom*/, Gfn /*gfn*/, bool /*copied*/) {}
+};
+
+}  // namespace nephele
+
+#endif  // SRC_OBS_CLONE_OBSERVER_H_

@@ -1,0 +1,208 @@
+#include "src/obs/json.h"
+
+#include <cctype>
+#include <string>
+
+namespace nephele {
+namespace {
+
+class Checker {
+ public:
+  explicit Checker(std::string_view text) : text_(text) {}
+
+  bool Run(std::string* error) {
+    SkipWs();
+    if (!Value()) {
+      if (error != nullptr) *error = error_;
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      Fail("trailing characters after top-level value");
+      if (error != nullptr) *error = error_;
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = "offset " + std::to_string(pos_) + ": " + what;
+    }
+    return false;
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWs() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(char c) {
+    if (AtEnd() || Peek() != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool Literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      return Fail("invalid literal");
+    }
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool Value() {
+    if (AtEnd()) return Fail("unexpected end of input");
+    switch (Peek()) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    if (!Consume('{')) return false;
+    SkipWs();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Consume(':')) return false;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (AtEnd()) return Fail("unterminated object");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+  bool Array() {
+    if (!Consume('[')) return false;
+    SkipWs();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (AtEnd()) return Fail("unterminated array");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume(']');
+    }
+  }
+
+  bool String() {
+    if (!Consume('"')) return false;
+    while (true) {
+      if (AtEnd()) return Fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c == '\\') {
+        if (AtEnd()) return Fail("unterminated escape");
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+          case '\\':
+          case '/':
+          case 'b':
+          case 'f':
+          case 'n':
+          case 'r':
+          case 't':
+            break;
+          case 'u': {
+            for (int i = 0; i < 4; ++i) {
+              if (AtEnd() || std::isxdigit(static_cast<unsigned char>(Peek())) == 0) {
+                return Fail("invalid \\u escape");
+              }
+              ++pos_;
+            }
+            break;
+          }
+          default:
+            return Fail("invalid escape character");
+        }
+      }
+    }
+  }
+
+  bool Number() {
+    std::size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    if (AtEnd() || std::isdigit(static_cast<unsigned char>(Peek())) == 0) {
+      return Fail("expected a value");
+    }
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek())) != 0) ++pos_;
+    }
+    if (!AtEnd() && Peek() == '.') {
+      ++pos_;
+      if (AtEnd() || std::isdigit(static_cast<unsigned char>(Peek())) == 0) {
+        return Fail("digit expected after decimal point");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek())) != 0) ++pos_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || std::isdigit(static_cast<unsigned char>(Peek())) == 0) {
+        return Fail("digit expected in exponent");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek())) != 0) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+bool JsonIsWellFormed(std::string_view json, std::string* error) {
+  return Checker(json).Run(error);
+}
+
+}  // namespace nephele

@@ -1,0 +1,21 @@
+// Minimal JSON well-formedness checker (no DOM, no allocation): enough for
+// tests and the bench_smoke target to validate exported metrics/trace JSON
+// without an external dependency.
+
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace nephele {
+
+// True when `json` is exactly one valid JSON value (objects, arrays, strings
+// with the common escapes, numbers, true/false/null) with nothing but
+// whitespace around it. On failure `error` (if non-null) names the offset and
+// what was expected.
+bool JsonIsWellFormed(std::string_view json, std::string* error = nullptr);
+
+}  // namespace nephele
+
+#endif  // SRC_OBS_JSON_H_

@@ -6,9 +6,27 @@
 namespace nephele {
 
 Toolstack::Toolstack(Hypervisor& hv, XenstoreDaemon& xs, DeviceManager& devices, EventLoop& loop,
-                     const CostModel& costs)
-    : hv_(hv), xs_(xs), devices_(devices), loop_(loop), costs_(costs) {
+                     const CostModel& costs, MetricsRegistry* metrics, TraceRecorder* trace)
+    : hv_(hv),
+      xs_(xs),
+      devices_(devices),
+      loop_(loop),
+      costs_(costs),
+      own_metrics_(metrics == nullptr ? std::make_unique<MetricsRegistry>() : nullptr),
+      metrics_(metrics != nullptr ? metrics : own_metrics_.get()),
+      trace_(trace),
+      m_domains_booted_(metrics_->GetCounter("toolstack/domains_booted")),
+      m_domains_restored_(metrics_->GetCounter("toolstack/domains_restored")),
+      m_domains_destroyed_(metrics_->GetCounter("toolstack/domains_destroyed")),
+      m_boot_ns_(metrics_->GetHistogram("toolstack/boot/duration_ns")),
+      m_restore_ns_(metrics_->GetHistogram("toolstack/restore/duration_ns")) {
   default_switch_ = &builtin_bridge_;
+  metrics_->GetGauge("toolstack/dom0_free_bytes").SetProvider([this] {
+    return static_cast<std::int64_t>(Dom0FreeBytes());
+  });
+  metrics_->GetGauge("toolstack/domains_running").SetProvider([this] {
+    return static_cast<std::int64_t>(configs_.size());
+  });
 }
 
 std::size_t Toolstack::Dom0FreeBytes() const {
@@ -185,6 +203,8 @@ Status Toolstack::SetupVbd(DomId dom, const DomainConfig& config, GuestDevices& 
 }
 
 Result<DomId> Toolstack::CreateDomain(const DomainConfig& config) {
+  const SimTime boot_start = loop_.Now();
+  TraceSpan span = trace_ != nullptr ? trace_->BeginSpan("toolstack/boot") : TraceSpan();
   // xl process startup + config parsing.
   loop_.AdvanceBy(costs_.xl_exec_overhead);
 
@@ -246,9 +266,12 @@ Result<DomId> Toolstack::CreateDomain(const DomainConfig& config) {
   guest_devices_[dom] = std::move(devices);
   configs_[dom] = config;
   ++domains_booted_;
+  m_domains_booted_.Increment();
 
   hv_.ChargeHypercall();
   (void)hv_.UnpauseDomain(dom);
+  m_boot_ns_.Observe((loop_.Now() - boot_start).ns());
+  span.AddArg("dom", static_cast<std::int64_t>(dom));
   return dom;
 }
 
@@ -271,6 +294,7 @@ Result<DomainImage> Toolstack::SaveDomain(DomId dom) {
 }
 
 Result<DomId> Toolstack::RestoreDomain(const DomainImage& image) {
+  const SimTime restore_start = loop_.Now();
   loop_.AdvanceBy(costs_.xl_exec_overhead);
   loop_.AdvanceBy(costs_.restore_fixed);
   hv_.ChargeHypercall();
@@ -319,9 +343,11 @@ Result<DomId> Toolstack::RestoreDomain(const DomainImage& image) {
   }
   guest_devices_[dom] = std::move(devices);
   configs_[dom] = image.config;
+  m_domains_restored_.Increment();
 
   hv_.ChargeHypercall();
   (void)hv_.UnpauseDomain(dom);
+  m_restore_ns_.Observe((loop_.Now() - restore_start).ns());
   return dom;
 }
 
@@ -524,6 +550,7 @@ Status Toolstack::DestroyDomain(DomId dom) {
   guest_devices_.erase(dom);
   configs_.erase(dom);
   hv_.ChargeHypercall();
+  m_domains_destroyed_.Increment();
   return hv_.DestroyDomain(dom);
 }
 

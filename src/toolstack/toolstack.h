@@ -17,6 +17,8 @@
 #include "src/devices/device_manager.h"
 #include "src/hypervisor/hypervisor.h"
 #include "src/net/switch.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/toolstack/domain_config.h"
 #include "src/xenstore/store.h"
 
@@ -49,8 +51,11 @@ struct MigrationStream {
 
 class Toolstack {
  public:
+  // `metrics`/`trace` may be null: the toolstack then records into a private
+  // registry and skips tracing (standalone constructions keep working).
   Toolstack(Hypervisor& hv, XenstoreDaemon& xs, DeviceManager& devices, EventLoop& loop,
-            const CostModel& costs);
+            const CostModel& costs, MetricsRegistry* metrics = nullptr,
+            TraceRecorder* trace = nullptr);
 
   // Where new vifs are attached. Defaults to an internal Bridge; the Fig. 4
   // and Fig. 7 setups install a Bond instead.
@@ -141,6 +146,15 @@ class Toolstack {
   DeviceManager& devices_;
   EventLoop& loop_;
   const CostModel& costs_;
+
+  std::unique_ptr<MetricsRegistry> own_metrics_;  // set when none injected
+  MetricsRegistry* metrics_;
+  TraceRecorder* trace_;
+  Counter& m_domains_booted_;
+  Counter& m_domains_restored_;
+  Counter& m_domains_destroyed_;
+  Histogram& m_boot_ns_;
+  Histogram& m_restore_ns_;
 
   Bridge builtin_bridge_;
   HostSwitch* default_switch_;

@@ -12,11 +12,46 @@ namespace {
 constexpr std::size_t kPerNodeBytes = 320;
 }  // namespace
 
-XenstoreDaemon::XenstoreDaemon(EventLoop& loop, const CostModel& costs)
-    : loop_(loop), costs_(costs) {}
+XenstoreDaemon::XenstoreDaemon(EventLoop& loop, const CostModel& costs,
+                               MetricsRegistry* metrics)
+    : loop_(loop),
+      costs_(costs),
+      own_metrics_(metrics == nullptr ? std::make_unique<MetricsRegistry>() : nullptr),
+      metrics_(metrics != nullptr ? metrics : own_metrics_.get()),
+      m_requests_(metrics_->GetCounter("xenstore/requests/total")),
+      m_req_write_(metrics_->GetCounter("xenstore/requests/write")),
+      m_req_read_(metrics_->GetCounter("xenstore/requests/read")),
+      m_req_mkdir_(metrics_->GetCounter("xenstore/requests/mkdir")),
+      m_req_rm_(metrics_->GetCounter("xenstore/requests/rm")),
+      m_req_directory_(metrics_->GetCounter("xenstore/requests/directory")),
+      m_req_txn_start_(metrics_->GetCounter("xenstore/requests/transaction_start")),
+      m_req_txn_end_(metrics_->GetCounter("xenstore/requests/transaction_end")),
+      m_req_watch_(metrics_->GetCounter("xenstore/requests/watch")),
+      m_req_unwatch_(metrics_->GetCounter("xenstore/requests/unwatch")),
+      m_req_introduce_(metrics_->GetCounter("xenstore/requests/introduce")),
+      m_req_release_(metrics_->GetCounter("xenstore/requests/release")),
+      m_req_xs_clone_(metrics_->GetCounter("xenstore/requests/xs_clone")),
+      m_watches_fired_(metrics_->GetCounter("xenstore/watches/fired")),
+      m_log_rotations_(metrics_->GetCounter("xenstore/log/rotations")),
+      m_txn_conflicts_(metrics_->GetCounter("xenstore/txn/conflicts")) {
+  metrics_->GetGauge("xenstore/entries").SetProvider([this] {
+    return static_cast<std::int64_t>(stats_.entries);
+  });
+  metrics_->GetGauge("xenstore/approx_bytes").SetProvider([this] {
+    return static_cast<std::int64_t>(approx_bytes_);
+  });
+  metrics_->GetGauge("xenstore/watches/active").SetProvider([this] {
+    return static_cast<std::int64_t>(watches_.size());
+  });
+  metrics_->GetGauge("xenstore/transactions/active").SetProvider([this] {
+    return static_cast<std::int64_t>(transactions_.size());
+  });
+}
 
-void XenstoreDaemon::ChargeRequest() {
+void XenstoreDaemon::ChargeRequest(Counter& op_counter) {
   ++stats_.requests;
+  m_requests_.Increment();
+  op_counter.Increment();
   SimDuration cost = costs_.xs_request_base;
   cost += SimDuration::Nanos(costs_.xs_per_entry_scan.ns() *
                              static_cast<std::int64_t>(stats_.entries));
@@ -25,6 +60,7 @@ void XenstoreDaemon::ChargeRequest() {
     if (++requests_since_rotation_ >= costs_.xs_log_rotate_every) {
       requests_since_rotation_ = 0;
       ++stats_.log_rotations;
+      m_log_rotations_.Increment();
       cost += costs_.xs_log_rotate;
     }
   }
@@ -79,7 +115,7 @@ void XenstoreDaemon::InternalWrite(const std::string& path, const std::string& v
 }
 
 Status XenstoreDaemon::Write(const std::string& path, const std::string& value) {
-  ChargeRequest();
+  ChargeRequest(m_req_write_);
   ++stats_.writes;
   InternalWrite(path, value, /*fire_watches=*/true);
   JournalWrite(path);
@@ -95,7 +131,7 @@ void XenstoreDaemon::JournalWrite(const std::string& path) {
 }
 
 Result<std::string> XenstoreDaemon::Read(const std::string& path) {
-  ChargeRequest();
+  ChargeRequest(m_req_read_);
   ++stats_.reads;
   const Node* n = Lookup(path);
   if (n == nullptr || !n->has_value) {
@@ -105,7 +141,7 @@ Result<std::string> XenstoreDaemon::Read(const std::string& path) {
 }
 
 Status XenstoreDaemon::Mkdir(const std::string& path) {
-  ChargeRequest();
+  ChargeRequest(m_req_mkdir_);
   ++stats_.writes;
   LookupOrCreate(path);
   FireWatches(path);
@@ -124,7 +160,7 @@ void XenstoreDaemon::CountRemovedSubtree(const Node& node) {
 }
 
 Status XenstoreDaemon::Rm(const std::string& path) {
-  ChargeRequest();
+  ChargeRequest(m_req_rm_);
   ++stats_.writes;
   auto comps = SplitXsPath(path);
   if (comps.empty()) {
@@ -148,7 +184,7 @@ Status XenstoreDaemon::Rm(const std::string& path) {
 }
 
 Result<std::vector<std::string>> XenstoreDaemon::Directory(const std::string& path) {
-  ChargeRequest();
+  ChargeRequest(m_req_directory_);
   ++stats_.directory_lists;
   const Node* n = Lookup(path);
   if (n == nullptr) {
@@ -164,7 +200,7 @@ Result<std::vector<std::string>> XenstoreDaemon::Directory(const std::string& pa
 
 
 Result<XsTransactionId> XenstoreDaemon::TransactionStart() {
-  ChargeRequest();
+  ChargeRequest(m_req_txn_start_);
   XsTransactionId id = next_txn_++;
   Transaction t;
   t.start_version = write_version_;
@@ -174,7 +210,7 @@ Result<XsTransactionId> XenstoreDaemon::TransactionStart() {
 
 Status XenstoreDaemon::TxnWrite(XsTransactionId txn, const std::string& path,
                                 const std::string& value) {
-  ChargeRequest();
+  ChargeRequest(m_req_write_);
   ++stats_.writes;
   auto it = transactions_.find(txn);
   if (it == transactions_.end()) {
@@ -185,7 +221,7 @@ Status XenstoreDaemon::TxnWrite(XsTransactionId txn, const std::string& path,
 }
 
 Result<std::string> XenstoreDaemon::TxnRead(XsTransactionId txn, const std::string& path) {
-  ChargeRequest();
+  ChargeRequest(m_req_read_);
   ++stats_.reads;
   auto it = transactions_.find(txn);
   if (it == transactions_.end()) {
@@ -206,7 +242,7 @@ Result<std::string> XenstoreDaemon::TxnRead(XsTransactionId txn, const std::stri
 }
 
 Status XenstoreDaemon::TransactionEnd(XsTransactionId txn, bool commit) {
-  ChargeRequest();
+  ChargeRequest(m_req_txn_end_);
   auto it = transactions_.find(txn);
   if (it == transactions_.end()) {
     return ErrNotFound("no such transaction");
@@ -228,11 +264,13 @@ Status XenstoreDaemon::TransactionEnd(XsTransactionId txn, bool commit) {
   };
   for (const auto& [path, value] : t.writes) {
     if (touches(path)) {
+      m_txn_conflicts_.Increment();
       return ErrAborted("transaction conflict");
     }
   }
   for (const auto& path : t.reads) {
     if (touches(path)) {
+      m_txn_conflicts_.Increment();
       return ErrAborted("transaction conflict");
     }
   }
@@ -245,13 +283,13 @@ Status XenstoreDaemon::TransactionEnd(XsTransactionId txn, bool commit) {
 
 Status XenstoreDaemon::Watch(const std::string& prefix, const std::string& token,
                              const std::string& owner_tag, XsWatchCallback callback) {
-  ChargeRequest();
+  ChargeRequest(m_req_watch_);
   watches_.push_back(WatchEntry{prefix, token, owner_tag, std::move(callback)});
   return Status::Ok();
 }
 
 Status XenstoreDaemon::Unwatch(const std::string& prefix, const std::string& token) {
-  ChargeRequest();
+  ChargeRequest(m_req_unwatch_);
   auto before = watches_.size();
   std::erase_if(watches_, [&](const WatchEntry& w) {
     return w.prefix == prefix && w.token == token;
@@ -267,6 +305,7 @@ void XenstoreDaemon::FireWatches(const std::string& path) {
   for (const auto& w : watches_) {
     if (XsPathHasPrefix(path, w.prefix)) {
       ++stats_.watches_fired;
+      m_watches_fired_.Increment();
       // Watch events are delivered asynchronously over the client socket.
       auto cb = w.callback;
       auto token = w.token;
@@ -276,7 +315,7 @@ void XenstoreDaemon::FireWatches(const std::string& path) {
 }
 
 Status XenstoreDaemon::IntroduceDomain(DomId domid, DomId parent) {
-  ChargeRequest();
+  ChargeRequest(m_req_introduce_);
   if (known_domains_.contains(domid)) {
     return ErrAlreadyExists("domain already introduced");
   }
@@ -285,7 +324,7 @@ Status XenstoreDaemon::IntroduceDomain(DomId domid, DomId parent) {
 }
 
 Status XenstoreDaemon::ReleaseDomain(DomId domid) {
-  ChargeRequest();
+  ChargeRequest(m_req_release_);
   if (known_domains_.erase(domid) == 0) {
     return ErrNotFound("domain not introduced");
   }
@@ -341,7 +380,7 @@ void XenstoreDaemon::CloneSubtree(const Node& src, const std::string& dst_path, 
 
 Status XenstoreDaemon::XsClone(DomId parent_domid, DomId child_domid, XsCloneOp op,
                                const std::string& parent_path, const std::string& child_path) {
-  ChargeRequest();
+  ChargeRequest(m_req_xs_clone_);
   ++stats_.xs_clone_requests;
   const Node* src = Lookup(parent_path);
   if (src == nullptr) {

@@ -16,6 +16,7 @@
 #include "src/base/result.h"
 #include "src/base/status.h"
 #include "src/hypervisor/types.h"
+#include "src/obs/metrics.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/event_loop.h"
 
@@ -51,7 +52,9 @@ struct XenstoreStats {
 
 class XenstoreDaemon {
  public:
-  XenstoreDaemon(EventLoop& loop, const CostModel& costs);
+  // `metrics` may be null: the daemon then records into a private registry
+  // (standalone constructions in tests keep working).
+  XenstoreDaemon(EventLoop& loop, const CostModel& costs, MetricsRegistry* metrics = nullptr);
 
   XenstoreDaemon(const XenstoreDaemon&) = delete;
   XenstoreDaemon& operator=(const XenstoreDaemon&) = delete;
@@ -137,8 +140,8 @@ class XenstoreDaemon {
   };
 
   // Charges one request: base + store-size scan + access log (and possibly
-  // a rotation).
-  void ChargeRequest();
+  // a rotation). `op_counter` is the per-op-type metric of the request.
+  void ChargeRequest(Counter& op_counter);
   void FireWatches(const std::string& path);
 
   Node* Lookup(const std::string& path);
@@ -156,6 +159,26 @@ class XenstoreDaemon {
 
   EventLoop& loop_;
   const CostModel& costs_;
+
+  std::unique_ptr<MetricsRegistry> own_metrics_;  // set when none injected
+  MetricsRegistry* metrics_;
+  Counter& m_requests_;
+  Counter& m_req_write_;
+  Counter& m_req_read_;
+  Counter& m_req_mkdir_;
+  Counter& m_req_rm_;
+  Counter& m_req_directory_;
+  Counter& m_req_txn_start_;
+  Counter& m_req_txn_end_;
+  Counter& m_req_watch_;
+  Counter& m_req_unwatch_;
+  Counter& m_req_introduce_;
+  Counter& m_req_release_;
+  Counter& m_req_xs_clone_;
+  Counter& m_watches_fired_;
+  Counter& m_log_rotations_;
+  Counter& m_txn_conflicts_;
+
   Node root_;
   std::vector<WatchEntry> watches_;
   std::map<DomId, DomId> known_domains_;  // domid -> parent (or kDomInvalid)

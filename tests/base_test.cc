@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "src/base/log.h"
 #include "src/base/result.h"
 #include "src/base/status.h"
@@ -41,6 +43,20 @@ TEST(Status, AllConstructorsMapToCodes) {
   EXPECT_EQ(ErrInternal("").code(), StatusCode::kInternal);
   EXPECT_EQ(ErrUnavailable("").code(), StatusCode::kUnavailable);
   EXPECT_EQ(ErrAborted("").code(), StatusCode::kAborted);
+}
+
+TEST(Status, CodeOnlyConstructorHasEmptyMessage) {
+  Status s(StatusCode::kUnavailable);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.ToString(), "unavailable");
+}
+
+TEST(Status, StreamsToString) {
+  std::ostringstream out;
+  out << Status() << " / " << ErrNotFound("missing") << " / " << Status(StatusCode::kAborted);
+  EXPECT_EQ(out.str(), "ok / not_found: missing / aborted");
 }
 
 TEST(Status, CodeNamesAreStable) {

@@ -207,15 +207,75 @@ TEST_F(CloneEngineTest, ParentPausedUntilSecondStageCompletes) {
   EXPECT_EQ(system_.hypervisor().FindDomain(children->front())->state, DomainState::kRunning);
 }
 
-TEST_F(CloneEngineTest, ResumeHandlerFiresForBothSides) {
-  DomId parent = BootCloneable();
+namespace {
+
+// Records every CloneObserver callback it sees, in delivery order.
+class RecordingObserver : public CloneObserver {
+ public:
+  void OnCloneStart(DomId parent, unsigned num_clones) override {
+    starts.push_back({parent, num_clones});
+  }
+  void OnCloneComplete(DomId parent, DomId child) override {
+    completions.push_back({parent, child});
+  }
+  void OnResume(DomId dom, bool is_child) override { resumed.push_back({dom, is_child}); }
+  void OnCowFault(DomId dom, Gfn /*gfn*/, bool /*copied*/) override { cow_faults.push_back(dom); }
+
+  std::vector<std::pair<DomId, unsigned>> starts;
+  std::vector<std::pair<DomId, DomId>> completions;
   std::vector<std::pair<DomId, bool>> resumed;
-  system_.clone_engine().SetResumeHandler(
-      [&](DomId dom, bool is_child) { resumed.push_back({dom, is_child}); });
+  std::vector<DomId> cow_faults;
+};
+
+}  // namespace
+
+TEST_F(CloneEngineTest, ObserverSeesResumeForBothSides) {
+  DomId parent = BootCloneable();
+  RecordingObserver obs;
+  system_.clone_engine().AddObserver(&obs);
   auto children = CloneAndSettle(parent);
-  ASSERT_EQ(resumed.size(), 2u);
-  EXPECT_EQ(resumed[0], std::make_pair(children[0], true));
-  EXPECT_EQ(resumed[1], std::make_pair(parent, false));
+  system_.clone_engine().RemoveObserver(&obs);
+  ASSERT_EQ(obs.resumed.size(), 2u);
+  EXPECT_EQ(obs.resumed[0], std::make_pair(children[0], true));
+  EXPECT_EQ(obs.resumed[1], std::make_pair(parent, false));
+}
+
+TEST_F(CloneEngineTest, ObserverSeesStartCompleteAndCowFault) {
+  DomId parent = BootCloneable();
+  RecordingObserver obs;
+  system_.clone_engine().AddObserver(&obs);
+  auto children = CloneAndSettle(parent);
+  ASSERT_EQ(obs.starts.size(), 1u);
+  EXPECT_EQ(obs.starts[0], std::make_pair(parent, 1u));
+  ASSERT_EQ(obs.completions.size(), 1u);
+  EXPECT_EQ(obs.completions[0], std::make_pair(parent, children[0]));
+  // A write to a shared page surfaces as OnCowFault.
+  const Domain* p = system_.hypervisor().FindDomain(parent);
+  Gfn gfn = 0;
+  for (; gfn < p->p2m.size(); ++gfn) {
+    if (system_.hypervisor().frames().IsShared(p->p2m[gfn].mfn) &&
+        p->p2m[gfn].role != PageRole::kImageText) {
+      break;
+    }
+  }
+  ASSERT_LT(gfn, p->p2m.size());
+  std::uint8_t b = 1;
+  ASSERT_TRUE(system_.hypervisor().WriteGuestPage(parent, gfn, 0, &b, 1).ok());
+  system_.clone_engine().RemoveObserver(&obs);
+  ASSERT_EQ(obs.cow_faults.size(), 1u);
+  EXPECT_EQ(obs.cow_faults[0], parent);
+}
+
+TEST_F(CloneEngineTest, RemovedObserverStopsReceivingEvents) {
+  DomId parent = BootCloneable(/*max_clones=*/8);
+  RecordingObserver obs;
+  system_.clone_engine().AddObserver(&obs);
+  CloneAndSettle(parent);
+  ASSERT_EQ(obs.starts.size(), 1u);
+  system_.clone_engine().RemoveObserver(&obs);
+  CloneAndSettle(parent);
+  EXPECT_EQ(obs.starts.size(), 1u);
+  EXPECT_EQ(obs.resumed.size(), 2u);
 }
 
 TEST_F(CloneEngineTest, MultiCloneBatch) {
