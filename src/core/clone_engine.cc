@@ -6,7 +6,8 @@
 
 namespace nephele {
 
-CloneEngine::CloneEngine(Hypervisor& hv, MetricsRegistry* metrics, TraceRecorder* trace)
+CloneEngine::CloneEngine(Hypervisor& hv, MetricsRegistry* metrics, TraceRecorder* trace,
+                         FaultInjector* faults)
     : hv_(hv),
       ring_(256),
       own_metrics_(metrics == nullptr ? std::make_unique<MetricsRegistry>() : nullptr),
@@ -23,8 +24,18 @@ CloneEngine::CloneEngine(Hypervisor& hv, MetricsRegistry* metrics, TraceRecorder
       m_reset_pages_restored_(metrics_->GetCounter("clone/reset/pages_restored")),
       m_explicit_cow_pages_(metrics_->GetCounter("clone/cow/explicit_pages")),
       m_ring_backpressure_(metrics_->GetCounter("clone/ring/backpressure")),
+      m_rolled_back_(metrics_->GetCounter("clone/rolled_back")),
       m_stage1_ns_(metrics_->GetHistogram("clone/stage1/duration_ns")),
       m_stage2_ns_(metrics_->GetHistogram("clone/stage2/duration_ns")) {
+  if (faults != nullptr) {
+    f_stage1_create_ = faults->GetPoint("clone/stage1/create_domain");
+    f_stage1_memory_ = faults->GetPoint("clone/stage1/memory");
+    f_stage1_share_ = faults->GetPoint("clone/stage1/share");
+    f_stage1_page_tables_ = faults->GetPoint("clone/stage1/page_tables");
+    f_stage1_grants_ = faults->GetPoint("clone/stage1/grants");
+    f_stage1_evtchns_ = faults->GetPoint("clone/stage1/evtchns");
+    f_reset_ = faults->GetPoint("clone/reset");
+  }
   // COW faults are resolved inside the hypervisor; surface them to clone
   // observers (metrics, fuzzing harnesses) through the engine.
   hv_.SetCowFaultHook([this](DomId dom, Gfn gfn, bool copied) {
@@ -51,17 +62,19 @@ void CloneEngine::CloneVcpus(const Domain& parent, Domain& child) {
   hv_.loop().AdvanceBy(hv_.costs().vcpu_clone * static_cast<double>(child.vcpus.size()));
 }
 
-Status CloneEngine::CloneMemory(Domain& parent, Domain& child) {
+Status CloneEngine::CloneMemory(Domain& parent, Domain& child, std::vector<UndoEntry>& undo) {
+  NEPHELE_RETURN_IF_ERROR(PokeFault(f_stage1_memory_));
   const CostModel& costs = hv_.costs();
   FrameTable& frames = hv_.frames();
   child.p2m.reserve(parent.p2m.size());
+  undo.reserve(parent.p2m.size());
 
   for (Gfn gfn = 0; gfn < parent.p2m.size(); ++gfn) {
     P2mEntry& pe = parent.p2m[gfn];
     if (IsPrivateRole(pe.role)) {
       // Private page: duplicated (or rewritten) for the child (Sec. 4.1).
-      NEPHELE_ASSIGN_OR_RETURN(Mfn mfn, frames.Alloc(child.id));
-      hv_.loop().AdvanceBy(costs.frame_alloc);
+      NEPHELE_ASSIGN_OR_RETURN(Mfn mfn, hv_.AllocGuestFrame(child.id));
+      undo.push_back(UndoEntry{UndoEntry::Kind::kChildFrame, mfn, gfn, false});
       if (frames.info(pe.mfn).data != nullptr) {
         frames.CopyPage(pe.mfn, mfn);
         hv_.loop().AdvanceBy(costs.page_copy);
@@ -73,14 +86,17 @@ Status CloneEngine::CloneMemory(Domain& parent, Domain& child) {
       m_pages_private_copied_.Increment();
       continue;
     }
+    NEPHELE_RETURN_IF_ERROR(PokeFault(f_stage1_share_));
     if (pe.role == PageRole::kIdcShared) {
       // IDC regions stay writable on both sides: true sharing, no COW
       // (Sec. 5.2.2 — ownership still moves to dom_cow like any shared page).
       if (frames.IsShared(pe.mfn)) {
         NEPHELE_RETURN_IF_ERROR(frames.ShareAgain(pe.mfn));
+        undo.push_back(UndoEntry{UndoEntry::Kind::kShareAgain, pe.mfn, gfn, pe.writable});
         hv_.loop().AdvanceBy(costs.page_share_again);
       } else {
         NEPHELE_RETURN_IF_ERROR(frames.ShareFirst(pe.mfn));
+        undo.push_back(UndoEntry{UndoEntry::Kind::kShareFirst, pe.mfn, gfn, pe.writable});
         hv_.loop().AdvanceBy(costs.page_share_first);
       }
       child.p2m.push_back(P2mEntry{pe.mfn, pe.role, /*writable=*/true});
@@ -92,11 +108,13 @@ Status CloneEngine::CloneMemory(Domain& parent, Domain& child) {
     // read-only and will be COWed on the next write by either side.
     if (frames.IsShared(pe.mfn)) {
       NEPHELE_RETURN_IF_ERROR(frames.ShareAgain(pe.mfn));
+      undo.push_back(UndoEntry{UndoEntry::Kind::kShareAgain, pe.mfn, gfn, pe.writable});
       hv_.loop().AdvanceBy(costs.page_share_again);
       ++stats_.pages_shared_again;
       m_pages_shared_again_.Increment();
     } else {
       NEPHELE_RETURN_IF_ERROR(frames.ShareFirst(pe.mfn));
+      undo.push_back(UndoEntry{UndoEntry::Kind::kShareFirst, pe.mfn, gfn, pe.writable});
       hv_.loop().AdvanceBy(costs.page_share_first);
       ++stats_.pages_shared_first;
       m_pages_shared_first_.Increment();
@@ -111,7 +129,10 @@ Status CloneEngine::CloneMemory(Domain& parent, Domain& child) {
   child.xenstore_ring_gfn = parent.xenstore_ring_gfn;
 
   // Rebuild private page tables and p2m map for the child (dominant cost for
-  // large guests; Sec. 4.1).
+  // large guests; Sec. 4.1). Frames allocated here land on the child's
+  // page_table_frames/p2m_frames lists and are returned by DestroyDomain,
+  // so a mid-build failure needs no undo entries of its own.
+  NEPHELE_RETURN_IF_ERROR(PokeFault(f_stage1_page_tables_));
   return hv_.BuildPageTables(child.id);
 }
 
@@ -143,11 +164,15 @@ void CloneEngine::CloneEvtchns(const Domain& parent, Domain& child) {
   hv_.loop().AdvanceBy(hv_.costs().evtchn_clone * static_cast<double>(active));
 }
 
-Result<DomId> CloneEngine::CloneOne(Domain& parent) {
+Status CloneEngine::CloneOne(Domain& parent, StagedChild& staged) {
   hv_.loop().AdvanceBy(hv_.costs().clone_stage1_fixed);
   // struct domain initialisation by copy+edit of the parent's (Sec. 5).
+  NEPHELE_RETURN_IF_ERROR(PokeFault(f_stage1_create_));
   NEPHELE_ASSIGN_OR_RETURN(DomId child_id,
                            hv_.CreateDomain(/*name=*/"", static_cast<int>(parent.vcpus.size())));
+  // From here on the child exists: record it before anything can fail so the
+  // caller's rollback always sees it.
+  staged.id = child_id;
   Domain* child = hv_.FindDomain(child_id);
 
   child->parent = parent.id;
@@ -158,18 +183,64 @@ Result<DomId> CloneEngine::CloneOne(Domain& parent) {
   ++parent.clones_created;
 
   CloneVcpus(parent, *child);
-  NEPHELE_RETURN_IF_ERROR(CloneMemory(parent, *child));
+  NEPHELE_RETURN_IF_ERROR(CloneMemory(parent, *child, staged.undo));
 
+  NEPHELE_RETURN_IF_ERROR(PokeFault(f_stage1_grants_));
   child->grants = parent.grants.CloneForChild();
   hv_.loop().AdvanceBy(hv_.costs().grant_entry_clone *
                        static_cast<double>(child->grants.active_entries()));
+  NEPHELE_RETURN_IF_ERROR(PokeFault(f_stage1_evtchns_));
   CloneEvtchns(parent, *child);
 
   child->track_dirty = true;
   child->dirty_since_clone.clear();
-  ++stats_.clones;
-  m_clones_.Increment();
-  return child_id;
+  return Status::Ok();
+}
+
+void CloneEngine::RollbackStagedChild(Domain& parent, const StagedChild& staged) {
+  FrameTable& frames = hv_.frames();
+  // Reverse-walk the undo log: later entries may depend on earlier ones
+  // (a ShareAgain presupposes the ShareFirst that precedes it in the log).
+  for (auto it = staged.undo.rbegin(); it != staged.undo.rend(); ++it) {
+    switch (it->kind) {
+      case UndoEntry::Kind::kChildFrame:
+        (void)frames.Release(it->mfn);
+        break;
+      case UndoEntry::Kind::kShareAgain:
+        (void)frames.Release(it->mfn);
+        parent.p2m[it->parent_gfn].writable = it->prev_writable;
+        break;
+      case UndoEntry::Kind::kShareFirst:
+        (void)frames.Unshare(it->mfn, parent.id);
+        parent.p2m[it->parent_gfn].writable = it->prev_writable;
+        break;
+    }
+  }
+
+  Domain* child = hv_.FindDomain(staged.id);
+  if (child != nullptr) {
+    // Revert the parent-side IDC evtchn fix-up (CloneEvtchns binds the
+    // parent's unbound kDomChild ports to its first child).
+    for (EvtchnPort p = 1; p < parent.evtchns.max_ports(); ++p) {
+      EvtchnEntry& pe = parent.evtchns.mutable_entry(p);
+      if (pe.idc && pe.state == EvtchnState::kInterdomain && pe.remote_dom == staged.id) {
+        pe.state = EvtchnState::kUnbound;
+        pe.remote_dom = kDomChild;
+        pe.remote_port = 0;
+      }
+    }
+    // Every guest frame was already returned through the undo log; clear the
+    // p2m so DestroyDomain only releases the page-table and p2m-map frames
+    // it still tracks (a double release would corrupt the free list).
+    child->p2m.clear();
+    (void)hv_.DestroyDomain(staged.id);
+  }
+  if (parent.clones_created > 0) {
+    --parent.clones_created;
+  }
+  for (CloneObserver* obs : observers_) {
+    obs->OnCloneAborted(parent.id, staged.id);
+  }
 }
 
 Result<std::vector<DomId>> CloneEngine::Clone(DomId caller, DomId parent_id, Mfn start_info_mfn,
@@ -221,16 +292,41 @@ Result<std::vector<DomId>> CloneEngine::Clone(DomId caller, DomId parent_id, Mfn
   (void)hv_.PauseDomain(parent_id);
   parent->blocked_in_clone = true;
 
+  // Stage phase: build every child without publishing anything. A failure
+  // anywhere unwinds all staged children in reverse order and resumes the
+  // parent, so a failed CLONEOP is side-effect free (the hypercall either
+  // produces num_clones runnable children or none).
+  std::vector<StagedChild> staged(num_clones);
+  Status failure = Status::Ok();
+  for (unsigned i = 0; i < num_clones; ++i) {
+    failure = CloneOne(*parent, staged[i]);
+    if (!failure.ok()) {
+      for (unsigned j = i + 1; j-- > 0;) {
+        if (staged[j].id != kDomInvalid) {
+          RollbackStagedChild(*parent, staged[j]);
+        }
+      }
+      ++stats_.rollbacks;
+      m_rolled_back_.Increment();
+      parent->blocked_in_clone = false;
+      (void)hv_.UnpauseDomain(parent_id);
+      return failure;
+    }
+  }
+
+  // Commit phase: nothing below can fail. Publish the children to xencloned
+  // and to the caller.
   std::vector<DomId> children;
   children.reserve(num_clones);
-  for (unsigned i = 0; i < num_clones; ++i) {
-    NEPHELE_ASSIGN_OR_RETURN(DomId child, CloneOne(*parent));
-    children.push_back(child);
-    pending_children_[child] = PendingChild{parent_id, hv_.loop().Now()};
-    ring_.Push(CloneNotification{parent_id, child,
+  for (StagedChild& sc : staged) {
+    children.push_back(sc.id);
+    pending_children_[sc.id] = PendingChild{parent_id, hv_.loop().Now()};
+    ring_.Push(CloneNotification{parent_id, sc.id,
                                  parent->p2m[parent->start_info_gfn].mfn,
-                                 hv_.FindDomain(child)->p2m[parent->start_info_gfn].mfn});
+                                 hv_.FindDomain(sc.id)->p2m[parent->start_info_gfn].mfn});
     (void)hv_.RaiseVirq(kDom0, Virq::kCloned);
+    ++stats_.clones;
+    m_clones_.Increment();
   }
   outstanding_[parent_id] += num_clones;
   // Parent rax = 0: success, parent side.
@@ -239,6 +335,38 @@ Result<std::vector<DomId>> CloneEngine::Clone(DomId caller, DomId parent_id, Mfn
   }
   m_stage1_ns_.Observe((hv_.loop().Now() - stage1_start).ns());
   return children;
+}
+
+Status CloneEngine::CloneAborted(DomId child) {
+  hv_.ChargeHypercall();
+  auto it = pending_children_.find(child);
+  if (it == pending_children_.end()) {
+    return ErrNotFound("no pending clone for this child");
+  }
+  DomId parent_id = it->second.parent;
+  pending_children_.erase(it);
+  ++stats_.rollbacks;
+  m_rolled_back_.Increment();
+
+  for (CloneObserver* obs : observers_) {
+    obs->OnCloneAborted(parent_id, child);
+  }
+
+  // An aborted child retires its outstanding slot exactly like a completed
+  // one: the parent must not stay paused forever because one clone of a
+  // batch failed.
+  auto out = outstanding_.find(parent_id);
+  if (out != outstanding_.end() && --out->second == 0) {
+    outstanding_.erase(out);
+    Domain* parent = hv_.FindDomain(parent_id);
+    if (parent != nullptr) {
+      parent->blocked_in_clone = false;
+      (void)hv_.UnpauseDomain(parent_id);
+      stats_.last_parent_resume = hv_.loop().Now();
+      FireResume(parent_id, /*is_child=*/false);
+    }
+  }
+  return Status::Ok();
 }
 
 Status CloneEngine::CloneCompletion(DomId child) {
@@ -316,26 +444,44 @@ Result<std::size_t> CloneEngine::CloneReset(DomId caller, DomId child_id) {
   if (parent == nullptr) {
     return ErrFailedPrecondition("parent gone");
   }
+  NEPHELE_RETURN_IF_ERROR(PokeFault(f_reset_));
   FrameTable& frames = hv_.frames();
   hv_.loop().AdvanceBy(hv_.costs().clone_reset_fixed);
 
+  // Per-page restore is re-share then release, so a failure between the two
+  // never leaves a page referencing a freed frame. On a mid-loop error the
+  // already-restored prefix is dropped from the dirty list and the rest is
+  // kept: a retry resumes exactly where this attempt stopped.
+  std::vector<Gfn>& dirty = child->dirty_since_clone;
   std::size_t restored = 0;
-  for (Gfn gfn : child->dirty_since_clone) {
+  Status page_status = Status::Ok();
+  for (Gfn gfn : dirty) {
     P2mEntry& ce = child->p2m[gfn];
     P2mEntry& pe = parent->p2m[gfn];
-    NEPHELE_RETURN_IF_ERROR(frames.Release(ce.mfn));
     if (frames.IsShared(pe.mfn)) {
-      NEPHELE_RETURN_IF_ERROR(frames.ShareAgain(pe.mfn));
+      page_status = frames.ShareAgain(pe.mfn);
     } else {
-      NEPHELE_RETURN_IF_ERROR(frames.ShareFirst(pe.mfn));
-      pe.writable = false;
+      page_status = frames.ShareFirst(pe.mfn);
+      if (page_status.ok()) {
+        pe.writable = false;
+      }
     }
+    if (!page_status.ok()) {
+      break;
+    }
+    (void)frames.Release(ce.mfn);
     ce.mfn = pe.mfn;
     ce.writable = false;
     hv_.loop().AdvanceBy(hv_.costs().clone_reset_per_page);
     ++restored;
   }
-  child->dirty_since_clone.clear();
+  if (!page_status.ok()) {
+    dirty.erase(dirty.begin(), dirty.begin() + static_cast<std::ptrdiff_t>(restored));
+    stats_.reset_pages_restored += restored;
+    m_reset_pages_restored_.Increment(restored);
+    return page_status;
+  }
+  dirty.clear();
   ++stats_.resets;
   stats_.reset_pages_restored += restored;
   m_resets_.Increment();

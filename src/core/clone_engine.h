@@ -11,6 +11,7 @@
 
 #include "src/base/result.h"
 #include "src/core/clone_types.h"
+#include "src/fault/fault.h"
 #include "src/hypervisor/hypervisor.h"
 #include "src/obs/clone_observer.h"
 #include "src/obs/metrics.h"
@@ -23,9 +24,10 @@ class CloneEngine {
   // `metrics`/`trace` may be null: the engine then records into a private
   // registry (standalone constructions in tests keep working) and skips
   // tracing. NepheleSystem passes its own instances so the whole stack
-  // exports through one registry.
+  // exports through one registry. `faults` may be null — the stage-1 fault
+  // points are then never armed.
   explicit CloneEngine(Hypervisor& hv, MetricsRegistry* metrics = nullptr,
-                       TraceRecorder* trace = nullptr);
+                       TraceRecorder* trace = nullptr, FaultInjector* faults = nullptr);
 
   // ---------------------------------------------------------------------
   // CLONEOP subcommands.
@@ -44,6 +46,13 @@ class CloneEngine {
   // done. Resumes the child (unless configured paused) and the parent once
   // all its outstanding children completed.
   Status CloneCompletion(DomId child);
+
+  // The failure twin of CloneCompletion: xencloned reports that the second
+  // stage of `child` failed and the child was destroyed. Retires the pending
+  // entry, fires OnCloneAborted and — like a completion — unblocks the
+  // parent once no children remain outstanding, so a partial batch failure
+  // never wedges the parent.
+  Status CloneAborted(DomId child);
 
   // kCloneCow: explicitly un-share (COW) `count` pages of `dom` starting at
   // `gfn`, so KFX can insert breakpoints into clone-private text (Sec. 7.2).
@@ -77,11 +86,39 @@ class CloneEngine {
   MetricsRegistry& metrics() { return *metrics_; }
 
  private:
+  // One reversible side effect of the first stage, recorded as it is
+  // performed. Rollback walks a child's log in reverse (Sec. 5's first
+  // stage is all-or-nothing in this implementation: a clone either becomes
+  // visible in the notification ring or leaves no trace).
+  struct UndoEntry {
+    enum class Kind {
+      kChildFrame,  // a frame allocated for (and owned by) the child
+      kShareFirst,  // parent frame moved to dom_cow, refcount 1 -> 2
+      kShareAgain,  // already-shared frame, refcount bumped
+    };
+    Kind kind;
+    Mfn mfn = kInvalidMfn;
+    Gfn parent_gfn = kInvalidGfn;  // share entries: gfn in the parent's p2m
+    bool prev_writable = false;    // share entries: parent pte state before
+  };
+
+  // A child built by CloneOne but not yet committed (no ring notification,
+  // no pending/outstanding bookkeeping).
+  struct StagedChild {
+    DomId id = kDomInvalid;
+    std::vector<UndoEntry> undo;
+  };
+
   // First-stage pieces.
-  Result<DomId> CloneOne(Domain& parent);
-  Status CloneMemory(Domain& parent, Domain& child);
+  Status CloneOne(Domain& parent, StagedChild& staged);
+  Status CloneMemory(Domain& parent, Domain& child, std::vector<UndoEntry>& undo);
   void CloneVcpus(const Domain& parent, Domain& child);
   void CloneEvtchns(const Domain& parent, Domain& child);
+
+  // Unwinds one staged child completely: shared frames un-shared (parent
+  // ptes restored), child frames returned, IDC evtchn fix-ups reverted, the
+  // child domain destroyed. Safe on a partially-built child.
+  void RollbackStagedChild(Domain& parent, const StagedChild& staged);
 
   void FireResume(DomId dom, bool is_child);
 
@@ -110,8 +147,18 @@ class CloneEngine {
   Counter& m_reset_pages_restored_;
   Counter& m_explicit_cow_pages_;
   Counter& m_ring_backpressure_;
+  Counter& m_rolled_back_;
   Histogram& m_stage1_ns_;
   Histogram& m_stage2_ns_;
+
+  // Stage-1 fault points (null when no injector was passed).
+  FaultPoint* f_stage1_create_ = nullptr;
+  FaultPoint* f_stage1_memory_ = nullptr;
+  FaultPoint* f_stage1_share_ = nullptr;
+  FaultPoint* f_stage1_page_tables_ = nullptr;
+  FaultPoint* f_stage1_grants_ = nullptr;
+  FaultPoint* f_stage1_evtchns_ = nullptr;
+  FaultPoint* f_reset_ = nullptr;
 
   std::vector<CloneObserver*> observers_;
   // Outstanding second-stage completions per parent.

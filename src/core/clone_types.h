@@ -82,6 +82,9 @@ struct CloneStats {
   std::uint64_t resets = 0;
   std::uint64_t reset_pages_restored = 0;
   std::uint64_t explicit_cow_pages = 0;
+  // Rollback events: failed first-stage batches unwound plus second-stage
+  // aborts reported by xencloned.
+  std::uint64_t rollbacks = 0;
 };
 
 }  // namespace nephele

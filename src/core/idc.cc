@@ -9,13 +9,22 @@ Result<IdcRegion> IdcRegion::Create(Hypervisor& hv, DomId owner, std::size_t pag
   hv.ChargeHypercall();
   NEPHELE_ASSIGN_OR_RETURN(Gfn first, hv.PopulatePhysmap(owner, pages, PageRole::kIdcShared));
   // Grant the whole region to whatever clones the owner will have (the
-  // DOMID_CHILD wildcard, Sec. 5.1).
-  NEPHELE_ASSIGN_OR_RETURN(GrantRef ref, hv.GrantAccess(owner, kDomChild, first, false));
-  for (std::size_t i = 1; i < pages; ++i) {
-    NEPHELE_RETURN_IF_ERROR(
-        hv.GrantAccess(owner, kDomChild, first + static_cast<Gfn>(i), false).status());
+  // DOMID_CHILD wildcard, Sec. 5.1). A grant failure mid-region unwinds the
+  // grants already made so no half-granted region survives; the populated
+  // pages stay charged to the owner and are reclaimed at domain destruction.
+  std::vector<GrantRef> granted;
+  granted.reserve(pages);
+  for (std::size_t i = 0; i < pages; ++i) {
+    auto ref = hv.GrantAccess(owner, kDomChild, first + static_cast<Gfn>(i), false);
+    if (!ref.ok()) {
+      for (std::size_t j = granted.size(); j-- > 0;) {
+        (void)hv.EndGrantAccess(owner, granted[j]);
+      }
+      return ref.status();
+    }
+    granted.push_back(*ref);
   }
-  return IdcRegion(hv, owner, first, pages, ref);
+  return IdcRegion(hv, owner, first, pages, granted.front());
 }
 
 Status IdcRegion::CheckAccess(DomId accessor) const {

@@ -3,14 +3,14 @@
 namespace nephele {
 
 NepheleSystem::NepheleSystem(SystemConfig config) : costs_(config.costs) {
-  hv_ = std::make_unique<Hypervisor>(loop_, costs_, config.hypervisor, &metrics_);
-  xs_ = std::make_unique<XenstoreDaemon>(loop_, costs_, &metrics_);
-  devices_ = std::make_unique<DeviceManager>(*hv_, *xs_, loop_, costs_);
+  hv_ = std::make_unique<Hypervisor>(loop_, costs_, config.hypervisor, &metrics_, &faults_);
+  xs_ = std::make_unique<XenstoreDaemon>(loop_, costs_, &metrics_, &faults_);
+  devices_ = std::make_unique<DeviceManager>(*hv_, *xs_, loop_, costs_, &faults_);
   toolstack_ = std::make_unique<Toolstack>(*hv_, *xs_, *devices_, loop_, costs_, &metrics_,
-                                           &trace_);
-  engine_ = std::make_unique<CloneEngine>(*hv_, &metrics_, &trace_);
+                                           &trace_, &faults_);
+  engine_ = std::make_unique<CloneEngine>(*hv_, &metrics_, &trace_, &faults_);
   xencloned_ = std::make_unique<Xencloned>(*hv_, *engine_, *xs_, *devices_, *toolstack_, loop_,
-                                           costs_, &metrics_, &trace_);
+                                           costs_, &metrics_, &trace_, &faults_);
 
   // The metrics layer subscribes to the clone path like any other observer.
   clone_metrics_ = std::make_unique<CloneMetricsObserver>(metrics_, loop_);

@@ -11,6 +11,7 @@
 #include "src/core/clone_engine.h"
 #include "src/core/xencloned.h"
 #include "src/devices/device_manager.h"
+#include "src/fault/fault.h"
 #include "src/hypervisor/hypervisor.h"
 #include "src/obs/clone_metrics.h"
 #include "src/obs/metrics.h"
@@ -52,6 +53,11 @@ class NepheleSystem {
   const MetricsRegistry& metrics() const { return metrics_; }
   TraceRecorder& trace() { return trace_; }
 
+  // The system-wide deterministic fault injector. Every subsystem registers
+  // its fault points here at construction; tests arm them by name (see
+  // src/fault/fault.h) to drive error paths that are otherwise unreachable.
+  FaultInjector& fault_injector() { return faults_; }
+
   // Runs the event loop until idle.
   void Settle() { loop_.Run(); }
   SimTime Now() const { return loop_.Now(); }
@@ -61,6 +67,7 @@ class NepheleSystem {
   EventLoop loop_;
   MetricsRegistry metrics_;  // constructed before every subsystem using it
   TraceRecorder trace_{loop_};
+  FaultInjector faults_{&metrics_};
   std::unique_ptr<Hypervisor> hv_;
   std::unique_ptr<XenstoreDaemon> xs_;
   std::unique_ptr<DeviceManager> devices_;

@@ -7,7 +7,8 @@ namespace nephele {
 
 Xencloned::Xencloned(Hypervisor& hv, CloneEngine& engine, XenstoreDaemon& xs,
                      DeviceManager& devices, Toolstack& toolstack, EventLoop& loop,
-                     const CostModel& costs, MetricsRegistry* metrics, TraceRecorder* trace)
+                     const CostModel& costs, MetricsRegistry* metrics, TraceRecorder* trace,
+                     FaultInjector* faults)
     : hv_(hv),
       engine_(engine),
       xs_(xs),
@@ -19,10 +20,15 @@ Xencloned::Xencloned(Hypervisor& hv, CloneEngine& engine, XenstoreDaemon& xs,
       metrics_(metrics != nullptr ? metrics : own_metrics_.get()),
       trace_(trace),
       m_clones_completed_(metrics_->GetCounter("xencloned/clones_completed")),
+      m_clones_aborted_(metrics_->GetCounter("xencloned/clones_aborted")),
       m_cache_hits_(metrics_->GetCounter("xencloned/cache_hits")),
       m_cache_misses_(metrics_->GetCounter("xencloned/cache_misses")),
       m_deep_copy_writes_(metrics_->GetCounter("xencloned/deep_copy_writes")),
-      m_stage2_ns_(metrics_->GetHistogram("xencloned/stage2/duration_ns")) {}
+      m_stage2_ns_(metrics_->GetHistogram("xencloned/stage2/duration_ns")) {
+  if (faults != nullptr) {
+    f_stage2_ = faults->GetPoint("xencloned/stage2");
+  }
+}
 
 Status Xencloned::Start() {
   // Bind VIRQ_CLONED and install the Dom0 upcall; the daemon then enables
@@ -65,35 +71,46 @@ const DomainConfig& Xencloned::ParentConfig(DomId parent) {
   return cache.config;
 }
 
-void Xencloned::CloneXenstoreEntries(DomId parent, DomId child, const DomainConfig& config) {
+Status Xencloned::CloneXenstoreEntries(DomId parent, DomId child, const DomainConfig& config) {
   // One request clones the whole per-domain directory with domid rewriting;
   // one more covers the backend side of each device type (Sec. 5.2.1).
-  (void)xs_.XsClone(parent, child, XsCloneOp::kDevVif, XsDomainPath(parent),
-                    XsDomainPath(child));
+  NEPHELE_RETURN_IF_ERROR(xs_.XsClone(parent, child, XsCloneOp::kDevVif, XsDomainPath(parent),
+                                      XsDomainPath(child)));
   if (config.with_vif) {
-    (void)xs_.XsClone(parent, child, XsCloneOp::kDevVif, XsBackendPath(kDom0, "vif", parent, 0),
-                      XsBackendPath(kDom0, "vif", child, 0));
+    NEPHELE_RETURN_IF_ERROR(xs_.XsClone(parent, child, XsCloneOp::kDevVif,
+                                        XsBackendPath(kDom0, "vif", parent, 0),
+                                        XsBackendPath(kDom0, "vif", child, 0)));
   }
   if (config.with_p9fs) {
-    (void)xs_.XsClone(parent, child, XsCloneOp::kDev9pfs,
-                      XsBackendPath(kDom0, "9pfs", parent, 0),
-                      XsBackendPath(kDom0, "9pfs", child, 0));
+    NEPHELE_RETURN_IF_ERROR(xs_.XsClone(parent, child, XsCloneOp::kDev9pfs,
+                                        XsBackendPath(kDom0, "9pfs", parent, 0),
+                                        XsBackendPath(kDom0, "9pfs", child, 0)));
   }
   if (config.with_vbd) {
-    (void)xs_.XsClone(parent, child, XsCloneOp::kDevVbd,
-                      XsBackendPath(kDom0, "vbd", parent, 0),
-                      XsBackendPath(kDom0, "vbd", child, 0));
+    NEPHELE_RETURN_IF_ERROR(xs_.XsClone(parent, child, XsCloneOp::kDevVbd,
+                                        XsBackendPath(kDom0, "vbd", parent, 0),
+                                        XsBackendPath(kDom0, "vbd", child, 0)));
   }
+  return Status::Ok();
 }
 
-void Xencloned::DeepCopyXenstoreEntries(DomId /*parent*/, DomId child,
-                                        const DomainConfig& config) {
+Status Xencloned::DeepCopyXenstoreEntries(DomId /*parent*/, DomId child,
+                                          const DomainConfig& config) {
   // Ablation path: one write request per entry, "similarly to how the
   // Xenstore entries are created on regular instantiation" (Sec. 6.1).
   const std::string dp = XsDomainPath(child);
   const std::string parent_name = config.name;
+  // The first failed write stops the copy; later calls are no-ops so the
+  // long literal sequence below needs no per-call checks.
+  Status status = Status::Ok();
   auto write = [&](const std::string& path, const std::string& value) {
-    (void)xs_.Write(path, value);
+    if (!status.ok()) {
+      return;
+    }
+    status = xs_.Write(path, value);
+    if (!status.ok()) {
+      return;
+    }
     ++stats_.deep_copy_writes;
     m_deep_copy_writes_.Increment();
   };
@@ -150,30 +167,39 @@ void Xencloned::DeepCopyXenstoreEntries(DomId /*parent*/, DomId child,
     write(be + "/sectors", std::to_string(config.vbd_size_mb * kMiB / 512));
     write(be + "/state", XenbusStateValue(XenbusState::kConnected));
   }
+  return status;
 }
 
 void Xencloned::HandleNotification(const CloneNotification& n) {
+  Status status = RunSecondStage(n);
+  if (!status.ok()) {
+    AbortSecondStage(n, status);
+  }
+}
+
+Status Xencloned::RunSecondStage(const CloneNotification& n) {
   SimTime stage_start = loop_.Now();
   TraceSpan span = trace_ != nullptr ? trace_->BeginSpan("clone/stage2") : TraceSpan();
   span.AddArg("parent", static_cast<std::int64_t>(n.parent));
   span.AddArg("child", static_cast<std::int64_t>(n.child));
   loop_.AdvanceBy(costs_.xencloned_fixed);
+  NEPHELE_RETURN_IF_ERROR(PokeFault(f_stage2_));
   const DomainConfig& parent_cfg = ParentConfig(n.parent);
 
   // Step 2.1: introduce the child (carrying the parent id) and clone the
   // registry entries.
-  (void)xs_.IntroduceDomain(n.child, n.parent);
+  NEPHELE_RETURN_IF_ERROR(xs_.IntroduceDomain(n.child, n.parent));
   if (use_xs_clone_) {
-    CloneXenstoreEntries(n.parent, n.child, parent_cfg);
+    NEPHELE_RETURN_IF_ERROR(CloneXenstoreEntries(n.parent, n.child, parent_cfg));
   } else {
-    DeepCopyXenstoreEntries(n.parent, n.child, parent_cfg);
+    NEPHELE_RETURN_IF_ERROR(DeepCopyXenstoreEntries(n.parent, n.child, parent_cfg));
   }
 
   // xencloned generates and sets the clone's name — guaranteed unique, so no
   // uniqueness scan is needed (Sec. 6.1).
   DomainConfig child_cfg = parent_cfg;
   child_cfg.name = parent_cfg.name + ".clone" + std::to_string(++clone_name_counter_);
-  (void)xs_.Write(XsDomainPath(n.child) + "/name", child_cfg.name);
+  NEPHELE_RETURN_IF_ERROR(xs_.Write(XsDomainPath(n.child) + "/name", child_cfg.name));
   (void)hv_.SetDomainName(n.child, child_cfg.name);
 
   GuestDevices child_devices;
@@ -181,9 +207,8 @@ void Xencloned::HandleNotification(const CloneNotification& n) {
 
   // Console: Xenstore watch wakes the QEMU console process, which builds the
   // clone state internally; the ring is NOT copied (Sec. 4.2).
-  (void)devices_.console().CloneConsole(n.parent, n.child,
-                                        child_dom != nullptr ? child_dom->console_ring_gfn
-                                                             : kInvalidGfn);
+  NEPHELE_RETURN_IF_ERROR(devices_.console().CloneConsole(
+      n.parent, n.child, child_dom != nullptr ? child_dom->console_ring_gfn : kInvalidGfn));
 
   bool wait_for_udev = false;
   if (parent_cfg.with_vif) {
@@ -198,15 +223,14 @@ void Xencloned::HandleNotification(const CloneNotification& n) {
       auto vif = devices_.netback().CloneDevice(
           DeviceId{n.parent, DeviceType::kVif, parent_devices->net->devid()},
           DeviceId{n.child, DeviceType::kVif, parent_devices->net->devid()}, child_fe.get());
-      if (vif.ok()) {
-        wait_for_udev = true;
-      }
+      NEPHELE_RETURN_IF_ERROR(vif.status());
+      wait_for_udev = true;
       child_devices.net = std::move(child_fe);
     }
   }
   if (parent_cfg.with_p9fs) {
     // Step 2.2: QMP clone request to the (shared) 9pfs backend process.
-    (void)devices_.p9().CloneForChild(n.parent, n.child);
+    NEPHELE_RETURN_IF_ERROR(devices_.p9().CloneForChild(n.parent, n.child));
     GuestDevices* parent_devices = toolstack_.FindDevices(n.parent);
     if (parent_devices != nullptr) {
       child_devices.p9 = parent_devices->p9;
@@ -218,7 +242,7 @@ void Xencloned::HandleNotification(const CloneNotification& n) {
     // the parent's block table.
     DeviceId parent_disk{n.parent, DeviceType::kVbd, 0};
     DeviceId child_disk{n.child, DeviceType::kVbd, 0};
-    (void)devices_.vbd().CloneDisk(parent_disk, child_disk);
+    NEPHELE_RETURN_IF_ERROR(devices_.vbd().CloneDisk(parent_disk, child_disk));
     child_devices.vbd = std::make_unique<VbdFrontend>(devices_.vbd(), child_disk);
   }
 
@@ -236,6 +260,42 @@ void Xencloned::HandleNotification(const CloneNotification& n) {
     (void)engine_.CloneCompletion(n.child);
   }
   // Otherwise HandleUdev() reports completion once the vif is attached.
+  return Status::Ok();
+}
+
+void Xencloned::AbortSecondStage(const CloneNotification& n, const Status& why) {
+  NEPHELE_LOG(kWarn, "xencloned") << "aborting second stage of dom" << n.child << ": "
+                                  << why.ToString();
+  const DomainConfig& cfg = ParentConfig(n.parent);
+  // Reverse of the second-stage order; every step is best-effort — whatever
+  // was not yet created simply reports not-found and is skipped.
+  if (cfg.with_vbd) {
+    (void)devices_.vbd().DestroyDisk(DeviceId{n.child, DeviceType::kVbd, 0});
+    (void)xs_.Rm(XsBackendPath(kDom0, "vbd", n.child, 0));
+  }
+  if (cfg.with_p9fs) {
+    if (P9BackendProcess* proc = devices_.p9().FindServing(n.child); proc != nullptr) {
+      (void)proc->ReleaseDomain(n.child);
+    }
+    (void)xs_.Rm(XsBackendPath(kDom0, "9pfs", n.child, 0));
+  }
+  if (cfg.with_vif) {
+    (void)devices_.netback().DestroyDevice(DeviceId{n.child, DeviceType::kVif, 0});
+    (void)xs_.Rm(XsBackendPath(kDom0, "vif", n.child, 0));
+  }
+  (void)devices_.console().DestroyConsole(n.child);
+  (void)xs_.Rm(XsDomainPath(n.child));
+  (void)xs_.Rm("/vm/" + std::to_string(n.child));
+  (void)xs_.Rm("/libxl/" + std::to_string(n.child));
+  if (xs_.DomainKnown(n.child)) {
+    (void)xs_.ReleaseDomain(n.child);
+  }
+  ++stats_.clones_aborted;
+  m_clones_aborted_.Increment();
+  // Retire the pending slot first so the parent is unblocked even if the
+  // destroy below were to fail.
+  (void)engine_.CloneAborted(n.child);
+  (void)hv_.DestroyDomain(n.child);
 }
 
 void Xencloned::HandleUdev(const UdevEvent& event) {

@@ -26,6 +26,9 @@ namespace nephele {
 
 struct XenclonedStats {
   std::uint64_t clones_completed = 0;
+  // Second stages that failed midway and were unwound (child destroyed,
+  // Xenstore subtrees removed, parent unblocked).
+  std::uint64_t clones_aborted = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t deep_copy_writes = 0;
@@ -39,9 +42,12 @@ class Xencloned {
  public:
   // `metrics`/`trace` may be null: the daemon then records into a private
   // registry and skips tracing (standalone constructions keep working).
+  // `faults` may be null — the xencloned/stage2 fault point is then never
+  // armed.
   Xencloned(Hypervisor& hv, CloneEngine& engine, XenstoreDaemon& xs, DeviceManager& devices,
             Toolstack& toolstack, EventLoop& loop, const CostModel& costs,
-            MetricsRegistry* metrics = nullptr, TraceRecorder* trace = nullptr);
+            MetricsRegistry* metrics = nullptr, TraceRecorder* trace = nullptr,
+            FaultInjector* faults = nullptr);
 
   // Binds VIRQ_CLONED, submits the notification ring and enables cloning
   // globally — the daemon's startup sequence.
@@ -68,12 +74,20 @@ class Xencloned {
   };
 
   void HandleNotification(const CloneNotification& n);
+  // The fallible body of the second stage. Any error aborts the clone:
+  // HandleNotification then calls AbortSecondStage to unwind.
+  Status RunSecondStage(const CloneNotification& n);
+  // Best-effort reverse-order unwind of a failed second stage: device
+  // backends, Xenstore subtrees, the store connection and finally the child
+  // domain itself; retires the pending slot through CloneEngine::CloneAborted
+  // so the parent never stays blocked on the failed child.
+  void AbortSecondStage(const CloneNotification& n, const Status& why);
   // Reads (or serves from cache) the parent's Xenstore information needed
   // to build the clone's entries (Sec. 6.2: ~3 ms first clone, ~1.9 ms
   // cached afterwards).
   const DomainConfig& ParentConfig(DomId parent);
-  void CloneXenstoreEntries(DomId parent, DomId child, const DomainConfig& config);
-  void DeepCopyXenstoreEntries(DomId parent, DomId child, const DomainConfig& config);
+  Status CloneXenstoreEntries(DomId parent, DomId child, const DomainConfig& config);
+  Status DeepCopyXenstoreEntries(DomId parent, DomId child, const DomainConfig& config);
 
   Hypervisor& hv_;
   CloneEngine& engine_;
@@ -87,10 +101,12 @@ class Xencloned {
   MetricsRegistry* metrics_;
   TraceRecorder* trace_;
   Counter& m_clones_completed_;
+  Counter& m_clones_aborted_;
   Counter& m_cache_hits_;
   Counter& m_cache_misses_;
   Counter& m_deep_copy_writes_;
   Histogram& m_stage2_ns_;
+  FaultPoint* f_stage2_ = nullptr;
 
   bool use_xs_clone_ = true;
   std::map<DomId, ParentInfoCache> parent_cache_;

@@ -11,6 +11,7 @@
 
 #include "src/base/result.h"
 #include "src/devices/ring.h"
+#include "src/fault/fault.h"
 #include "src/devices/xenbus.h"
 #include "src/hypervisor/types.h"
 #include "src/sim/cost_model.h"
@@ -29,6 +30,9 @@ class ConsoleBackend {
   // backend bookkeeping is created. No QEMU code changes were needed in the
   // paper — Xenstore watch delivery triggers this.
   Status CloneConsole(DomId parent, DomId child, Gfn child_ring_gfn);
+
+  // Fault point poked at the top of CloneConsole (null = never fires).
+  void SetCloneFaultPoint(FaultPoint* point) { f_clone_ = point; }
 
   Status DestroyConsole(DomId dom);
 
@@ -51,6 +55,7 @@ class ConsoleBackend {
 
   EventLoop& loop_;
   const CostModel& costs_;
+  FaultPoint* f_clone_ = nullptr;
   std::map<DomId, ConsoleState> consoles_;
 };
 

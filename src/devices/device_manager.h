@@ -22,7 +22,9 @@ namespace nephele {
 
 class DeviceManager {
  public:
-  DeviceManager(Hypervisor& hv, XenstoreDaemon& xs, EventLoop& loop, const CostModel& costs);
+  // `faults` may be null — device clone fault points are then never armed.
+  DeviceManager(Hypervisor& hv, XenstoreDaemon& xs, EventLoop& loop, const CostModel& costs,
+                FaultInjector* faults = nullptr);
 
   ConsoleBackend& console() { return console_; }
   NetBackend& netback() { return netback_; }

@@ -137,6 +137,9 @@ class NetBackend {
   Result<Vif*> CloneDevice(const DeviceId& parent, const DeviceId& child,
                            NetFrontend* child_frontend);
 
+  // Fault point poked at the top of CloneDevice (null = never fires).
+  void SetCloneFaultPoint(FaultPoint* point) { f_clone_ = point; }
+
   Status DestroyDevice(const DeviceId& id);
 
   Vif* FindVif(const DeviceId& id);
@@ -157,6 +160,7 @@ class NetBackend {
   Hypervisor& hv_;
   EventLoop& loop_;
   const CostModel& costs_;
+  FaultPoint* f_clone_ = nullptr;
   UdevEmitter udev_;
   std::map<DeviceId, std::unique_ptr<Vif>> vifs_;
   std::uint64_t packets_forwarded_ = 0;

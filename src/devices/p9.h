@@ -16,6 +16,7 @@
 
 #include "src/base/result.h"
 #include "src/devices/hostfs.h"
+#include "src/fault/fault.h"
 #include "src/hypervisor/types.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/event_loop.h"
@@ -94,6 +95,9 @@ class P9BackendRegistry {
   // Clone path: xencloned sends a QMP clone request to the parent's process.
   Status CloneForChild(DomId parent, DomId child);
 
+  // Fault point poked at the top of CloneForChild (null = never fires).
+  void SetCloneFaultPoint(FaultPoint* point) { f_clone_ = point; }
+
   P9BackendProcess* FindServing(DomId dom);
   std::size_t NumProcesses() const { return processes_.size(); }
   std::size_t Dom0Bytes() const;
@@ -102,6 +106,7 @@ class P9BackendRegistry {
   EventLoop& loop_;
   const CostModel& costs_;
   HostFs& fs_;
+  FaultPoint* f_clone_ = nullptr;
   std::vector<std::unique_ptr<P9BackendProcess>> processes_;
 };
 

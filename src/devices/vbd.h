@@ -18,6 +18,7 @@
 #include "src/base/result.h"
 #include "src/devices/ring.h"
 #include "src/devices/xenbus.h"
+#include "src/fault/fault.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/event_loop.h"
 
@@ -79,6 +80,9 @@ class VbdBackend {
   // table copied, every block reference-counted; both sides COW from here.
   Status CloneDisk(const DeviceId& parent, const DeviceId& child);
 
+  // Fault point poked at the top of CloneDisk (null = never fires).
+  void SetCloneFaultPoint(FaultPoint* point) { f_clone_ = point; }
+
   Status DestroyDisk(const DeviceId& id);
 
   // Datapath (frontend requests).
@@ -100,6 +104,7 @@ class VbdBackend {
   EventLoop& loop_;
   const CostModel& costs_;
   BlockStore store_;
+  FaultPoint* f_clone_ = nullptr;
   std::map<DeviceId, VbdDisk> disks_;
 };
 

@@ -1,0 +1,157 @@
+// Deterministic fault injection: named fault points threaded through the
+// hypervisor, xenstore, toolstack, devices and the clone engine.
+//
+// A subsystem registers a point once (find-or-create, like metric handles)
+// and calls Poke() on the guarded path; the call returns OK unless a test
+// armed the point with a FaultSpec. Both trigger policies are deterministic:
+// nth-hit counts hits since arming, and the probability policy draws from a
+// per-point Rng seeded by the spec — the same plan against the same workload
+// injects the same faults, byte for byte.
+
+#ifndef SRC_FAULT_FAULT_H_
+#define SRC_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/obs/metrics.h"
+#include "src/sim/rng.h"
+
+namespace nephele {
+
+// What to inject and when. Built via the static helpers; the default spec
+// never fires.
+struct FaultSpec {
+  enum class Policy { kNever, kNthHit, kProbability };
+
+  Policy policy = Policy::kNever;
+  // kNthHit: fire on the nth Poke() after arming (1-based), exactly once.
+  std::uint64_t nth = 1;
+  // kProbability: fire independently on each Poke() with this probability,
+  // drawn from an Rng seeded with `seed` at arming time.
+  double probability = 0.0;
+  std::uint64_t seed = 0;
+  // The error injected. Defaults to the most common real-world shape.
+  StatusCode code = StatusCode::kResourceExhausted;
+  std::string message = "injected fault";
+
+  static FaultSpec NthHit(std::uint64_t n, StatusCode code = StatusCode::kResourceExhausted,
+                          std::string message = "injected fault");
+  static FaultSpec WithProbability(double p, std::uint64_t seed,
+                                   StatusCode code = StatusCode::kResourceExhausted,
+                                   std::string message = "injected fault");
+};
+
+// A single named injection site. Handles are owned by the injector and stay
+// valid for its lifetime; subsystems cache them at construction.
+class FaultPoint {
+ public:
+  explicit FaultPoint(std::string name) : name_(std::move(name)) {}
+
+  FaultPoint(const FaultPoint&) = delete;
+  FaultPoint& operator=(const FaultPoint&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // Called on the guarded path. Counts the hit, evaluates the armed policy
+  // and returns the injected error when it fires.
+  Status Poke();
+
+  // Total Poke() calls since construction (armed or not).
+  std::uint64_t hits() const { return hits_; }
+  // Total faults injected since construction.
+  std::uint64_t injected() const { return injected_; }
+
+ private:
+  friend class FaultInjector;
+
+  void Arm(const FaultSpec& spec);
+  void Disarm();
+
+  std::string name_;
+  FaultSpec spec_;
+  bool armed_ = false;
+  // Hits since the point was last armed; drives the nth-hit policy.
+  std::uint64_t hits_since_armed_ = 0;
+  bool fired_once_ = false;
+  Rng rng_;
+
+  std::uint64_t hits_ = 0;
+  std::uint64_t injected_ = 0;
+  Counter* injected_metric_ = nullptr;  // registry-wide "fault/injected"
+};
+
+// A reusable per-run fault plan: a set of (point name, spec) pairs applied
+// together. Tests build one per scenario variant.
+struct FaultPlan {
+  struct Arm {
+    std::string point;
+    FaultSpec spec;
+  };
+  std::vector<Arm> arms;
+
+  FaultPlan& Add(std::string point, FaultSpec spec) {
+    arms.push_back({std::move(point), std::move(spec)});
+    return *this;
+  }
+};
+
+// Registry of fault points. Single-threaded, like the rest of the
+// simulation. `metrics` may be null (tests constructing subsystems in
+// isolation); the injector then keeps its own private registry so handle
+// wiring stays unconditional.
+class FaultInjector {
+ public:
+  explicit FaultInjector(MetricsRegistry* metrics = nullptr);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Find-or-create. The returned pointer stays valid for the injector's
+  // lifetime.
+  FaultPoint* GetPoint(std::string_view name);
+
+  // Read-only lookup; null when the point was never registered.
+  const FaultPoint* FindPoint(std::string_view name) const;
+
+  // Arms an already-registered point. Unknown names are an error so tests
+  // fail loudly on typos instead of silently never injecting.
+  Status Arm(std::string_view name, const FaultSpec& spec);
+  // Disarming an unknown or unarmed point is a no-op.
+  void Disarm(std::string_view name);
+  void DisarmAll();
+
+  // Applies every arm in the plan (all-or-nothing is not needed: the first
+  // unknown name aborts and the caller resets with DisarmAll()).
+  Status LoadPlan(const FaultPlan& plan);
+
+  // Sorted names of every registered point — the sweep harness enumerates
+  // these to guarantee coverage.
+  std::vector<std::string> PointNames() const;
+
+  std::uint64_t HitCount(std::string_view name) const;
+  std::uint64_t InjectedCount(std::string_view name) const;
+  // Sum of injections across all points (mirrors the "fault/injected"
+  // counter in the shared registry).
+  std::uint64_t injected_total() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<FaultPoint>, std::less<>> points_;
+  std::unique_ptr<MetricsRegistry> own_metrics_;
+  MetricsRegistry* metrics_;
+  Counter& injected_counter_;
+};
+
+// Null-safe guard for subsystems whose injector is optional.
+inline Status PokeFault(FaultPoint* point) {
+  return point == nullptr ? Status::Ok() : point->Poke();
+}
+
+}  // namespace nephele
+
+#endif  // SRC_FAULT_FAULT_H_

@@ -58,6 +58,16 @@ GuestManager::~GuestManager() { system_.clone_engine().RemoveObserver(this); }
 
 void GuestManager::OnResume(DomId dom, bool is_child) { OnCloneResume(dom, is_child); }
 
+void GuestManager::OnCloneAborted(DomId parent, DomId child) {
+  pending_child_parent_.erase(child);
+  auto fit = pending_forks_.find(parent);
+  if (fit == pending_forks_.end()) {
+    return;
+  }
+  fit->second.snapshots.erase(child);
+  std::erase(fit->second.children, child);
+}
+
 std::unique_ptr<GuestContext> GuestManager::BuildContext(DomId dom, const DomainConfig& config,
                                                          const GuestContext* parent_ctx) {
   auto ctx = std::make_unique<GuestContext>(*this, dom);

@@ -57,6 +57,11 @@ class GuestManager : public CloneObserver {
   // resumes after cloning.
   void OnResume(DomId dom, bool is_child) override;
 
+  // CloneObserver: a child of an in-flight fork was rolled back. Drops its
+  // snapshot so it is never materialised; the parent-side continuation still
+  // runs (with the aborted child absent) once the batch settles.
+  void OnCloneAborted(DomId parent, DomId child) override;
+
  private:
   friend class GuestContext;
 

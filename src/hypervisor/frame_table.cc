@@ -80,6 +80,20 @@ Status FrameTable::ShareAgain(Mfn mfn) {
   return Status::Ok();
 }
 
+Status FrameTable::Unshare(Mfn mfn, DomId new_owner) {
+  NEPHELE_RETURN_IF_ERROR(CheckAllocated(mfn));
+  FrameInfo& f = frames_[mfn];
+  if (!f.shared || f.refcount != 2) {
+    return ErrFailedPrecondition("unshare needs a shared frame with exactly two refs");
+  }
+  f.owner = new_owner;
+  f.shared = false;
+  f.refcount = 1;
+  --shared_count_;
+  --saved_by_sharing_;
+  return Status::Ok();
+}
+
 Result<FrameTable::CowResolution> FrameTable::ResolveCowWrite(Mfn mfn, DomId writer) {
   NEPHELE_RETURN_IF_ERROR(CheckAllocated(mfn));
   FrameInfo& f = frames_[mfn];

@@ -70,6 +70,11 @@ class FrameTable {
   // Adds one more sharer to an already-shared frame.
   Status ShareAgain(Mfn mfn);
 
+  // Exact inverse of ShareFirst, for clone rollback: a shared frame whose
+  // two references are the parent and the aborted clone goes back to being
+  // privately owned by `new_owner`. Precondition: shared with refcount == 2.
+  Status Unshare(Mfn mfn, DomId new_owner);
+
   // Resolves a write to a shared frame for domain `writer`:
   //  - refcount > 1: allocates a private copy, copies contents, drops one
   //    reference from the shared frame, returns the new mfn (a real copy).

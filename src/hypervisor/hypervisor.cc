@@ -8,7 +8,7 @@
 namespace nephele {
 
 Hypervisor::Hypervisor(EventLoop& loop, const CostModel& costs, HypervisorConfig config,
-                       MetricsRegistry* metrics)
+                       MetricsRegistry* metrics, FaultInjector* faults)
     : loop_(loop),
       costs_(costs),
       config_(config),
@@ -24,6 +24,12 @@ Hypervisor::Hypervisor(EventLoop& loop, const CostModel& costs, HypervisorConfig
       m_grant_unmaps_(metrics_->GetCounter("hypervisor/grant/unmaps")),
       m_domains_created_(metrics_->GetCounter("hypervisor/domains/created")),
       m_domains_destroyed_(metrics_->GetCounter("hypervisor/domains/destroyed")) {
+  if (faults != nullptr) {
+    f_frame_alloc_ = faults->GetPoint("hypervisor/frame_alloc");
+    f_cow_resolve_ = faults->GetPoint("hypervisor/cow_resolve");
+    f_grant_access_ = faults->GetPoint("hypervisor/grant_access");
+    f_evtchn_alloc_ = faults->GetPoint("hypervisor/evtchn_alloc");
+  }
   // Pool occupancy gauges sample the frame table live at export time, so no
   // hot-path updates are needed anywhere in the allocator.
   metrics_->GetGauge("hypervisor/frames/free").SetProvider([this] {
@@ -204,6 +210,7 @@ std::vector<DomId> Hypervisor::DomainIds() const {
 }
 
 Result<Mfn> Hypervisor::AllocFrameFor(DomId dom) {
+  NEPHELE_RETURN_IF_ERROR(PokeFault(f_frame_alloc_));
   auto mfn = frames_.Alloc(dom);
   if (mfn.ok()) {
     loop_.AdvanceBy(costs_.frame_alloc);
@@ -292,6 +299,7 @@ Status Hypervisor::ResolveCowForWrite(Domain& d, Gfn gfn) {
     return ErrPermissionDenied("write to read-only text page");
   }
   // COW fault (Sec. 4.1 / 5.2).
+  NEPHELE_RETURN_IF_ERROR(PokeFault(f_cow_resolve_));
   loop_.AdvanceBy(costs_.cow_fault_fixed);
   NEPHELE_ASSIGN_OR_RETURN(auto res, frames_.ResolveCowWrite(entry.mfn, d.id));
   if (res.copied) {
@@ -438,6 +446,7 @@ Result<GrantRef> Hypervisor::GrantAccess(DomId granter, DomId grantee, Gfn gfn, 
   if (gfn >= g->p2m.size()) {
     return ErrOutOfRange("gfn outside granter p2m");
   }
+  NEPHELE_RETURN_IF_ERROR(PokeFault(f_grant_access_));
   auto ref = g->grants.GrantAccess(grantee, gfn, readonly);
   if (ref.ok()) {
     m_grant_accesses_.Increment();
@@ -487,6 +496,7 @@ Result<EvtchnPort> Hypervisor::EvtchnAllocUnbound(DomId dom, DomId remote) {
   if (d == nullptr) {
     return ErrNotFound("no such domain");
   }
+  NEPHELE_RETURN_IF_ERROR(PokeFault(f_evtchn_alloc_));
   return d->evtchns.AllocUnbound(remote);
 }
 

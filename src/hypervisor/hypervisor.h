@@ -16,6 +16,7 @@
 
 #include "src/base/result.h"
 #include "src/base/status.h"
+#include "src/fault/fault.h"
 #include "src/hypervisor/domain.h"
 #include "src/hypervisor/frame_table.h"
 #include "src/hypervisor/types.h"
@@ -40,8 +41,9 @@ class Hypervisor {
   // `metrics` may be null: the hypervisor then records into a private
   // registry so standalone constructions stay valid. NepheleSystem injects
   // its shared registry.
+  // `faults` may also be null — fault points are then never armed.
   Hypervisor(EventLoop& loop, const CostModel& costs, HypervisorConfig config = {},
-             MetricsRegistry* metrics = nullptr);
+             MetricsRegistry* metrics = nullptr, FaultInjector* faults = nullptr);
 
   Hypervisor(const Hypervisor&) = delete;
   Hypervisor& operator=(const Hypervisor&) = delete;
@@ -86,6 +88,11 @@ class Hypervisor {
   // Builds the domain's page tables for its current p2m size (used at boot
   // and rebuilt for clones/restores). Frames are accounted as private.
   Status BuildPageTables(DomId dom);
+
+  // Allocates one frame charged to `dom` without touching its p2m — the
+  // clone engine's allocation path (so pool exhaustion and fault injection
+  // are funnelled through one place). The caller records the frame.
+  Result<Mfn> AllocGuestFrame(DomId dom) { return AllocFrameFor(dom); }
 
   // Guest memory access. Writes resolve COW faults (charging cost model
   // time) and are the only mutation path for shared frames.
@@ -191,6 +198,11 @@ class Hypervisor {
   Counter& m_grant_unmaps_;
   Counter& m_domains_created_;
   Counter& m_domains_destroyed_;
+  // Null when no injector was wired; Poke'd through the null-safe helper.
+  FaultPoint* f_frame_alloc_ = nullptr;
+  FaultPoint* f_cow_resolve_ = nullptr;
+  FaultPoint* f_grant_access_ = nullptr;
+  FaultPoint* f_evtchn_alloc_ = nullptr;
   CowFaultHook cow_fault_hook_;
 
   std::map<DomId, std::unique_ptr<Domain>> domains_;

@@ -26,6 +26,12 @@ class CloneObserver {
   // xencloned reported second-stage completion for `child`.
   virtual void OnCloneComplete(DomId /*parent*/, DomId /*child*/) {}
 
+  // `child` was rolled back instead of completing: either the first stage
+  // failed mid-batch (the child never became visible to callers) or the
+  // second stage aborted and xencloned unwound it. Fires synchronously
+  // inside the rollback, after the child's resources were returned.
+  virtual void OnCloneAborted(DomId /*parent*/, DomId /*child*/) {}
+
   // A domain resumes after cloning: each child once, and the parent once per
   // batch after every child completed.
   virtual void OnResume(DomId /*dom*/, bool /*is_child*/) {}

@@ -6,7 +6,8 @@
 namespace nephele {
 
 Toolstack::Toolstack(Hypervisor& hv, XenstoreDaemon& xs, DeviceManager& devices, EventLoop& loop,
-                     const CostModel& costs, MetricsRegistry* metrics, TraceRecorder* trace)
+                     const CostModel& costs, MetricsRegistry* metrics, TraceRecorder* trace,
+                     FaultInjector* faults)
     : hv_(hv),
       xs_(xs),
       devices_(devices),
@@ -20,6 +21,9 @@ Toolstack::Toolstack(Hypervisor& hv, XenstoreDaemon& xs, DeviceManager& devices,
       m_domains_destroyed_(metrics_->GetCounter("toolstack/domains_destroyed")),
       m_boot_ns_(metrics_->GetHistogram("toolstack/boot/duration_ns")),
       m_restore_ns_(metrics_->GetHistogram("toolstack/restore/duration_ns")) {
+  if (faults != nullptr) {
+    f_create_domain_ = faults->GetPoint("toolstack/create_domain");
+  }
   default_switch_ = &builtin_bridge_;
   metrics_->GetGauge("toolstack/dom0_free_bytes").SetProvider([this] {
     return static_cast<std::int64_t>(Dom0FreeBytes());
@@ -35,6 +39,35 @@ std::size_t Toolstack::Dom0FreeBytes() const {
   used += devices_.Dom0BackendBytes();
   used += configs_.size() * kDom0BytesPerDomainBookkeeping;
   return used >= kDom0TotalBytes ? 0 : kDom0TotalBytes - used;
+}
+
+Status Toolstack::FailBoot(DomId dom, const DomainConfig& config, GuestDevices& devices,
+                           Status why) {
+  // Reverse of the setup order. Every step is best-effort: whatever was not
+  // yet created simply reports not-found and is skipped.
+  if (devices.p9 != nullptr) {
+    (void)devices.p9->ReleaseDomain(dom);
+  }
+  if (config.with_vif) {
+    (void)devices_.netback().DestroyDevice(DeviceId{dom, DeviceType::kVif, 0});
+    (void)xs_.Rm(XsBackendPath(kDom0, "vif", dom, 0));
+  }
+  if (config.with_p9fs) {
+    (void)xs_.Rm(XsBackendPath(kDom0, "9pfs", dom, 0));
+  }
+  if (config.with_vbd) {
+    (void)devices_.vbd().DestroyDisk(DeviceId{dom, DeviceType::kVbd, 0});
+    (void)xs_.Rm(XsBackendPath(kDom0, "vbd", dom, 0));
+  }
+  (void)devices_.console().DestroyConsole(dom);
+  (void)xs_.Rm(XsDomainPath(dom));
+  (void)xs_.Rm("/vm/" + std::to_string(dom));
+  (void)xs_.Rm("/libxl/" + std::to_string(dom));
+  if (xs_.DomainKnown(dom)) {
+    (void)xs_.ReleaseDomain(dom);
+  }
+  (void)hv_.DestroyDomain(dom);
+  return why;
 }
 
 void Toolstack::WriteBaseXenstoreEntries(DomId dom, const DomainConfig& config) {
@@ -219,13 +252,12 @@ Result<DomId> Toolstack::CreateDomain(const DomainConfig& config) {
     }
   }
 
+  NEPHELE_RETURN_IF_ERROR(PokeFault(f_create_domain_));
   hv_.ChargeHypercall();
   NEPHELE_ASSIGN_OR_RETURN(DomId dom, hv_.CreateDomain(config.name, config.vcpus));
 
-  auto fail = [&](Status s) -> Result<DomId> {
-    (void)hv_.DestroyDomain(dom);
-    return s;
-  };
+  GuestDevices devices;
+  auto fail = [&](Status s) -> Result<DomId> { return FailBoot(dom, config, devices, s); };
 
   if (Status s = PopulateGuestMemory(dom, config, /*charge_image_copy=*/true); !s.ok()) {
     return fail(s);
@@ -241,7 +273,6 @@ Result<DomId> Toolstack::CreateDomain(const DomainConfig& config) {
   (void)xs_.IntroduceDomain(dom);
   WriteBaseXenstoreEntries(dom, config);
 
-  GuestDevices devices;
   if (Status s = devices_.console().CreateConsole(
           dom, hv_.FindDomain(dom)->console_ring_gfn);
       !s.ok()) {
@@ -299,10 +330,8 @@ Result<DomId> Toolstack::RestoreDomain(const DomainImage& image) {
   loop_.AdvanceBy(costs_.restore_fixed);
   hv_.ChargeHypercall();
   NEPHELE_ASSIGN_OR_RETURN(DomId dom, hv_.CreateDomain(image.config.name, image.config.vcpus));
-  auto fail = [&](Status s) -> Result<DomId> {
-    (void)hv_.DestroyDomain(dom);
-    return s;
-  };
+  GuestDevices devices;
+  auto fail = [&](Status s) -> Result<DomId> { return FailBoot(dom, image.config, devices, s); };
   if (Status s = PopulateGuestMemory(dom, image.config, /*charge_image_copy=*/false); !s.ok()) {
     return fail(s);
   }
@@ -320,7 +349,6 @@ Result<DomId> Toolstack::RestoreDomain(const DomainImage& image) {
   (void)xs_.IntroduceDomain(dom);
   WriteBaseXenstoreEntries(dom, image.config);
 
-  GuestDevices devices;
   if (Status s =
           devices_.console().CreateConsole(dom, hv_.FindDomain(dom)->console_ring_gfn);
       !s.ok()) {
@@ -399,11 +427,17 @@ Result<MigrationStream> Toolstack::MigrateOutLive(DomId dom, unsigned max_rounds
     if (between_rounds) {
       between_rounds();
     }
-    NEPHELE_ASSIGN_OR_RETURN(std::vector<Gfn> dirty, hv_.FetchAndResetDirtyLog(dom));
-    if (dirty.empty()) {
+    auto dirty = hv_.FetchAndResetDirtyLog(dom);
+    if (!dirty.ok()) {
+      // Abandoning the migration must not leave the source domain paying
+      // the dirty-tracking overhead forever.
+      (void)hv_.SetDirtyLogging(dom, false);
+      return dirty.status();
+    }
+    if (dirty->empty()) {
       break;
     }
-    for (Gfn gfn : dirty) {
+    for (Gfn gfn : *dirty) {
       ship_page(gfn);
     }
     ++local.precopy_rounds;
@@ -412,8 +446,14 @@ Result<MigrationStream> Toolstack::MigrateOutLive(DomId dom, unsigned max_rounds
   // Stop-and-copy: the downtime window.
   (void)hv_.PauseDomain(dom);
   SimTime down_start = loop_.Now();
-  NEPHELE_ASSIGN_OR_RETURN(std::vector<Gfn> last_dirty, hv_.FetchAndResetDirtyLog(dom));
-  for (Gfn gfn : last_dirty) {
+  auto last_dirty = hv_.FetchAndResetDirtyLog(dom);
+  if (!last_dirty.ok()) {
+    // Failed in the downtime window: resume the source untouched.
+    (void)hv_.UnpauseDomain(dom);
+    (void)hv_.SetDirtyLogging(dom, false);
+    return last_dirty.status();
+  }
+  for (Gfn gfn : *last_dirty) {
     ship_page(gfn);
   }
   loop_.AdvanceBy(costs_.save_fixed);
@@ -466,9 +506,9 @@ Result<DomId> Toolstack::MigrateIn(const MigrationStream& stream) {
   hv_.ChargeHypercall();
   NEPHELE_ASSIGN_OR_RETURN(DomId dom,
                            hv_.CreateDomain(stream.config.name, stream.config.vcpus));
+  GuestDevices devices;
   auto fail = [&](Status s) -> Result<DomId> {
-    (void)hv_.DestroyDomain(dom);
-    return s;
+    return FailBoot(dom, stream.config, devices, s);
   };
   if (Status s = PopulateGuestMemory(dom, stream.config, /*charge_image_copy=*/false); !s.ok()) {
     return fail(s);
@@ -491,7 +531,6 @@ Result<DomId> Toolstack::MigrateIn(const MigrationStream& stream) {
 
   (void)xs_.IntroduceDomain(dom);
   WriteBaseXenstoreEntries(dom, stream.config);
-  GuestDevices devices;
   if (Status s = devices_.console().CreateConsole(dom, hv_.FindDomain(dom)->console_ring_gfn);
       !s.ok()) {
     return fail(s);

@@ -53,9 +53,10 @@ class Toolstack {
  public:
   // `metrics`/`trace` may be null: the toolstack then records into a private
   // registry and skips tracing (standalone constructions keep working).
+  // `faults` may be null — the boot fault point is then never armed.
   Toolstack(Hypervisor& hv, XenstoreDaemon& xs, DeviceManager& devices, EventLoop& loop,
             const CostModel& costs, MetricsRegistry* metrics = nullptr,
-            TraceRecorder* trace = nullptr);
+            TraceRecorder* trace = nullptr, FaultInjector* faults = nullptr);
 
   // Where new vifs are attached. Defaults to an internal Bridge; the Fig. 4
   // and Fig. 7 setups install a Bond instead.
@@ -140,6 +141,10 @@ class Toolstack {
   Status SetupP9(DomId dom, const DomainConfig& config, GuestDevices& devices);
   Status SetupVbd(DomId dom, const DomainConfig& config, GuestDevices& devices);
   Status PopulateGuestMemory(DomId dom, const DomainConfig& config, bool charge_image_copy);
+  // Unwinds a partially-completed boot (create/restore/migrate-in): device
+  // backends, console, xenstore subtrees and finally the domain itself, so
+  // a failed xl create leaves Dom0 exactly as it found it.
+  Status FailBoot(DomId dom, const DomainConfig& config, GuestDevices& devices, Status why);
 
   Hypervisor& hv_;
   XenstoreDaemon& xs_;
@@ -155,6 +160,7 @@ class Toolstack {
   Counter& m_domains_destroyed_;
   Histogram& m_boot_ns_;
   Histogram& m_restore_ns_;
+  FaultPoint* f_create_domain_ = nullptr;
 
   Bridge builtin_bridge_;
   HostSwitch* default_switch_;

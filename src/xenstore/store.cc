@@ -13,7 +13,7 @@ constexpr std::size_t kPerNodeBytes = 320;
 }  // namespace
 
 XenstoreDaemon::XenstoreDaemon(EventLoop& loop, const CostModel& costs,
-                               MetricsRegistry* metrics)
+                               MetricsRegistry* metrics, FaultInjector* faults)
     : loop_(loop),
       costs_(costs),
       own_metrics_(metrics == nullptr ? std::make_unique<MetricsRegistry>() : nullptr),
@@ -34,6 +34,11 @@ XenstoreDaemon::XenstoreDaemon(EventLoop& loop, const CostModel& costs,
       m_watches_fired_(metrics_->GetCounter("xenstore/watches/fired")),
       m_log_rotations_(metrics_->GetCounter("xenstore/log/rotations")),
       m_txn_conflicts_(metrics_->GetCounter("xenstore/txn/conflicts")) {
+  if (faults != nullptr) {
+    f_request_ = faults->GetPoint("xenstore/request");
+    f_txn_commit_ = faults->GetPoint("xenstore/txn_commit");
+    f_xs_clone_ = faults->GetPoint("xenstore/xs_clone");
+  }
   metrics_->GetGauge("xenstore/entries").SetProvider([this] {
     return static_cast<std::int64_t>(stats_.entries);
   });
@@ -48,7 +53,8 @@ XenstoreDaemon::XenstoreDaemon(EventLoop& loop, const CostModel& costs,
   });
 }
 
-void XenstoreDaemon::ChargeRequest(Counter& op_counter) {
+Status XenstoreDaemon::ChargeRequest(Counter& op_counter) {
+  NEPHELE_RETURN_IF_ERROR(PokeFault(f_request_));
   ++stats_.requests;
   m_requests_.Increment();
   op_counter.Increment();
@@ -65,6 +71,7 @@ void XenstoreDaemon::ChargeRequest(Counter& op_counter) {
     }
   }
   loop_.AdvanceBy(cost);
+  return Status::Ok();
 }
 
 XenstoreDaemon::Node* XenstoreDaemon::Lookup(const std::string& path) {
@@ -115,7 +122,7 @@ void XenstoreDaemon::InternalWrite(const std::string& path, const std::string& v
 }
 
 Status XenstoreDaemon::Write(const std::string& path, const std::string& value) {
-  ChargeRequest(m_req_write_);
+  NEPHELE_RETURN_IF_ERROR(ChargeRequest(m_req_write_));
   ++stats_.writes;
   InternalWrite(path, value, /*fire_watches=*/true);
   JournalWrite(path);
@@ -131,7 +138,7 @@ void XenstoreDaemon::JournalWrite(const std::string& path) {
 }
 
 Result<std::string> XenstoreDaemon::Read(const std::string& path) {
-  ChargeRequest(m_req_read_);
+  NEPHELE_RETURN_IF_ERROR(ChargeRequest(m_req_read_));
   ++stats_.reads;
   const Node* n = Lookup(path);
   if (n == nullptr || !n->has_value) {
@@ -141,7 +148,7 @@ Result<std::string> XenstoreDaemon::Read(const std::string& path) {
 }
 
 Status XenstoreDaemon::Mkdir(const std::string& path) {
-  ChargeRequest(m_req_mkdir_);
+  NEPHELE_RETURN_IF_ERROR(ChargeRequest(m_req_mkdir_));
   ++stats_.writes;
   LookupOrCreate(path);
   FireWatches(path);
@@ -160,7 +167,7 @@ void XenstoreDaemon::CountRemovedSubtree(const Node& node) {
 }
 
 Status XenstoreDaemon::Rm(const std::string& path) {
-  ChargeRequest(m_req_rm_);
+  NEPHELE_RETURN_IF_ERROR(ChargeRequest(m_req_rm_));
   ++stats_.writes;
   auto comps = SplitXsPath(path);
   if (comps.empty()) {
@@ -184,7 +191,7 @@ Status XenstoreDaemon::Rm(const std::string& path) {
 }
 
 Result<std::vector<std::string>> XenstoreDaemon::Directory(const std::string& path) {
-  ChargeRequest(m_req_directory_);
+  NEPHELE_RETURN_IF_ERROR(ChargeRequest(m_req_directory_));
   ++stats_.directory_lists;
   const Node* n = Lookup(path);
   if (n == nullptr) {
@@ -200,7 +207,7 @@ Result<std::vector<std::string>> XenstoreDaemon::Directory(const std::string& pa
 
 
 Result<XsTransactionId> XenstoreDaemon::TransactionStart() {
-  ChargeRequest(m_req_txn_start_);
+  NEPHELE_RETURN_IF_ERROR(ChargeRequest(m_req_txn_start_));
   XsTransactionId id = next_txn_++;
   Transaction t;
   t.start_version = write_version_;
@@ -210,7 +217,7 @@ Result<XsTransactionId> XenstoreDaemon::TransactionStart() {
 
 Status XenstoreDaemon::TxnWrite(XsTransactionId txn, const std::string& path,
                                 const std::string& value) {
-  ChargeRequest(m_req_write_);
+  NEPHELE_RETURN_IF_ERROR(ChargeRequest(m_req_write_));
   ++stats_.writes;
   auto it = transactions_.find(txn);
   if (it == transactions_.end()) {
@@ -221,7 +228,7 @@ Status XenstoreDaemon::TxnWrite(XsTransactionId txn, const std::string& path,
 }
 
 Result<std::string> XenstoreDaemon::TxnRead(XsTransactionId txn, const std::string& path) {
-  ChargeRequest(m_req_read_);
+  NEPHELE_RETURN_IF_ERROR(ChargeRequest(m_req_read_));
   ++stats_.reads;
   auto it = transactions_.find(txn);
   if (it == transactions_.end()) {
@@ -242,7 +249,7 @@ Result<std::string> XenstoreDaemon::TxnRead(XsTransactionId txn, const std::stri
 }
 
 Status XenstoreDaemon::TransactionEnd(XsTransactionId txn, bool commit) {
-  ChargeRequest(m_req_txn_end_);
+  NEPHELE_RETURN_IF_ERROR(ChargeRequest(m_req_txn_end_));
   auto it = transactions_.find(txn);
   if (it == transactions_.end()) {
     return ErrNotFound("no such transaction");
@@ -252,6 +259,9 @@ Status XenstoreDaemon::TransactionEnd(XsTransactionId txn, bool commit) {
   if (!commit) {
     return Status::Ok();
   }
+  // An injected commit failure behaves exactly like a lost conflict race:
+  // the transaction is gone and the caller must restart it.
+  NEPHELE_RETURN_IF_ERROR(PokeFault(f_txn_commit_));
   // Conflict detection: any committed write since transaction start that
   // touches one of this transaction's paths aborts it (EAGAIN).
   auto touches = [&](const std::string& path) {
@@ -283,13 +293,13 @@ Status XenstoreDaemon::TransactionEnd(XsTransactionId txn, bool commit) {
 
 Status XenstoreDaemon::Watch(const std::string& prefix, const std::string& token,
                              const std::string& owner_tag, XsWatchCallback callback) {
-  ChargeRequest(m_req_watch_);
+  NEPHELE_RETURN_IF_ERROR(ChargeRequest(m_req_watch_));
   watches_.push_back(WatchEntry{prefix, token, owner_tag, std::move(callback)});
   return Status::Ok();
 }
 
 Status XenstoreDaemon::Unwatch(const std::string& prefix, const std::string& token) {
-  ChargeRequest(m_req_unwatch_);
+  NEPHELE_RETURN_IF_ERROR(ChargeRequest(m_req_unwatch_));
   auto before = watches_.size();
   std::erase_if(watches_, [&](const WatchEntry& w) {
     return w.prefix == prefix && w.token == token;
@@ -315,7 +325,7 @@ void XenstoreDaemon::FireWatches(const std::string& path) {
 }
 
 Status XenstoreDaemon::IntroduceDomain(DomId domid, DomId parent) {
-  ChargeRequest(m_req_introduce_);
+  NEPHELE_RETURN_IF_ERROR(ChargeRequest(m_req_introduce_));
   if (known_domains_.contains(domid)) {
     return ErrAlreadyExists("domain already introduced");
   }
@@ -324,7 +334,7 @@ Status XenstoreDaemon::IntroduceDomain(DomId domid, DomId parent) {
 }
 
 Status XenstoreDaemon::ReleaseDomain(DomId domid) {
-  ChargeRequest(m_req_release_);
+  NEPHELE_RETURN_IF_ERROR(ChargeRequest(m_req_release_));
   if (known_domains_.erase(domid) == 0) {
     return ErrNotFound("domain not introduced");
   }
@@ -380,7 +390,8 @@ void XenstoreDaemon::CloneSubtree(const Node& src, const std::string& dst_path, 
 
 Status XenstoreDaemon::XsClone(DomId parent_domid, DomId child_domid, XsCloneOp op,
                                const std::string& parent_path, const std::string& child_path) {
-  ChargeRequest(m_req_xs_clone_);
+  NEPHELE_RETURN_IF_ERROR(ChargeRequest(m_req_xs_clone_));
+  NEPHELE_RETURN_IF_ERROR(PokeFault(f_xs_clone_));
   ++stats_.xs_clone_requests;
   const Node* src = Lookup(parent_path);
   if (src == nullptr) {

@@ -15,6 +15,7 @@
 
 #include "src/base/result.h"
 #include "src/base/status.h"
+#include "src/fault/fault.h"
 #include "src/hypervisor/types.h"
 #include "src/obs/metrics.h"
 #include "src/sim/cost_model.h"
@@ -53,8 +54,10 @@ struct XenstoreStats {
 class XenstoreDaemon {
  public:
   // `metrics` may be null: the daemon then records into a private registry
-  // (standalone constructions in tests keep working).
-  XenstoreDaemon(EventLoop& loop, const CostModel& costs, MetricsRegistry* metrics = nullptr);
+  // (standalone constructions in tests keep working). `faults` may be null
+  // too — fault points are then never armed.
+  XenstoreDaemon(EventLoop& loop, const CostModel& costs, MetricsRegistry* metrics = nullptr,
+                 FaultInjector* faults = nullptr);
 
   XenstoreDaemon(const XenstoreDaemon&) = delete;
   XenstoreDaemon& operator=(const XenstoreDaemon&) = delete;
@@ -141,7 +144,9 @@ class XenstoreDaemon {
 
   // Charges one request: base + store-size scan + access log (and possibly
   // a rotation). `op_counter` is the per-op-type metric of the request.
-  void ChargeRequest(Counter& op_counter);
+  // Fails (before any accounting) when the "xenstore/request" fault point
+  // fires — modelling a dropped/errored client request.
+  Status ChargeRequest(Counter& op_counter);
   void FireWatches(const std::string& path);
 
   Node* Lookup(const std::string& path);
@@ -178,6 +183,9 @@ class XenstoreDaemon {
   Counter& m_watches_fired_;
   Counter& m_log_rotations_;
   Counter& m_txn_conflicts_;
+  FaultPoint* f_request_ = nullptr;
+  FaultPoint* f_txn_commit_ = nullptr;
+  FaultPoint* f_xs_clone_ = nullptr;
 
   Node root_;
   std::vector<WatchEntry> watches_;

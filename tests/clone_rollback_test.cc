@@ -1,0 +1,334 @@
+// Error-path unit tests for the transactional clone engine: one test per
+// stage, asserting the exact injected Status code surfaces to the caller,
+// the precise metric counters (clone/rolled_back, fault/injected,
+// clone/clones_total), and that the rollback left no trace — pool frames at
+// the pre-clone value, parent resumable and re-clonable.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/system.h"
+#include "src/xenstore/path.h"
+
+namespace nephele {
+namespace {
+
+class CloneRollbackTest : public ::testing::Test {
+ protected:
+  CloneRollbackTest() : system_(SmallSystem()) {}
+
+  static SystemConfig SmallSystem() {
+    SystemConfig cfg;
+    cfg.hypervisor.pool_frames = 64 * 1024;
+    return cfg;
+  }
+
+  DomId BootParent(bool with_devices = false) {
+    DomainConfig cfg;
+    cfg.name = "parent";
+    cfg.memory_mb = 4;
+    cfg.max_clones = 32;
+    cfg.with_vif = true;
+    cfg.with_p9fs = with_devices;
+    cfg.with_vbd = with_devices;
+    cfg.vbd_size_mb = 1;
+    auto dom = system_.toolstack().CreateDomain(cfg);
+    EXPECT_TRUE(dom.ok()) << dom.status().ToString();
+    system_.Settle();
+    return *dom;
+  }
+
+  Mfn StartInfoMfn(DomId dom) {
+    const Domain* d = system_.hypervisor().FindDomain(dom);
+    return d->p2m[d->start_info_gfn].mfn;
+  }
+
+  std::uint64_t RolledBack() {
+    return system_.metrics().GetCounter("clone/rolled_back").value();
+  }
+  std::uint64_t Injected() { return system_.metrics().GetCounter("fault/injected").value(); }
+  std::uint64_t ClonesTotal() {
+    return system_.metrics().GetCounter("clone/clones_total").value();
+  }
+
+  // Arms `point` to fail the first stage-1 attempt, checks the full rollback
+  // contract, then proves an un-faulted clone still works.
+  void ExpectStage1Rollback(const std::string& point) {
+    SCOPED_TRACE(point);
+    DomId parent = BootParent();
+    const Domain* p = system_.hypervisor().FindDomain(parent);
+    const std::size_t free_before = system_.hypervisor().FreePoolFrames();
+    const std::size_t domains_before = system_.hypervisor().DomainIds().size();
+    const bool data_writable_before = p->p2m[310].writable;
+
+    ASSERT_TRUE(system_.fault_injector()
+                    .Arm(point, FaultSpec::NthHit(1, StatusCode::kAborted, "boom"))
+                    .ok());
+    auto r = system_.clone_engine().Clone(parent, parent, StartInfoMfn(parent), 1);
+    system_.Settle();
+
+    // The injected code surfaces verbatim.
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kAborted) << r.status().ToString();
+
+    // Exact counters: one injection, one rollback, zero clones.
+    EXPECT_EQ(Injected(), 1u);
+    EXPECT_EQ(RolledBack(), 1u);
+    EXPECT_EQ(ClonesTotal(), 0u);
+
+    // No trace: frames returned, no extra domain, parent untouched and
+    // running.
+    EXPECT_EQ(system_.hypervisor().FreePoolFrames(), free_before);
+    EXPECT_EQ(system_.hypervisor().DomainIds().size(), domains_before);
+    EXPECT_EQ(p->state, DomainState::kRunning);
+    EXPECT_FALSE(p->blocked_in_clone);
+    EXPECT_TRUE(p->children.empty());
+    EXPECT_EQ(p->clones_created, 0u);
+    EXPECT_EQ(p->p2m[310].writable, data_writable_before)
+        << "parent pte not restored by rollback";
+
+    // The engine stays usable: disarm and clone for real.
+    system_.fault_injector().DisarmAll();
+    auto ok = system_.clone_engine().Clone(parent, parent, StartInfoMfn(parent), 1);
+    system_.Settle();
+    ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+    EXPECT_EQ(ClonesTotal(), 1u);
+    EXPECT_EQ(RolledBack(), 1u);  // unchanged by the successful clone
+  }
+
+  // Arms `point` to fail the second stage, checks the abort contract.
+  void ExpectStage2Abort(const std::string& point, bool with_devices) {
+    SCOPED_TRACE(point);
+    DomId parent = BootParent(with_devices);
+    const std::size_t free_before = system_.hypervisor().FreePoolFrames();
+    const std::size_t domains_before = system_.hypervisor().DomainIds().size();
+
+    ASSERT_TRUE(system_.fault_injector()
+                    .Arm(point, FaultSpec::NthHit(1, StatusCode::kUnavailable, "boom"))
+                    .ok());
+    auto r = system_.clone_engine().Clone(parent, parent, StartInfoMfn(parent), 1);
+    ASSERT_TRUE(r.ok()) << "stage 1 must succeed; the fault is in stage 2";
+    DomId child = (*r)[0];
+    system_.Settle();
+
+    // The child was destroyed and its Xenstore subtree removed.
+    EXPECT_EQ(system_.hypervisor().FindDomain(child), nullptr);
+    EXPECT_FALSE(system_.xenstore().DomainKnown(child));
+    EXPECT_FALSE(system_.xenstore().Read(XsDomainPath(child) + "/name").ok());
+
+    // Pool back to the pre-clone value (child private pages, page tables and
+    // the shared references all returned or released).
+    EXPECT_EQ(system_.hypervisor().FreePoolFrames(), free_before);
+    EXPECT_EQ(system_.hypervisor().DomainIds().size(), domains_before);
+
+    // The parent is resumable: unblocked, running, and re-clonable.
+    const Domain* p = system_.hypervisor().FindDomain(parent);
+    EXPECT_FALSE(p->blocked_in_clone);
+    EXPECT_EQ(p->state, DomainState::kRunning);
+    EXPECT_TRUE(p->children.empty());
+
+    EXPECT_GE(Injected(), 1u);
+    EXPECT_EQ(RolledBack(), 1u);
+    EXPECT_EQ(system_.metrics().GetCounter("xencloned/clones_aborted").value(), 1u);
+    EXPECT_EQ(system_.metrics().GetCounter("xencloned/clones_completed").value(), 0u);
+
+    system_.fault_injector().DisarmAll();
+    auto ok = system_.clone_engine().Clone(parent, parent, StartInfoMfn(parent), 1);
+    system_.Settle();
+    ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+    EXPECT_EQ(system_.hypervisor().FindDomain(parent)->children.size(), 1u);
+  }
+
+  NepheleSystem system_;
+};
+
+// --- Stage-1 rollback, one test per stage. ---
+
+TEST_F(CloneRollbackTest, CreateDomainStage) {
+  ExpectStage1Rollback("clone/stage1/create_domain");
+}
+
+TEST_F(CloneRollbackTest, MemoryStage) { ExpectStage1Rollback("clone/stage1/memory"); }
+
+TEST_F(CloneRollbackTest, ShareStage) { ExpectStage1Rollback("clone/stage1/share"); }
+
+TEST_F(CloneRollbackTest, PageTableStage) {
+  ExpectStage1Rollback("clone/stage1/page_tables");
+}
+
+TEST_F(CloneRollbackTest, GrantStage) { ExpectStage1Rollback("clone/stage1/grants"); }
+
+TEST_F(CloneRollbackTest, EvtchnStage) { ExpectStage1Rollback("clone/stage1/evtchns"); }
+
+// Frame-pool exhaustion inside CloneMemory's private-page allocation.
+TEST_F(CloneRollbackTest, FrameAllocDuringCloneMemory) {
+  DomId parent = BootParent();
+  const std::size_t free_before = system_.hypervisor().FreePoolFrames();
+  // Skip the boot-time allocations: arm for the first alloc of the clone.
+  ASSERT_TRUE(system_.fault_injector()
+                  .Arm("hypervisor/frame_alloc", FaultSpec::NthHit(1))
+                  .ok());
+  auto r = system_.clone_engine().Clone(parent, parent, StartInfoMfn(parent), 1);
+  system_.Settle();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(RolledBack(), 1u);
+  EXPECT_EQ(system_.hypervisor().FreePoolFrames(), free_before);
+  EXPECT_FALSE(system_.hypervisor().FindDomain(parent)->blocked_in_clone);
+}
+
+// A fault on the second child of a batch unwinds the first child too: the
+// batch is all-or-nothing.
+TEST_F(CloneRollbackTest, BatchIsAllOrNothing) {
+  DomId parent = BootParent();
+  const std::size_t free_before = system_.hypervisor().FreePoolFrames();
+  const std::size_t domains_before = system_.hypervisor().DomainIds().size();
+  ASSERT_TRUE(system_.fault_injector()
+                  .Arm("clone/stage1/create_domain",
+                       FaultSpec::NthHit(2, StatusCode::kAborted, "second child"))
+                  .ok());
+  auto r = system_.clone_engine().Clone(parent, parent, StartInfoMfn(parent), 2);
+  system_.Settle();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(RolledBack(), 1u) << "one rollback event per failed batch";
+  EXPECT_EQ(ClonesTotal(), 0u);
+  EXPECT_EQ(system_.hypervisor().DomainIds().size(), domains_before);
+  EXPECT_EQ(system_.hypervisor().FreePoolFrames(), free_before);
+  const Domain* p = system_.hypervisor().FindDomain(parent);
+  EXPECT_TRUE(p->children.empty());
+  EXPECT_EQ(p->clones_created, 0u);
+  EXPECT_FALSE(p->blocked_in_clone);
+  EXPECT_EQ(p->state, DomainState::kRunning);
+}
+
+// --- Stage-2 aborts. ---
+
+TEST_F(CloneRollbackTest, XenclonedStage2Fault) {
+  ExpectStage2Abort("xencloned/stage2", /*with_devices=*/false);
+}
+
+TEST_F(CloneRollbackTest, XsCloneFault) {
+  ExpectStage2Abort("xenstore/xs_clone", /*with_devices=*/false);
+}
+
+TEST_F(CloneRollbackTest, ConsoleCloneFault) {
+  ExpectStage2Abort("devices/console_clone", /*with_devices=*/false);
+}
+
+TEST_F(CloneRollbackTest, NetCloneFault) {
+  ExpectStage2Abort("devices/net_clone", /*with_devices=*/false);
+}
+
+TEST_F(CloneRollbackTest, P9CloneFault) {
+  ExpectStage2Abort("devices/p9_clone", /*with_devices=*/true);
+}
+
+TEST_F(CloneRollbackTest, VbdCloneFault) {
+  ExpectStage2Abort("devices/vbd_clone", /*with_devices=*/true);
+}
+
+// A stage-2 abort of one child of a batch must not wedge the others or the
+// parent: the aborted child retires its outstanding slot like a completion.
+TEST_F(CloneRollbackTest, PartialBatchStage2Abort) {
+  DomId parent = BootParent();
+  ASSERT_TRUE(system_.fault_injector()
+                  .Arm("xencloned/stage2", FaultSpec::NthHit(2))
+                  .ok());
+  auto r = system_.clone_engine().Clone(parent, parent, StartInfoMfn(parent), 2);
+  ASSERT_TRUE(r.ok());
+  system_.Settle();
+
+  const Domain* p = system_.hypervisor().FindDomain(parent);
+  EXPECT_EQ(p->state, DomainState::kRunning) << "parent must resume despite one abort";
+  EXPECT_FALSE(p->blocked_in_clone);
+  ASSERT_EQ(p->children.size(), 1u) << "one child survives, one was aborted";
+  // Exactly one of the two stage-1 children made it through stage 2; the
+  // survivor is the one the parent still lists.
+  const bool first_alive = system_.hypervisor().FindDomain((*r)[0]) != nullptr;
+  const bool second_alive = system_.hypervisor().FindDomain((*r)[1]) != nullptr;
+  EXPECT_NE(first_alive, second_alive);
+  EXPECT_EQ(p->children[0], first_alive ? (*r)[0] : (*r)[1]);
+  EXPECT_EQ(RolledBack(), 1u);
+  EXPECT_EQ(system_.metrics().GetCounter("xencloned/clones_completed").value(), 1u);
+  EXPECT_EQ(system_.metrics().GetCounter("xencloned/clones_aborted").value(), 1u);
+}
+
+// --- CloneReset under fault. ---
+
+TEST_F(CloneRollbackTest, CloneResetFaultLeavesDirtyListConsistent) {
+  DomId parent = BootParent();
+  auto r = system_.clone_engine().Clone(parent, parent, StartInfoMfn(parent), 1);
+  ASSERT_TRUE(r.ok());
+  system_.Settle();
+  DomId child = (*r)[0];
+
+  // Dirty two pages on the child.
+  std::uint8_t b = 0x5a;
+  ASSERT_TRUE(system_.hypervisor().WriteGuestPage(child, 310, 0, &b, 1).ok());
+  ASSERT_TRUE(system_.hypervisor().WriteGuestPage(child, 311, 0, &b, 1).ok());
+  const Domain* c = system_.hypervisor().FindDomain(child);
+  ASSERT_EQ(c->dirty_since_clone.size(), 2u);
+
+  ASSERT_TRUE(system_.fault_injector()
+                  .Arm("clone/reset", FaultSpec::NthHit(1, StatusCode::kUnavailable, "boom"))
+                  .ok());
+  auto reset = system_.clone_engine().CloneReset(kDom0, child);
+  ASSERT_FALSE(reset.ok());
+  EXPECT_EQ(reset.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(c->dirty_since_clone.size(), 2u) << "failed reset must not lose dirty entries";
+
+  // Disarmed retry restores both pages.
+  system_.fault_injector().DisarmAll();
+  auto retry = system_.clone_engine().CloneReset(kDom0, child);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(*retry, 2u);
+  EXPECT_TRUE(c->dirty_since_clone.empty());
+}
+
+// --- Toolstack boot unwinding (the FailBoot path). ---
+
+TEST_F(CloneRollbackTest, FailedBootLeavesNoTrace) {
+  // Fail the nth frame allocation for several n, walking the fault through
+  // the boot sequence (domain creation, physmap population, special pages,
+  // device rings). Every failed boot must unwind completely; boots that
+  // survive are torn down and still must return to the starting state.
+  DomainConfig cfg;
+  cfg.memory_mb = 4;
+  cfg.max_clones = 4;
+  cfg.with_p9fs = true;
+  cfg.with_vbd = true;
+  unsigned boots_failed = 0;
+  for (unsigned nth : {1u, 10u, 100u, 300u, 600u}) {
+    SCOPED_TRACE(nth);
+    const std::size_t free_before = system_.hypervisor().FreePoolFrames();
+    const std::size_t domains_before = system_.hypervisor().DomainIds().size();
+    ASSERT_TRUE(system_.fault_injector()
+                    .Arm("hypervisor/frame_alloc", FaultSpec::NthHit(nth))
+                    .ok());
+    cfg.name = "doomed" + std::to_string(nth);
+    auto dom = system_.toolstack().CreateDomain(cfg);
+    system_.Settle();
+    system_.fault_injector().DisarmAll();
+    if (dom.ok()) {
+      ASSERT_TRUE(system_.toolstack().DestroyDomain(*dom).ok());
+      system_.Settle();
+    } else {
+      ++boots_failed;
+    }
+    EXPECT_EQ(system_.hypervisor().FreePoolFrames(), free_before);
+    EXPECT_EQ(system_.hypervisor().DomainIds().size(), domains_before);
+  }
+  EXPECT_GE(boots_failed, 1u) << "no nth-hit value made the boot fail";
+
+  // And boot still works afterwards.
+  cfg.name = "phoenix";
+  auto ok = system_.toolstack().CreateDomain(cfg);
+  system_.Settle();
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+}  // namespace
+}  // namespace nephele
