@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full verification: the test suite under the plain build, under ASan+UBSan
+# and under TSan (three separate build trees, so switching sanitizers never
+# forces a reconfigure of your main build).
+#
+# Usage: scripts/check.sh [ctest-args...]
+#   e.g. scripts/check.sh -R parallel_clone       (one suite, all 3 builds)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_leg() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "==== [${name}] configure + build ===="
+  cmake -B "${dir}" -S . "$@" >/dev/null
+  cmake --build "${dir}" -j "${JOBS}" --target all >/dev/null
+  echo "==== [${name}] ctest ===="
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" "${CTEST_ARGS[@]}")
+}
+
+CTEST_ARGS=("$@")
+
+run_leg plain build
+run_leg asan build-asan -DNEPHELE_SANITIZE=ON
+run_leg tsan build-tsan -DNEPHELE_TSAN=ON
+
+echo "==== all three legs passed ===="

@@ -1,8 +1,10 @@
 #include "src/core/clone_engine.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "src/base/log.h"
+#include "src/base/units.h"
 
 namespace nephele {
 
@@ -52,6 +54,19 @@ void CloneEngine::RemoveObserver(CloneObserver* observer) {
                    observers_.end());
 }
 
+void CloneEngine::SetWorkerThreads(unsigned n) {
+  if (n == 0) {
+    n = 1;
+  }
+  if (n == worker_threads_) {
+    return;
+  }
+  worker_threads_ = n;
+  // Recreated lazily on the next multi-threaded batch. Tearing down eagerly
+  // keeps systems that only ever clone serially free of threads.
+  pool_.reset();
+}
+
 void CloneEngine::CloneVcpus(const Domain& parent, Domain& child) {
   child.vcpus = parent.vcpus;
   for (auto& v : child.vcpus) {
@@ -59,187 +74,313 @@ void CloneEngine::CloneVcpus(const Domain& parent, Domain& child) {
     // (Sec. 5.2).
     v.rax = 1;
   }
-  hv_.loop().AdvanceBy(hv_.costs().vcpu_clone * static_cast<double>(child.vcpus.size()));
 }
 
-Status CloneEngine::CloneMemory(Domain& parent, Domain& child, std::vector<UndoEntry>& undo) {
-  NEPHELE_RETURN_IF_ERROR(PokeFault(f_stage1_memory_));
-  const CostModel& costs = hv_.costs();
-  FrameTable& frames = hv_.frames();
-  child.p2m.reserve(parent.p2m.size());
-  undo.reserve(parent.p2m.size());
-
-  for (Gfn gfn = 0; gfn < parent.p2m.size(); ++gfn) {
-    P2mEntry& pe = parent.p2m[gfn];
-    if (IsPrivateRole(pe.role)) {
-      // Private page: duplicated (or rewritten) for the child (Sec. 4.1).
-      NEPHELE_ASSIGN_OR_RETURN(Mfn mfn, hv_.AllocGuestFrame(child.id));
-      undo.push_back(UndoEntry{UndoEntry::Kind::kChildFrame, mfn, gfn, false});
-      if (frames.info(pe.mfn).data != nullptr) {
-        frames.CopyPage(pe.mfn, mfn);
-        hv_.loop().AdvanceBy(costs.page_copy);
-      } else {
-        hv_.loop().AdvanceBy(costs.private_page_rewrite);
-      }
-      child.p2m.push_back(P2mEntry{mfn, pe.role, /*writable=*/true});
-      ++stats_.pages_private_copied;
-      m_pages_private_copied_.Increment();
-      continue;
-    }
-    NEPHELE_RETURN_IF_ERROR(PokeFault(f_stage1_share_));
-    if (pe.role == PageRole::kIdcShared) {
-      // IDC regions stay writable on both sides: true sharing, no COW
-      // (Sec. 5.2.2 — ownership still moves to dom_cow like any shared page).
-      if (frames.IsShared(pe.mfn)) {
-        NEPHELE_RETURN_IF_ERROR(frames.ShareAgain(pe.mfn));
-        undo.push_back(UndoEntry{UndoEntry::Kind::kShareAgain, pe.mfn, gfn, pe.writable});
-        hv_.loop().AdvanceBy(costs.page_share_again);
-      } else {
-        NEPHELE_RETURN_IF_ERROR(frames.ShareFirst(pe.mfn));
-        undo.push_back(UndoEntry{UndoEntry::Kind::kShareFirst, pe.mfn, gfn, pe.writable});
-        hv_.loop().AdvanceBy(costs.page_share_first);
-      }
-      child.p2m.push_back(P2mEntry{pe.mfn, pe.role, /*writable=*/true});
-      ++stats_.pages_idc_shared;
-      m_pages_idc_shared_.Increment();
-      continue;
-    }
-    // Regular memory: share copy-on-write. Writable pages are marked
-    // read-only and will be COWed on the next write by either side.
-    if (frames.IsShared(pe.mfn)) {
-      NEPHELE_RETURN_IF_ERROR(frames.ShareAgain(pe.mfn));
-      undo.push_back(UndoEntry{UndoEntry::Kind::kShareAgain, pe.mfn, gfn, pe.writable});
-      hv_.loop().AdvanceBy(costs.page_share_again);
-      ++stats_.pages_shared_again;
-      m_pages_shared_again_.Increment();
-    } else {
-      NEPHELE_RETURN_IF_ERROR(frames.ShareFirst(pe.mfn));
-      undo.push_back(UndoEntry{UndoEntry::Kind::kShareFirst, pe.mfn, gfn, pe.writable});
-      hv_.loop().AdvanceBy(costs.page_share_first);
-      ++stats_.pages_shared_first;
-      m_pages_shared_first_.Increment();
-    }
-    m_pages_shared_.Increment();
-    pe.writable = false;
-    child.p2m.push_back(P2mEntry{pe.mfn, pe.role, /*writable=*/false});
-  }
-
-  child.start_info_gfn = parent.start_info_gfn;
-  child.console_ring_gfn = parent.console_ring_gfn;
-  child.xenstore_ring_gfn = parent.xenstore_ring_gfn;
-
-  // Rebuild private page tables and p2m map for the child (dominant cost for
-  // large guests; Sec. 4.1). Frames allocated here land on the child's
-  // page_table_frames/p2m_frames lists and are returned by DestroyDomain,
-  // so a mid-build failure needs no undo entries of its own.
-  NEPHELE_RETURN_IF_ERROR(PokeFault(f_stage1_page_tables_));
-  return hv_.BuildPageTables(child.id);
-}
-
-void CloneEngine::CloneEvtchns(const Domain& parent, Domain& child) {
-  child.evtchns = parent.evtchns.CloneForChild();
-  // IDC fix-up (Sec. 5.2.2): "On creation, a clone is implicitly bound to
-  // all the IDC event channels of its parent." The child's copy of each
-  // kDomChild port becomes its end of an interdomain channel to the parent;
-  // the parent's port connects to its first child and keeps serving as the
-  // receive end for later ones.
-  for (EvtchnPort p = 1; p < child.evtchns.max_ports(); ++p) {
-    EvtchnEntry& ce = child.evtchns.mutable_entry(p);
-    if (ce.idc && ce.state == EvtchnState::kUnbound && ce.remote_dom == kDomChild) {
-      ce.state = EvtchnState::kInterdomain;
-      ce.remote_dom = parent.id;
-      ce.remote_port = p;
-    }
-  }
-  Domain* parent_mut = hv_.FindDomain(parent.id);
-  for (EvtchnPort p = 1; p < parent_mut->evtchns.max_ports(); ++p) {
-    EvtchnEntry& pe = parent_mut->evtchns.mutable_entry(p);
-    if (pe.idc && pe.state == EvtchnState::kUnbound && pe.remote_dom == kDomChild) {
-      pe.state = EvtchnState::kInterdomain;
-      pe.remote_dom = child.id;
-      pe.remote_port = p;
-    }
-  }
-  std::size_t active = child.evtchns.active_ports();
-  hv_.loop().AdvanceBy(hv_.costs().evtchn_clone * static_cast<double>(active));
-}
-
-Status CloneEngine::CloneOne(Domain& parent, StagedChild& staged) {
-  hv_.loop().AdvanceBy(hv_.costs().clone_stage1_fixed);
+Status CloneEngine::PlanChildCommon(Domain& parent, ChildPlan& cp) {
+  cp.lane += hv_.costs().clone_stage1_fixed;
   // struct domain initialisation by copy+edit of the parent's (Sec. 5).
   NEPHELE_RETURN_IF_ERROR(PokeFault(f_stage1_create_));
   NEPHELE_ASSIGN_OR_RETURN(DomId child_id,
                            hv_.CreateDomain(/*name=*/"", static_cast<int>(parent.vcpus.size())));
   // From here on the child exists: record it before anything can fail so the
-  // caller's rollback always sees it.
-  staged.id = child_id;
-  Domain* child = hv_.FindDomain(child_id);
+  // batch rollback always sees it.
+  cp.id = child_id;
+  cp.child = hv_.FindDomain(child_id);
+  Domain& child = *cp.child;
 
-  child->parent = parent.id;
-  child->family_root = parent.family_root;
-  child->cloning_enabled = parent.cloning_enabled;
-  child->max_clones = parent.max_clones;
+  child.parent = parent.id;
+  child.family_root = parent.family_root;
+  child.cloning_enabled = parent.cloning_enabled;
+  child.max_clones = parent.max_clones;
+  child.start_info_gfn = parent.start_info_gfn;
+  child.console_ring_gfn = parent.console_ring_gfn;
+  child.xenstore_ring_gfn = parent.xenstore_ring_gfn;
+  child.track_dirty = true;
+  child.dirty_since_clone.clear();
   parent.children.push_back(child_id);
   ++parent.clones_created;
 
-  CloneVcpus(parent, *child);
-  NEPHELE_RETURN_IF_ERROR(CloneMemory(parent, *child, staged.undo));
-
-  NEPHELE_RETURN_IF_ERROR(PokeFault(f_stage1_grants_));
-  child->grants = parent.grants.CloneForChild();
-  hv_.loop().AdvanceBy(hv_.costs().grant_entry_clone *
-                       static_cast<double>(child->grants.active_entries()));
-  NEPHELE_RETURN_IF_ERROR(PokeFault(f_stage1_evtchns_));
-  CloneEvtchns(parent, *child);
-
-  child->track_dirty = true;
-  child->dirty_since_clone.clear();
+  CloneVcpus(parent, child);
+  cp.lane += hv_.costs().vcpu_clone * static_cast<double>(child.vcpus.size());
   return Status::Ok();
 }
 
-void CloneEngine::RollbackStagedChild(Domain& parent, const StagedChild& staged) {
+Status CloneEngine::PlanFirstChild(Domain& parent, BatchPlan& batch, ChildPlan& cp) {
+  NEPHELE_RETURN_IF_ERROR(PlanChildCommon(parent, cp));
+  batch.first_child = cp.id;
+  NEPHELE_RETURN_IF_ERROR(PokeFault(f_stage1_memory_));
+  const CostModel& costs = hv_.costs();
   FrameTable& frames = hv_.frames();
-  // Reverse-walk the undo log: later entries may depend on earlier ones
-  // (a ShareAgain presupposes the ShareFirst that precedes it in the log).
-  for (auto it = staged.undo.rbegin(); it != staged.undo.rend(); ++it) {
-    switch (it->kind) {
-      case UndoEntry::Kind::kChildFrame:
-        (void)frames.Release(it->mfn);
-        break;
-      case UndoEntry::Kind::kShareAgain:
-        (void)frames.Release(it->mfn);
-        parent.p2m[it->parent_gfn].writable = it->prev_writable;
-        break;
-      case UndoEntry::Kind::kShareFirst:
-        (void)frames.Unshare(it->mfn, parent.id);
-        parent.p2m[it->parent_gfn].writable = it->prev_writable;
-        break;
+
+  // The only full per-page scan of the batch: classify every parent page,
+  // poking faults and bumping counters exactly like the serial engine did,
+  // and record the batch-wide facts later children and the rollback reuse.
+  for (Gfn gfn = 0; gfn < parent.p2m.size(); ++gfn) {
+    P2mEntry& pe = parent.p2m[gfn];
+    if (IsPrivateRole(pe.role)) {
+      // Private page: duplicated (or rewritten) for the child (Sec. 4.1).
+      NEPHELE_ASSIGN_OR_RETURN(Mfn mfn, hv_.StageGuestFrame(cp.id));
+      cp.private_mfns.push_back(mfn);
+      batch.private_gfns.push_back(gfn);
+      SimDuration cost = costs.frame_alloc + (frames.info(pe.mfn).data != nullptr
+                                                  ? costs.page_copy
+                                                  : costs.private_page_rewrite);
+      cp.lane += cost;
+      batch.private_cost += cost;
+      ++stats_.pages_private_copied;
+      m_pages_private_copied_.Increment();
+      continue;
+    }
+    NEPHELE_RETURN_IF_ERROR(PokeFault(f_stage1_share_));
+    const bool already_shared =
+        frames.IsShared(pe.mfn) || batch.first_shared.count(pe.mfn) > 0;
+    if (pe.role == PageRole::kIdcShared) {
+      // IDC regions stay writable on both sides: true sharing, no COW
+      // (Sec. 5.2.2 — ownership still moves to dom_cow like any shared page).
+      cp.lane += already_shared ? costs.page_share_again : costs.page_share_first;
+      if (!already_shared) {
+        batch.first_shared.insert(pe.mfn);
+      }
+      ++stats_.pages_idc_shared;
+      m_pages_idc_shared_.Increment();
+      ++batch.idc_pages;
+      continue;
+    }
+    // Regular memory: share copy-on-write. Writable pages are marked
+    // read-only and will be COWed on the next write by either side.
+    if (already_shared) {
+      cp.lane += costs.page_share_again;
+      ++stats_.pages_shared_again;
+      m_pages_shared_again_.Increment();
+    } else {
+      cp.lane += costs.page_share_first;
+      batch.first_shared.insert(pe.mfn);
+      ++stats_.pages_shared_first;
+      m_pages_shared_first_.Increment();
+    }
+    m_pages_shared_.Increment();
+    ++batch.regular_pages;
+    if (pe.writable) {
+      batch.writable_flips.push_back(gfn);
+      pe.writable = false;
+    }
+  }
+  return PlanTables(parent, cp);
+}
+
+void CloneEngine::AccountPartialScan(const Domain& parent, Gfn end_gfn, SimDuration& lane) {
+  const CostModel& costs = hv_.costs();
+  const FrameTable& frames = hv_.frames();
+  std::size_t priv = 0;
+  std::size_t idc = 0;
+  std::size_t regular = 0;
+  for (Gfn gfn = 0; gfn < end_gfn; ++gfn) {
+    const P2mEntry& pe = parent.p2m[gfn];
+    if (IsPrivateRole(pe.role)) {
+      ++priv;
+      lane += costs.frame_alloc + (frames.info(pe.mfn).data != nullptr
+                                       ? costs.page_copy
+                                       : costs.private_page_rewrite);
+    } else {
+      lane += costs.page_share_again;
+      if (pe.role == PageRole::kIdcShared) {
+        ++idc;
+      } else {
+        ++regular;
+      }
+    }
+  }
+  stats_.pages_private_copied += priv;
+  m_pages_private_copied_.Increment(priv);
+  stats_.pages_idc_shared += idc;
+  m_pages_idc_shared_.Increment(idc);
+  stats_.pages_shared_again += regular;
+  m_pages_shared_again_.Increment(regular);
+  m_pages_shared_.Increment(regular);
+}
+
+Status CloneEngine::PlanNextChild(Domain& parent, BatchPlan& batch, ChildPlan& cp) {
+  NEPHELE_RETURN_IF_ERROR(PlanChildCommon(parent, cp));
+  NEPHELE_RETURN_IF_ERROR(PokeFault(f_stage1_memory_));
+  const CostModel& costs = hv_.costs();
+
+  // The first child shared every non-private page, so every share of this
+  // child is a re-share: no per-page decisions remain and the scan reduces
+  // to the private gfns plus bulk fault pokes for the share runs between
+  // them. The failure paths recompute the exact per-page prefix the fast
+  // path skipped, so an armed fault point observes identical hit counts and
+  // counter state as with the serial per-page walk.
+  cp.private_mfns.reserve(batch.private_gfns.size());
+  Gfn next = 0;
+  for (Gfn pgfn : batch.private_gfns) {
+    if (f_stage1_share_ != nullptr) {
+      FaultPoint::BulkPoke bulk = f_stage1_share_->PokeMany(pgfn - next);
+      if (!bulk.status.ok()) {
+        AccountPartialScan(parent, next + static_cast<Gfn>(bulk.performed) - 1, cp.lane);
+        return bulk.status;
+      }
+    }
+    auto mfn = hv_.StageGuestFrame(cp.id);
+    if (!mfn.ok()) {
+      AccountPartialScan(parent, pgfn, cp.lane);
+      return mfn.status();
+    }
+    cp.private_mfns.push_back(*mfn);
+    next = pgfn + 1;
+  }
+  if (f_stage1_share_ != nullptr) {
+    FaultPoint::BulkPoke bulk =
+        f_stage1_share_->PokeMany(static_cast<Gfn>(parent.p2m.size()) - next);
+    if (!bulk.status.ok()) {
+      AccountPartialScan(parent, next + static_cast<Gfn>(bulk.performed) - 1, cp.lane);
+      return bulk.status;
     }
   }
 
-  Domain* child = hv_.FindDomain(staged.id);
-  if (child != nullptr) {
-    // Revert the parent-side IDC evtchn fix-up (CloneEvtchns binds the
-    // parent's unbound kDomChild ports to its first child).
-    for (EvtchnPort p = 1; p < parent.evtchns.max_ports(); ++p) {
-      EvtchnEntry& pe = parent.evtchns.mutable_entry(p);
-      if (pe.idc && pe.state == EvtchnState::kInterdomain && pe.remote_dom == staged.id) {
-        pe.state = EvtchnState::kUnbound;
-        pe.remote_dom = kDomChild;
-        pe.remote_port = 0;
+  stats_.pages_private_copied += batch.private_gfns.size();
+  m_pages_private_copied_.Increment(batch.private_gfns.size());
+  stats_.pages_idc_shared += batch.idc_pages;
+  m_pages_idc_shared_.Increment(batch.idc_pages);
+  stats_.pages_shared_again += batch.regular_pages;
+  m_pages_shared_again_.Increment(batch.regular_pages);
+  m_pages_shared_.Increment(batch.regular_pages);
+  cp.lane += batch.private_cost +
+             costs.page_share_again * static_cast<double>(batch.idc_pages + batch.regular_pages);
+  return PlanTables(parent, cp);
+}
+
+Status CloneEngine::PlanTables(Domain& parent, ChildPlan& cp) {
+  const CostModel& costs = hv_.costs();
+  Domain& child = *cp.child;
+  // Private page tables and p2m map (dominant cost for large guests;
+  // Sec. 4.1). Frames land on the child's page_table_frames/p2m_frames
+  // lists and are returned by DestroyDomain, so a mid-build failure needs
+  // no undo bookkeeping of its own.
+  NEPHELE_RETURN_IF_ERROR(PokeFault(f_stage1_page_tables_));
+  std::size_t pt_pages = PageTablePagesFor(parent.p2m.size());
+  for (std::size_t i = 0; i < pt_pages; ++i) {
+    NEPHELE_ASSIGN_OR_RETURN(Mfn mfn, hv_.StageGuestFrame(cp.id));
+    child.page_table_frames.push_back(mfn);
+    cp.lane += costs.frame_alloc + costs.private_page_rewrite;
+  }
+  std::size_t p2m_pages = (parent.p2m.size() * 4 + kPageSize - 1) / kPageSize;
+  if (p2m_pages == 0) {
+    p2m_pages = 1;
+  }
+  for (std::size_t i = 0; i < p2m_pages; ++i) {
+    NEPHELE_ASSIGN_OR_RETURN(Mfn mfn, hv_.StageGuestFrame(cp.id));
+    child.p2m_frames.push_back(mfn);
+    cp.lane += costs.frame_alloc;
+  }
+  NEPHELE_RETURN_IF_ERROR(PokeFault(f_stage1_grants_));
+  cp.lane +=
+      costs.grant_entry_clone * static_cast<double>(parent.grants.active_entries());
+  NEPHELE_RETURN_IF_ERROR(PokeFault(f_stage1_evtchns_));
+  cp.lane += costs.evtchn_clone * static_cast<double>(parent.evtchns.active_ports());
+  return Status::Ok();
+}
+
+void CloneEngine::StageChild(const Domain& parent, const BatchPlan& batch, ChildPlan& cp) {
+  Domain& child = *cp.child;
+  FrameTable& frames = hv_.frames();
+
+  // Guest memory: private pages copy into the pre-allocated frames; shared
+  // pages take one commutative refcount each through one StageShareAll
+  // batch. Parent state is read-only here (the parent is paused and the
+  // plan phase has finished mutating it before the first dispatch).
+  child.p2m.reserve(parent.p2m.size());
+  std::vector<Mfn> shares;
+  shares.reserve(parent.p2m.size());
+  std::size_t pi = 0;
+  for (Gfn gfn = 0; gfn < parent.p2m.size(); ++gfn) {
+    const P2mEntry& pe = parent.p2m[gfn];
+    if (IsPrivateRole(pe.role)) {
+      Mfn mfn = cp.private_mfns[pi++];
+      if (frames.info(pe.mfn).data != nullptr) {
+        frames.CopyPage(pe.mfn, mfn);
+      }
+      child.p2m.push_back(P2mEntry{mfn, pe.role, /*writable=*/true});
+    } else {
+      shares.push_back(pe.mfn);
+      child.p2m.push_back(
+          P2mEntry{pe.mfn, pe.role, /*writable=*/pe.role == PageRole::kIdcShared});
+    }
+  }
+  frames.StageShareAll(shares, cp.id);
+
+  child.grants = parent.grants.CloneForChild();
+
+  child.evtchns = parent.evtchns.CloneForChild();
+  // IDC fix-up (Sec. 5.2.2): "On creation, a clone is implicitly bound to
+  // all the IDC event channels of its parent." The first child's copy of
+  // each kDomChild port becomes its end of an interdomain channel to the
+  // parent; later children connect to the first child — exactly the state
+  // the serial engine produced by copying the parent's table after its own
+  // fix-up had bound those ports to the first child. The parent-side half
+  // of the fix-up is applied serially at commit.
+  const DomId bind_to = cp.id == batch.first_child ? parent.id : batch.first_child;
+  for (EvtchnPort p = 1; p < child.evtchns.max_ports(); ++p) {
+    EvtchnEntry& ce = child.evtchns.mutable_entry(p);
+    if (ce.idc && ce.state == EvtchnState::kUnbound && ce.remote_dom == kDomChild) {
+      ce.state = EvtchnState::kInterdomain;
+      ce.remote_dom = bind_to;
+      ce.remote_port = p;
+    }
+  }
+}
+
+void CloneEngine::RollbackBatch(Domain& parent, BatchPlan& batch,
+                                std::vector<ChildPlan>& plans) {
+  FrameTable& frames = hv_.frames();
+  // Newest child first, so by the time the first child unwinds it holds the
+  // last clone reference on every frame this batch shared — first-shared
+  // frames are then back at refcount 2 (parent + first child) and Unshare
+  // restores private parent ownership exactly.
+  for (auto it = plans.rbegin(); it != plans.rend(); ++it) {
+    ChildPlan& cp = *it;
+    if (cp.id == kDomInvalid) {
+      continue;  // create_domain failed: this child never existed
+    }
+    Domain& child = *cp.child;
+    if (cp.dispatched) {
+      // Fully staged: derive the undo from the child's p2m, newest entry
+      // first (a re-share presupposes the first share that precedes it).
+      for (auto pit = child.p2m.rbegin(); pit != child.p2m.rend(); ++pit) {
+        if (IsPrivateRole(pit->role)) {
+          (void)frames.Release(pit->mfn);
+          continue;
+        }
+        const bool shared_by_this_batch =
+            cp.id == batch.first_child && batch.first_shared.count(pit->mfn) > 0 &&
+            frames.info(pit->mfn).refcount.load(std::memory_order_relaxed) == 2;
+        if (shared_by_this_batch) {
+          (void)frames.Unshare(pit->mfn, parent.id);
+        } else {
+          (void)frames.Release(pit->mfn);
+        }
+      }
+    } else {
+      // The failing child: its staging job never ran, so no share refs
+      // exist; only the frames its plan consumed go back.
+      for (auto mit = cp.private_mfns.rbegin(); mit != cp.private_mfns.rend(); ++mit) {
+        (void)frames.Release(*mit);
       }
     }
-    // Every guest frame was already returned through the undo log; clear the
-    // p2m so DestroyDomain only releases the page-table and p2m-map frames
-    // it still tracks (a double release would corrupt the free list).
-    child->p2m.clear();
-    (void)hv_.DestroyDomain(staged.id);
+    // Every guest frame was already returned above; clear the p2m so
+    // DestroyDomain only releases the page-table and p2m-map frames it
+    // still tracks (a double release would corrupt the free list).
+    child.p2m.clear();
+    (void)hv_.DestroyDomain(cp.id);
+    if (parent.clones_created > 0) {
+      --parent.clones_created;
+    }
+    for (CloneObserver* obs : observers_) {
+      obs->OnCloneAborted(parent.id, cp.id);
+    }
   }
-  if (parent.clones_created > 0) {
-    --parent.clones_created;
-  }
-  for (CloneObserver* obs : observers_) {
-    obs->OnCloneAborted(parent.id, staged.id);
+  // Restore the parent ptes this batch flipped read-only.
+  for (Gfn gfn : batch.writable_flips) {
+    parent.p2m[gfn].writable = true;
   }
 }
 
@@ -292,38 +433,81 @@ Result<std::vector<DomId>> CloneEngine::Clone(DomId caller, DomId parent_id, Mfn
   (void)hv_.PauseDomain(parent_id);
   parent->blocked_in_clone = true;
 
-  // Stage phase: build every child without publishing anything. A failure
-  // anywhere unwinds all staged children in reverse order and resumes the
-  // parent, so a failed CLONEOP is side-effect free (the hypercall either
-  // produces num_clones runnable children or none).
-  std::vector<StagedChild> staged(num_clones);
-  Status failure = Status::Ok();
-  for (unsigned i = 0; i < num_clones; ++i) {
-    failure = CloneOne(*parent, staged[i]);
-    if (!failure.ok()) {
-      for (unsigned j = i + 1; j-- > 0;) {
-        if (staged[j].id != kDomInvalid) {
-          RollbackStagedChild(*parent, staged[j]);
-        }
-      }
-      ++stats_.rollbacks;
-      m_rolled_back_.Increment();
-      parent->blocked_in_clone = false;
-      (void)hv_.UnpauseDomain(parent_id);
-      return failure;
-    }
+  // Lazy pool creation: systems that only ever clone with one thread never
+  // spawn workers.
+  if (worker_threads_ > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<WorkerPool>(worker_threads_);
   }
 
-  // Commit phase: nothing below can fail. Publish the children to xencloned
-  // and to the caller.
+  // Plan each child serially, then pipeline its staging onto the pool while
+  // the next child is planned. Everything that can fail fails in the plan,
+  // so a dispatched staging job always completes.
+  BatchPlan batch;
+  std::vector<ChildPlan> plans;
+  plans.reserve(num_clones);  // workers hold references; must not reallocate
+  Status failure = Status::Ok();
+  for (unsigned i = 0; i < num_clones; ++i) {
+    plans.emplace_back();
+    ChildPlan& cp = plans.back();
+    failure = i == 0 ? PlanFirstChild(*parent, batch, cp) : PlanNextChild(*parent, batch, cp);
+    if (!failure.ok()) {
+      break;
+    }
+    cp.dispatched = true;
+    if (pool_ != nullptr) {
+      pool_->Submit(i, [this, parent, &batch, &cp] { StageChild(*parent, batch, cp); });
+    } else {
+      StageChild(*parent, batch, cp);
+    }
+  }
+  if (pool_ != nullptr) {
+    pool_->WaitIdle();
+  }
+
+  // The batch costs its slowest child in virtual time — concurrency is the
+  // point of the worker pool, and the charge must not depend on the host
+  // thread count. A single clone degenerates to the serial engine's exact
+  // sum; a failed batch charges the work staged up to the failure.
+  std::vector<SimDuration> lanes;
+  lanes.reserve(plans.size());
+  for (const ChildPlan& cp : plans) {
+    lanes.push_back(cp.lane);
+  }
+  hv_.loop().AdvanceByCriticalPath(lanes);
+
+  if (!failure.ok()) {
+    // A failure anywhere unwinds all staged children and resumes the
+    // parent, so a failed CLONEOP is side-effect free (the hypercall either
+    // produces num_clones runnable children or none).
+    RollbackBatch(*parent, batch, plans);
+    ++stats_.rollbacks;
+    m_rolled_back_.Increment();
+    parent->blocked_in_clone = false;
+    (void)hv_.UnpauseDomain(parent_id);
+    return failure;
+  }
+
+  // Commit phase: serial, in child-index order; nothing below can fail.
+  // Parent half of the IDC event-channel fix-up: its unbound kDomChild
+  // ports connect to the first child (which keeps serving as the receive
+  // end for later ones).
+  for (EvtchnPort p = 1; p < parent->evtchns.max_ports(); ++p) {
+    EvtchnEntry& pe = parent->evtchns.mutable_entry(p);
+    if (pe.idc && pe.state == EvtchnState::kUnbound && pe.remote_dom == kDomChild) {
+      pe.state = EvtchnState::kInterdomain;
+      pe.remote_dom = batch.first_child;
+      pe.remote_port = p;
+    }
+  }
+  // Publish the children to xencloned and to the caller.
   std::vector<DomId> children;
   children.reserve(num_clones);
-  for (StagedChild& sc : staged) {
-    children.push_back(sc.id);
-    pending_children_[sc.id] = PendingChild{parent_id, hv_.loop().Now()};
-    ring_.Push(CloneNotification{parent_id, sc.id,
+  for (ChildPlan& cp : plans) {
+    children.push_back(cp.id);
+    pending_children_[cp.id] = PendingChild{parent_id, hv_.loop().Now()};
+    ring_.Push(CloneNotification{parent_id, cp.id,
                                  parent->p2m[parent->start_info_gfn].mfn,
-                                 hv_.FindDomain(sc.id)->p2m[parent->start_info_gfn].mfn});
+                                 cp.child->p2m[parent->start_info_gfn].mfn});
     (void)hv_.RaiseVirq(kDom0, Virq::kCloned);
     ++stats_.clones;
     m_clones_.Increment();

@@ -1,16 +1,40 @@
 // CloneEngine: the hypervisor side of Nephele — the CLONEOP hypercall and
 // the first stage of cloning (Sec. 4.1, 5.1, 5.2). It operates directly on
 // hypervisor state, exactly as the real implementation extends Xen itself.
+//
+// The first stage of a batch runs in three phases:
+//
+//   plan    (simulation thread, serial)  — validation, fault pokes, frame
+//           allocations off the free list, parent-side mutations (COW pte
+//           flips, clone accounting), per-child virtual-time lane math and
+//           every metrics/stats update. Everything that can fail fails here.
+//   stage   (worker pool, parallel)      — per-child heavy lifting against
+//           pre-allocated frames: private page copies, COW share refcounts
+//           (FrameTable::StageShareAll), p2m construction, grant/event-
+//           channel table duplication. Staging is infallible by construction.
+//   commit  (simulation thread, serial, child-index order) — parent IDC
+//           event-channel fix-up, notification-ring pushes, VIRQ_CLONED,
+//           pending/outstanding bookkeeping.
+//
+// Because failures, metrics and externally visible ordering all live in the
+// serial phases, the result of a batch is byte-identical at any worker
+// thread count; only wall-clock time changes. Virtual time is charged as the
+// critical path over the per-child lanes (a batch costs its slowest child,
+// not the sum), which for a single clone degenerates to the exact serial
+// cost.
 
 #ifndef SRC_CORE_CLONE_ENGINE_H_
 #define SRC_CORE_CLONE_ENGINE_H_
 
 #include <map>
 #include <memory>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/base/result.h"
 #include "src/core/clone_types.h"
+#include "src/core/worker_pool.h"
 #include "src/fault/fault.h"
 #include "src/hypervisor/hypervisor.h"
 #include "src/obs/clone_observer.h"
@@ -79,6 +103,14 @@ class CloneEngine {
   void AddObserver(CloneObserver* observer);
   void RemoveObserver(CloneObserver* observer);
 
+  // Number of host threads staging clone batches. 1 (the default) stages
+  // inline on the simulation thread; n > 1 partitions children of a batch
+  // round-robin across n pool workers. The pool is created lazily on the
+  // first multi-threaded batch and torn down on reconfiguration. Results
+  // are identical at any setting; only wall-clock time changes.
+  void SetWorkerThreads(unsigned n);
+  unsigned worker_threads() const { return worker_threads_; }
+
   const CloneStats& stats() const { return stats_; }
 
   // Registry this engine records into (its own fallback unless one was
@@ -86,40 +118,67 @@ class CloneEngine {
   MetricsRegistry& metrics() { return *metrics_; }
 
  private:
-  // One reversible side effect of the first stage, recorded as it is
-  // performed. Rollback walks a child's log in reverse (Sec. 5's first
-  // stage is all-or-nothing in this implementation: a clone either becomes
-  // visible in the notification ring or leaves no trace).
-  struct UndoEntry {
-    enum class Kind {
-      kChildFrame,  // a frame allocated for (and owned by) the child
-      kShareFirst,  // parent frame moved to dom_cow, refcount 1 -> 2
-      kShareAgain,  // already-shared frame, refcount bumped
-    };
-    Kind kind;
-    Mfn mfn = kInvalidMfn;
-    Gfn parent_gfn = kInvalidGfn;  // share entries: gfn in the parent's p2m
-    bool prev_writable = false;    // share entries: parent pte state before
-  };
-
-  // A child built by CloneOne but not yet committed (no ring notification,
-  // no pending/outstanding bookkeeping).
-  struct StagedChild {
+  // Per-child output of the plan phase: everything a worker needs to stage
+  // the child without taking any decision of its own.
+  struct ChildPlan {
     DomId id = kDomInvalid;
-    std::vector<UndoEntry> undo;
+    Domain* child = nullptr;
+    // Frames pre-allocated for the child's private guest pages, in ascending
+    // parent-gfn order (parallel to BatchPlan::private_gfns).
+    std::vector<Mfn> private_mfns;
+    // This child's virtual-time lane (its cost had it been cloned alone,
+    // minus the hypercall trap).
+    SimDuration lane;
+    // True once the staging job was handed to a worker (or ran inline):
+    // the child is then fully built and rollback derives its effects from
+    // the child's p2m instead of from private_mfns.
+    bool dispatched = false;
   };
 
-  // First-stage pieces.
-  Status CloneOne(Domain& parent, StagedChild& staged);
-  Status CloneMemory(Domain& parent, Domain& child, std::vector<UndoEntry>& undo);
+  // Batch-wide facts computed once during the first child's full-page scan.
+  // Later children reuse them instead of re-deciding per page.
+  struct BatchPlan {
+    // Parent gfns holding private-role pages, ascending.
+    std::vector<Gfn> private_gfns;
+    // Parent frames that entered COW sharing in THIS batch (rollback must
+    // Unshare these; frames shared by an earlier batch only lose a ref).
+    std::unordered_set<Mfn> first_shared;
+    // Parent ptes flipped writable->read-only by this batch, for rollback.
+    std::vector<Gfn> writable_flips;
+    // Shared-page counts (idc + regular = every non-private page).
+    std::size_t idc_pages = 0;
+    std::size_t regular_pages = 0;
+    // Cost of one child's private-page work (identical for every child).
+    SimDuration private_cost;
+    DomId first_child = kDomInvalid;
+  };
+
+  // Plan phase. PlanFirstChild walks every parent page (classifying,
+  // poking faults in the serial-engine order, bumping page counters,
+  // flipping parent ptes); PlanNextChild is O(private pages) — every one of
+  // its shares is a re-share of a page the first child already shared.
+  // Both leave a partially-planned child behind on failure; RollbackBatch
+  // cleans it up.
+  Status PlanChildCommon(Domain& parent, ChildPlan& cp);
+  Status PlanFirstChild(Domain& parent, BatchPlan& batch, ChildPlan& cp);
+  Status PlanNextChild(Domain& parent, BatchPlan& batch, ChildPlan& cp);
+  Status PlanTables(Domain& parent, ChildPlan& cp);
+
+  // Stage phase: runs on a pool worker (or inline when worker_threads_==1).
+  // Touches only the child's state, pre-allocated frames, read-only parent
+  // state and the shard-locked FrameTable::StageShareAll path.
+  void StageChild(const Domain& parent, const BatchPlan& batch, ChildPlan& cp);
+
+  // Unwinds a failed batch (children [0, n) of `plans`, newest first) back
+  // to the pre-hypercall state. Dispatched children are derived-rolled-back
+  // from their p2m; the failing child returns its consumed allocations.
+  void RollbackBatch(Domain& parent, BatchPlan& batch, std::vector<ChildPlan>& plans);
+
+  // Exact per-page counter/lane accounting for a mid-scan plan failure in
+  // PlanNextChild: recomputes what the pages in [0, end_gfn) contributed.
+  void AccountPartialScan(const Domain& parent, Gfn end_gfn, SimDuration& lane);
+
   void CloneVcpus(const Domain& parent, Domain& child);
-  void CloneEvtchns(const Domain& parent, Domain& child);
-
-  // Unwinds one staged child completely: shared frames un-shared (parent
-  // ptes restored), child frames returned, IDC evtchn fix-ups reverted, the
-  // child domain destroyed. Safe on a partially-built child.
-  void RollbackStagedChild(Domain& parent, const StagedChild& staged);
-
   void FireResume(DomId dom, bool is_child);
 
   struct PendingChild {
@@ -159,6 +218,9 @@ class CloneEngine {
   FaultPoint* f_stage1_grants_ = nullptr;
   FaultPoint* f_stage1_evtchns_ = nullptr;
   FaultPoint* f_reset_ = nullptr;
+
+  unsigned worker_threads_ = 1;
+  std::unique_ptr<WorkerPool> pool_;  // created lazily; null while serial
 
   std::vector<CloneObserver*> observers_;
   // Outstanding second-stage completions per parent.

@@ -9,6 +9,9 @@ NepheleSystem::NepheleSystem(SystemConfig config) : costs_(config.costs) {
   toolstack_ = std::make_unique<Toolstack>(*hv_, *xs_, *devices_, loop_, costs_, &metrics_,
                                            &trace_, &faults_);
   engine_ = std::make_unique<CloneEngine>(*hv_, &metrics_, &trace_, &faults_);
+  engine_->SetWorkerThreads(config.clone_worker_threads);
+  toolstack_->AttachCloneThreadSetter(
+      [e = engine_.get()](unsigned n) { e->SetWorkerThreads(n); });
   xencloned_ = std::make_unique<Xencloned>(*hv_, *engine_, *xs_, *devices_, *toolstack_, loop_,
                                            costs_, &metrics_, &trace_, &faults_);
 

@@ -28,6 +28,9 @@ struct SystemConfig {
   CostModel costs;
   // Start xencloned (and enable cloning globally) at construction.
   bool start_xencloned = true;
+  // Host threads staging clone batches (CloneEngine::SetWorkerThreads).
+  // 1 = serial; results are identical at any setting.
+  unsigned clone_worker_threads = 1;
 };
 
 class NepheleSystem {

@@ -1,0 +1,72 @@
+#include "src/core/worker_pool.h"
+
+#include <utility>
+
+namespace nephele {
+
+WorkerPool::WorkerPool(unsigned size) {
+  if (size == 0) {
+    size = 1;
+  }
+  workers_.reserve(size);
+  for (unsigned i = 0; i < size; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Spawn after the vector is fully built so RunWorker never observes a
+  // partially-constructed pool.
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, worker = w.get()] { RunWorker(*worker); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      w->stop = true;
+    }
+    w->cv.notify_one();
+  }
+  for (auto& w : workers_) {
+    w->thread.join();
+  }
+}
+
+void WorkerPool::Submit(unsigned worker, std::function<void()> job) {
+  Worker& w = *workers_[worker % workers_.size()];
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    w.queue.push_back(std::move(job));
+  }
+  w.cv.notify_one();
+}
+
+void WorkerPool::WaitIdle() {
+  for (auto& w : workers_) {
+    std::unique_lock<std::mutex> lock(w->mu);
+    w->idle_cv.wait(lock, [&] { return w->queue.empty() && !w->busy; });
+  }
+}
+
+void WorkerPool::RunWorker(Worker& w) {
+  std::unique_lock<std::mutex> lock(w.mu);
+  for (;;) {
+    w.cv.wait(lock, [&] { return w.stop || !w.queue.empty(); });
+    if (w.queue.empty()) {
+      // stop && drained: exit. Pending jobs always run before shutdown.
+      return;
+    }
+    std::function<void()> job = std::move(w.queue.front());
+    w.queue.pop_front();
+    w.busy = true;
+    lock.unlock();
+    job();
+    lock.lock();
+    w.busy = false;
+    if (w.queue.empty()) {
+      w.idle_cv.notify_all();
+    }
+  }
+}
+
+}  // namespace nephele

@@ -1,0 +1,62 @@
+// A small fixed-size thread pool with one FIFO queue per worker.
+//
+// The clone engine partitions a batch's children across workers
+// deterministically (child i -> worker i % size), so work placement never
+// depends on scheduling luck; only the interleaving of the workers' memory
+// operations varies between runs, and the engine's staging jobs are written
+// to commute. WaitIdle() is the batch barrier: it returns once every queue
+// is drained and every worker is parked.
+//
+// Jobs must not throw and must not touch the pool itself (no nested Submit).
+
+#ifndef SRC_CORE_WORKER_POOL_H_
+#define SRC_CORE_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nephele {
+
+class WorkerPool {
+ public:
+  // Spawns `size` threads (at least one). Threads live until destruction.
+  explicit WorkerPool(unsigned size);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Enqueues `job` on worker `worker % size()`. Jobs on one worker run in
+  // submission order.
+  void Submit(unsigned worker, std::function<void()> job);
+
+  // Blocks until every worker has an empty queue and is not running a job.
+  void WaitIdle();
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::condition_variable cv;       // signals the worker thread
+    std::condition_variable idle_cv;  // signals WaitIdle
+    std::deque<std::function<void()>> queue;
+    bool busy = false;
+    bool stop = false;
+    std::thread thread;
+  };
+
+  void RunWorker(Worker& w);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_CORE_WORKER_POOL_H_

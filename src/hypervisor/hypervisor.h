@@ -94,6 +94,16 @@ class Hypervisor {
   // are funnelled through one place). The caller records the frame.
   Result<Mfn> AllocGuestFrame(DomId dom) { return AllocFrameFor(dom); }
 
+  // Same allocation path minus the event-loop charge: the parallel clone
+  // engine plans a whole batch serially and charges virtual time per child
+  // lane (max over lanes, not sum), so the frame_alloc cost must land on the
+  // lane, not on the loop. Fault injection and pool exhaustion behave
+  // exactly like AllocGuestFrame.
+  Result<Mfn> StageGuestFrame(DomId dom) {
+    NEPHELE_RETURN_IF_ERROR(PokeFault(f_frame_alloc_));
+    return frames_.Alloc(dom);
+  }
+
   // Guest memory access. Writes resolve COW faults (charging cost model
   // time) and are the only mutation path for shared frames.
   Status WriteGuestPage(DomId dom, Gfn gfn, std::size_t offset, const void* src,

@@ -27,6 +27,20 @@ class EventLoop {
   // Charges `d` of virtual time to the currently-executing activity.
   void AdvanceBy(SimDuration d) { now_ = now_ + d; }
 
+  // Charges a batch of concurrent activity lanes: the batch costs its
+  // longest lane, not the sum. The parallel clone engine models every child
+  // of a batch as one lane, so the charge is independent of how many host
+  // worker threads executed the staging.
+  void AdvanceByCriticalPath(const std::vector<SimDuration>& lanes) {
+    SimDuration critical;
+    for (SimDuration d : lanes) {
+      if (critical < d) {
+        critical = d;
+      }
+    }
+    now_ = now_ + critical;
+  }
+
   // Schedules `fn` to run at Now() + delay. Events scheduled for the same
   // instant run in FIFO order (stable by sequence number), which keeps the
   // simulation deterministic.

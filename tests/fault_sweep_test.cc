@@ -26,6 +26,7 @@
 
 #include "src/core/idc.h"
 #include "src/core/system.h"
+#include "tests/frame_invariants.h"
 
 namespace nephele {
 namespace {
@@ -34,9 +35,13 @@ constexpr std::uint8_t kPattern[8] = {0xa5, 1, 2, 3, 4, 5, 6, 7};
 
 class FaultSweepTest : public ::testing::Test {
  protected:
-  static SystemConfig SmallSystem() {
+  // `workers` > 1 runs the sweep against the parallel clone engine, so every
+  // injected failure also exercises rollback of a batch the worker pool was
+  // staging.
+  static SystemConfig SmallSystem(unsigned workers = 1) {
     SystemConfig cfg;
     cfg.hypervisor.pool_frames = 64 * 1024;  // 256 MiB pool
+    cfg.clone_worker_threads = workers;
     return cfg;
   }
 
@@ -134,39 +139,8 @@ class FaultSweepTest : public ::testing::Test {
     return run;
   }
 
-  // Frame-table consistency against every live domain's mappings.
-  static void ExpectFrameConsistency(NepheleSystem& sys) {
-    Hypervisor& hv = sys.hypervisor();
-    const FrameTable& ft = hv.frames();
-    EXPECT_EQ(ft.free_frames() + ft.allocated_frames(), ft.total_frames());
-
-    std::map<Mfn, std::uint64_t> refs;
-    for (DomId id : hv.DomainIds()) {
-      const Domain* d = hv.FindDomain(id);
-      ASSERT_NE(d, nullptr);
-      for (const P2mEntry& e : d->p2m) {
-        if (e.mfn != kInvalidMfn) {
-          ++refs[e.mfn];
-        }
-      }
-      for (Mfn m : d->page_table_frames) {
-        ++refs[m];
-      }
-      for (Mfn m : d->p2m_frames) {
-        ++refs[m];
-      }
-    }
-    EXPECT_EQ(ft.allocated_frames(), refs.size()) << "allocated frames not all mapped (leak)";
-    for (const auto& [mfn, count] : refs) {
-      const FrameInfo& fi = ft.info(mfn);
-      EXPECT_TRUE(fi.allocated) << "freed frame still mapped: mfn " << mfn;
-      if (fi.shared) {
-        EXPECT_EQ(fi.refcount, count) << "refcount mismatch on shared mfn " << mfn;
-      } else {
-        EXPECT_EQ(count, 1u) << "unshared mfn mapped more than once: " << mfn;
-      }
-    }
-  }
+  // Frame-table consistency lives in tests/frame_invariants.h (shared with
+  // the concurrency stress suite).
 
   static void ExpectParentPatternIntact(NepheleSystem& sys, const ScenarioRun& run) {
     if (run.parent == kDomInvalid || !run.pattern_written ||
@@ -184,9 +158,10 @@ class FaultSweepTest : public ::testing::Test {
 
   // One full faulted variant: arm, run, then check every invariant plus
   // recovery (a clean clone after DisarmAll) and leak-free teardown.
-  static void RunFaultedVariant(const std::string& point, const FaultSpec& spec) {
-    SCOPED_TRACE("fault point: " + point);
-    NepheleSystem sys(SmallSystem());
+  static void RunFaultedVariant(const std::string& point, const FaultSpec& spec,
+                                unsigned workers = 1) {
+    SCOPED_TRACE("fault point: " + point + ", workers: " + std::to_string(workers));
+    NepheleSystem sys(SmallSystem(workers));
     FaultInjector& fi = sys.fault_injector();
     const std::size_t initial_free = sys.hypervisor().FreePoolFrames();
 
@@ -229,8 +204,8 @@ class FaultSweepTest : public ::testing::Test {
   }
 
   // Per-point hit counts of the unfaulted scenario; drives nth-hit variants.
-  static std::map<std::string, std::uint64_t> BaselineHits() {
-    NepheleSystem sys(SmallSystem());
+  static std::map<std::string, std::uint64_t> BaselineHits(unsigned workers = 1) {
+    NepheleSystem sys(SmallSystem(workers));
     RunScenario(sys);
     std::map<std::string, std::uint64_t> hits;
     for (const std::string& name : sys.fault_injector().PointNames()) {
@@ -280,6 +255,43 @@ TEST_F(FaultSweepTest, ProbabilitySweepAcrossAllPointsAndSeeds) {
       SCOPED_TRACE("seed=" + std::to_string(seed));
       RunFaultedVariant(name, FaultSpec::WithProbability(0.3, seed));
     }
+  }
+}
+
+// The parallel clone engine pokes every fault point in the same order and
+// the same number of times as the serial engine: fault determinism does not
+// depend on the worker-thread count.
+TEST_F(FaultSweepTest, ParallelEngineHitSequenceMatchesSerial) {
+  std::map<std::string, std::uint64_t> serial = BaselineHits(/*workers=*/1);
+  std::map<std::string, std::uint64_t> parallel = BaselineHits(/*workers=*/4);
+  EXPECT_EQ(serial, parallel);
+}
+
+// The nth-hit sweep against the parallel engine: every fault point fired at
+// the first and the last hit while a 4-worker pool stages the batches, so
+// rollback must unwind children that workers had already (partially) built.
+TEST_F(FaultSweepTest, NthHitSweepAcrossAllPointsParallelEngine) {
+  std::map<std::string, std::uint64_t> baseline = BaselineHits(/*workers=*/4);
+  ASSERT_FALSE(baseline.empty());
+  for (const auto& [name, hits] : baseline) {
+    std::vector<std::uint64_t> nths = {1};
+    if (hits >= 2) {
+      nths.push_back(hits);
+    }
+    for (std::uint64_t nth : nths) {
+      SCOPED_TRACE("nth=" + std::to_string(nth));
+      RunFaultedVariant(name, FaultSpec::NthHit(nth), /*workers=*/4);
+    }
+  }
+}
+
+// The stochastic sweep against the parallel engine, one seed per point.
+TEST_F(FaultSweepTest, ProbabilitySweepAcrossAllPointsParallelEngine) {
+  std::map<std::string, std::uint64_t> baseline = BaselineHits(/*workers=*/4);
+  for (const auto& [name, hits] : baseline) {
+    (void)hits;
+    SCOPED_TRACE("point=" + name);
+    RunFaultedVariant(name, FaultSpec::WithProbability(0.3, 5), /*workers=*/4);
   }
 }
 

@@ -1,0 +1,58 @@
+// Shared frame-accounting invariants, asserted by the fault sweep and the
+// concurrency stress suite after every perturbation of a system:
+//
+//  * frame conservation: free + allocated == total;
+//  * every allocated frame is mapped by exactly the references the frame
+//    table thinks it has (shared refcount == number of p2m references,
+//    unshared frames mapped exactly once);
+//  * no freed frame is still mapped anywhere.
+
+#ifndef TESTS_FRAME_INVARIANTS_H_
+#define TESTS_FRAME_INVARIANTS_H_
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/core/system.h"
+
+namespace nephele {
+
+// Frame-table consistency against every live domain's mappings.
+inline void ExpectFrameConsistency(NepheleSystem& sys) {
+  Hypervisor& hv = sys.hypervisor();
+  const FrameTable& ft = hv.frames();
+  EXPECT_EQ(ft.free_frames() + ft.allocated_frames(), ft.total_frames());
+
+  std::map<Mfn, std::uint64_t> refs;
+  for (DomId id : hv.DomainIds()) {
+    const Domain* d = hv.FindDomain(id);
+    ASSERT_NE(d, nullptr);
+    for (const P2mEntry& e : d->p2m) {
+      if (e.mfn != kInvalidMfn) {
+        ++refs[e.mfn];
+      }
+    }
+    for (Mfn m : d->page_table_frames) {
+      ++refs[m];
+    }
+    for (Mfn m : d->p2m_frames) {
+      ++refs[m];
+    }
+  }
+  EXPECT_EQ(ft.allocated_frames(), refs.size()) << "allocated frames not all mapped (leak)";
+  for (const auto& [mfn, count] : refs) {
+    const FrameInfo& fi = ft.info(mfn);
+    EXPECT_TRUE(fi.allocated) << "freed frame still mapped: mfn " << mfn;
+    if (fi.shared) {
+      EXPECT_EQ(fi.refcount.load(std::memory_order_relaxed), count)
+          << "refcount mismatch on shared mfn " << mfn;
+    } else {
+      EXPECT_EQ(count, 1u) << "unshared mfn mapped more than once: " << mfn;
+    }
+  }
+}
+
+}  // namespace nephele
+
+#endif  // TESTS_FRAME_INVARIANTS_H_
