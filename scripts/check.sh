@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Full verification: the test suite under the plain build, under ASan+UBSan
-# and under TSan (three separate build trees, so switching sanitizers never
-# forces a reconfigure of your main build).
+# Full verification: the test suite under the plain build, under ASan+UBSan,
+# under TSan (three separate build trees, so switching sanitizers never
+# forces a reconfigure of your main build), and a fourth leg running the
+# deterministic-simulation suite (ctest label `dst`) on the plain tree.
 #
 # Usage: scripts/check.sh [ctest-args...]
-#   e.g. scripts/check.sh -R parallel_clone       (one suite, all 3 builds)
+#   e.g. scripts/check.sh -R parallel_clone       (one suite, all legs)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -27,4 +28,10 @@ run_leg plain build
 run_leg asan build-asan -DNEPHELE_SANITIZE=ON
 run_leg tsan build-tsan -DNEPHELE_TSAN=ON
 
-echo "==== all three legs passed ===="
+# Leg 4: the DST suite by label on the already-built plain tree — corpus
+# replay, 200 generated scenarios with the oracle after every op, digest
+# determinism across worker counts, and the shrink loop.
+echo "==== [dst] ctest -L dst ===="
+(cd build && ctest --output-on-failure -j "${JOBS}" -L dst "${CTEST_ARGS[@]}")
+
+echo "==== all four legs passed ===="

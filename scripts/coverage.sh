@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Line-coverage gate for the clone-critical directories.
+#
+# Builds the suite with -DNEPHELE_COVERAGE=ON (gcov instrumentation), runs
+# ctest, aggregates line coverage over src/core/ + src/hypervisor/ (headers
+# included, merged across every object that compiled them) and fails when
+# the percentage drops below scripts/coverage_baseline.txt.
+#
+# Usage:
+#   scripts/coverage.sh                    # gate against the baseline
+#   NEPHELE_UPDATE_BASELINE=1 scripts/coverage.sh   # re-record the baseline
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=build-cov
+BASELINE=scripts/coverage_baseline.txt
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "==== [coverage] configure + build ===="
+cmake -B "${BUILD}" -S . -DNEPHELE_COVERAGE=ON >/dev/null
+cmake --build "${BUILD}" -j "${JOBS}" --target all >/dev/null
+
+# Fresh counters: coverage must reflect exactly this run.
+find "${BUILD}" -name '*.gcda' -delete
+
+echo "==== [coverage] ctest ===="
+(cd "${BUILD}" && ctest -j "${JOBS}" -LE stress --output-on-failure >/dev/null)
+
+echo "==== [coverage] aggregate src/core + src/hypervisor ===="
+python3 - "${BUILD}" "${BASELINE}" <<'PYEOF'
+import json
+import os
+import subprocess
+import sys
+
+build, baseline_path = sys.argv[1], sys.argv[2]
+repo = os.getcwd()
+targets = (os.path.join(repo, "src", "core") + os.sep,
+           os.path.join(repo, "src", "hypervisor") + os.sep)
+
+# line -> covered, merged with max() across every object file that compiled
+# the line (a header hit in any translation unit counts as covered).
+lines = {}
+gcda = []
+for root, _, names in os.walk(build):
+    gcda.extend(os.path.join(root, n) for n in names if n.endswith(".gcda"))
+if not gcda:
+    sys.exit("no .gcda files found: did ctest run?")
+
+for path in sorted(gcda):
+    out = subprocess.run(["gcov", "--json-format", "--stdout", path],
+                         capture_output=True, check=True).stdout
+    for chunk in out.splitlines():  # one JSON document per .gcda on stdout
+        data = json.loads(chunk)
+        for f in data.get("files", []):
+            name = f["file"]
+            if not name.startswith(targets):
+                continue
+            for ln in f["lines"]:
+                key = (name, ln["line_number"])
+                lines[key] = max(lines.get(key, 0), ln["count"])
+
+total = len(lines)
+covered = sum(1 for c in lines.values() if c > 0)
+if total == 0:
+    sys.exit("no instrumented lines under src/core or src/hypervisor")
+pct = 100.0 * covered / total
+print(f"lines: {covered}/{total} covered = {pct:.2f}%")
+
+if os.environ.get("NEPHELE_UPDATE_BASELINE"):
+    with open(baseline_path, "w") as f:
+        f.write(f"{pct:.2f}\n")
+    print(f"baseline recorded: {pct:.2f}% -> {baseline_path}")
+    sys.exit(0)
+
+try:
+    with open(baseline_path) as f:
+        baseline = float(f.read().strip())
+except FileNotFoundError:
+    sys.exit(f"missing {baseline_path}; record it with NEPHELE_UPDATE_BASELINE=1")
+
+# Strict gate with a hair of rounding slack.
+if pct + 0.05 < baseline:
+    sys.exit(f"coverage regression: {pct:.2f}% < baseline {baseline:.2f}%")
+print(f"coverage OK: {pct:.2f}% >= baseline {baseline:.2f}%")
+PYEOF

@@ -19,7 +19,14 @@ WorkerPool::WorkerPool(unsigned size) {
   }
 }
 
-WorkerPool::~WorkerPool() {
+WorkerPool::~WorkerPool() { Shutdown(); }
+
+void WorkerPool::Shutdown() {
+  // The flag flips before the stop signal so a Submit racing with Shutdown
+  // either lands in a queue that will still drain, or is rejected.
+  if (shut_down_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
   for (auto& w : workers_) {
     {
       std::lock_guard<std::mutex> lock(w->mu);
@@ -28,11 +35,17 @@ WorkerPool::~WorkerPool() {
     w->cv.notify_one();
   }
   for (auto& w : workers_) {
-    w->thread.join();
+    if (w->thread.joinable()) {
+      w->thread.join();
+    }
   }
 }
 
 void WorkerPool::Submit(unsigned worker, std::function<void()> job) {
+  if (shut_down_.load(std::memory_order_acquire)) {
+    rejected_jobs_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   Worker& w = *workers_[worker % workers_.size()];
   {
     std::lock_guard<std::mutex> lock(w.mu);
@@ -60,7 +73,11 @@ void WorkerPool::RunWorker(Worker& w) {
     w.queue.pop_front();
     w.busy = true;
     lock.unlock();
-    job();
+    try {
+      job();
+    } catch (...) {
+      exceptions_caught_.fetch_add(1, std::memory_order_relaxed);
+    }
     lock.lock();
     w.busy = false;
     if (w.queue.empty()) {

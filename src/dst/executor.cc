@@ -1,0 +1,666 @@
+#include "src/dst/executor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/core/system.h"
+#include "src/dst/reference_model.h"
+#include "src/toolstack/domain_config.h"
+#include "src/xenstore/path.h"
+
+namespace nephele {
+
+std::uint64_t DstHash64(std::string_view data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+
+// The counters whose deltas the model predicts on cleanly-modelled ops.
+// While any fault point is armed (or after an op with unmodelled side
+// effects, e.g. a rolled-back batch's create/destroy churn) the executor
+// re-baselines from the registry instead of comparing.
+constexpr const char* kTrackedCounters[] = {
+    "clone/clones_total",         "clone/batches_total",
+    "clone/reset/count",          "clone/reset/pages_restored",
+    "clone/rolled_back",          "xencloned/clones_completed",
+    "xencloned/clones_aborted",   "toolstack/domains_booted",
+    "toolstack/domains_restored",  "toolstack/domains_destroyed",
+    "hypervisor/domains/created", "hypervisor/domains/destroyed",
+};
+
+std::string EncodeDevioValue(std::uint32_t v) {
+  // Letters only, so xs_clone's domid-rewriting heuristics can never touch
+  // the value and the model's verbatim-copy expectation holds.
+  std::string out = "v";
+  do {
+    out.push_back(static_cast<char>('a' + v % 10));
+    v /= 10;
+  } while (v != 0);
+  return out;
+}
+
+class Executor {
+ public:
+  Executor(const Scenario& scenario, const RunOptions& options)
+      : scenario_(scenario), options_(options) {}
+
+  RunResult Run();
+
+ private:
+  void ExecuteOp(const Op& op, std::size_t index);
+  void OpLaunch(const Op& op);
+  void OpClone(const Op& op);
+  void OpWrite(const Op& op);
+  void OpReset(const Op& op);
+  void OpDestroy(const Op& op);
+  void OpMigrateOut(const Op& op);
+  void OpMigrateIn(const Op& op);
+  void OpArm(const Op& op);
+  void OpDevio(const Op& op);
+
+  // --- Oracle. Each check returns "" or a failure message. ---
+  void RunOracle(std::size_t op_index);
+  std::string CheckLiveSet();
+  std::string CheckTopology();
+  std::string CheckCells();
+  std::string CheckXenstore();
+  std::string CheckFrames();
+  std::string CheckCounters();
+
+  void Fail(std::string kind, std::size_t op, std::string message) {
+    if (result_.ok()) {
+      result_.fail_kind = std::move(kind);
+      result_.fail_op = op;
+      result_.message = std::move(message);
+    }
+  }
+
+  DomId Pick(std::uint32_t index) const { return live_[index % live_.size()]; }
+  Mfn StartInfoMfn(DomId dom) const {
+    const Domain* d = sys_->hypervisor().FindDomain(dom);
+    return d->p2m[d->start_info_gfn].mfn;
+  }
+  Gfn CellGfn(std::uint32_t slot) const {
+    return heap0_ + static_cast<Gfn>(ReferenceModel::SlotPage(slot % ReferenceModel::kCells));
+  }
+
+  void Expect(std::string_view counter, std::uint64_t delta) { expected_[std::string(counter)] += delta; }
+  void ResyncCounters() {
+    for (const char* name : kTrackedCounters) {
+      expected_[name] = sys_->metrics().CounterValue(name);
+    }
+  }
+
+  void Edge(std::uint32_t value) { result_.edges.push_back(value % 0x10000u); }
+  void OpEdges(const Op& op, int code) {
+    auto k = static_cast<std::uint32_t>(op.kind);
+    Edge(static_cast<std::uint32_t>(DstHash64("op") * 31 + k * 17 + static_cast<std::uint32_t>(code)));
+    Edge(static_cast<std::uint32_t>((prev_kind_ * 41 + k) * 13 + static_cast<std::uint32_t>(code)));
+    std::uint32_t live_bucket = static_cast<std::uint32_t>(std::min<std::size_t>(live_.size(), 7));
+    Edge(k * 257 + live_bucket * 29 + (faults_armed_ ? 7919 : 0));
+    prev_kind_ = k;
+  }
+
+  const Scenario& scenario_;
+  const RunOptions& options_;
+  RunResult result_;
+
+  std::unique_ptr<NepheleSystem> sys_;
+  ReferenceModel model_;
+  std::vector<DomId> live_;            // creation order; op.dom indexes this
+  std::vector<DomId> dead_;            // destroyed ids (never reused)
+  std::vector<MigrationStream> streams_;
+  std::map<std::string, std::uint64_t> expected_;
+  bool faults_armed_ = false;
+  std::size_t initial_free_ = 0;
+  Gfn heap0_ = 0;
+  std::size_t guest_pages_ = 0;
+  std::uint32_t prev_kind_ = 0;
+  std::ostringstream log_;
+};
+
+RunResult Executor::Run() {
+  SystemConfig config;
+  config.hypervisor.pool_frames = scenario_.pool_frames;
+  config.clone_worker_threads = options_.force_workers != 0 ? options_.force_workers : 1;
+  sys_ = std::make_unique<NepheleSystem>(config);
+  sys_->Settle();
+  initial_free_ = sys_->hypervisor().FreePoolFrames();
+
+  GuestMemoryLayout layout =
+      ComputeGuestLayout(DstGuestConfig(), sys_->hypervisor().config().min_domain_pages);
+  heap0_ = static_cast<Gfn>(layout.heap_first_gfn);
+  guest_pages_ = layout.total_pages;
+  ResyncCounters();
+
+  for (std::size_t i = 0; i < scenario_.ops.size(); ++i) {
+    const Op& op = scenario_.ops[i];
+    log_ << i << ' ' << OpKindName(op.kind);
+    ExecuteOp(op, i);
+    log_ << '\n';
+    ++result_.ops_executed;
+    if (options_.after_op) {
+      options_.after_op(*sys_, op, i);
+    }
+    RunOracle(i);
+    if (!result_.ok()) {
+      result_.digest = log_.str();
+      return std::move(result_);
+    }
+  }
+
+  // Teardown: everything down in reverse creation order; the pool must
+  // return to its boot level (absolute frame conservation).
+  std::vector<DomId> doomed(live_.rbegin(), live_.rend());
+  for (DomId dom : doomed) {
+    Op destroy;
+    destroy.kind = OpKind::kDestroy;
+    auto it = std::find(live_.begin(), live_.end(), dom);
+    destroy.dom = static_cast<std::uint32_t>(it - live_.begin());
+    log_ << "teardown " << dom;
+    OpDestroy(destroy);
+    log_ << '\n';
+  }
+  RunOracle(scenario_.ops.size());
+  if (result_.ok() && sys_->hypervisor().FreePoolFrames() != initial_free_) {
+    Fail("teardown", scenario_.ops.size(),
+         "pool did not return to boot level: free=" +
+             std::to_string(sys_->hypervisor().FreePoolFrames()) + " vs initial " +
+             std::to_string(initial_free_));
+  }
+
+  log_ << "metrics " << DstHash64(sys_->metrics().ExportJson()) << '\n';
+  log_ << "trace " << DstHash64(sys_->trace().ExportJson()) << '\n';
+  log_ << "simtime " << sys_->Now().ns() << '\n';
+  result_.digest = log_.str();
+  return std::move(result_);
+}
+
+void Executor::ExecuteOp(const Op& op, std::size_t index) {
+  (void)index;
+  switch (op.kind) {
+    case OpKind::kLaunchGuest:
+      OpLaunch(op);
+      break;
+    case OpKind::kCloneBatch:
+      if (live_.empty()) {
+        log_ << " skip";
+      } else {
+        OpClone(op);
+      }
+      break;
+    case OpKind::kCowWrite:
+      if (live_.empty()) {
+        log_ << " skip";
+      } else {
+        OpWrite(op);
+      }
+      break;
+    case OpKind::kCloneReset:
+      if (live_.empty()) {
+        log_ << " skip";
+      } else {
+        OpReset(op);
+      }
+      break;
+    case OpKind::kDestroy:
+      if (live_.empty()) {
+        log_ << " skip";
+      } else {
+        OpDestroy(op);
+      }
+      break;
+    case OpKind::kMigrateOut:
+      if (live_.empty()) {
+        log_ << " skip";
+      } else {
+        OpMigrateOut(op);
+      }
+      break;
+    case OpKind::kMigrateIn:
+      if (streams_.empty()) {
+        log_ << " skip";
+      } else {
+        OpMigrateIn(op);
+      }
+      break;
+    case OpKind::kArmFault:
+      OpArm(op);
+      break;
+    case OpKind::kDisarmFaults:
+      sys_->fault_injector().DisarmAll();
+      faults_armed_ = false;
+      // Injections may have perturbed untracked paths mid-window; start a
+      // fresh exact-comparison epoch.
+      ResyncCounters();
+      break;
+    case OpKind::kDeviceIo:
+      if (live_.empty()) {
+        log_ << " skip";
+      } else {
+        OpDevio(op);
+      }
+      break;
+    case OpKind::kAdvanceTime:
+      sys_->loop().AdvanceBy(SimDuration::Nanos(
+          static_cast<std::int64_t>(std::min<std::uint64_t>(op.amount, 1'000'000'000ULL))));
+      break;
+  }
+  OpEdges(op, 0);
+}
+
+void Executor::OpLaunch(const Op&) {
+  auto dom = sys_->toolstack().CreateDomain(DstGuestConfig());
+  sys_->Settle();
+  log_ << ' ' << static_cast<int>(dom.status().code());
+  if (dom.ok()) {
+    log_ << " dom=" << *dom;
+    live_.push_back(*dom);
+    model_.Launch(*dom);
+    Expect("toolstack/domains_booted", 1);
+    Expect("hypervisor/domains/created", 1);
+  } else {
+    // A failed boot unwinds itself (FailBoot) with create/destroy churn the
+    // counter model does not predict.
+    ResyncCounters();
+  }
+}
+
+void Executor::OpClone(const Op& op) {
+  DomId parent = Pick(op.dom);
+  unsigned workers = options_.force_workers;
+  if (workers == 0 && op.workers != 0) {
+    workers = 1 + (op.workers - 1) % 8;
+    sys_->clone_engine().SetWorkerThreads(workers);
+  }
+  const unsigned n = 1 + (op.n - 1) % 8;
+  const bool would_validate = model_.CloneWouldValidate(parent, DstGuestConfig().max_clones, n);
+  const std::uint64_t rolled_back_before = sys_->metrics().CounterValue("clone/rolled_back");
+
+  auto children = sys_->clone_engine().Clone(parent, parent, StartInfoMfn(parent), n);
+  sys_->Settle();
+  log_ << ' ' << static_cast<int>(children.status().code()) << " parent=" << parent << " n=" << n;
+
+  if (children.ok()) {
+    model_.CloneBatchPlanned(parent, n);
+    unsigned aborted = 0;
+    for (DomId child : *children) {
+      if (sys_->hypervisor().FindDomain(child) != nullptr) {
+        live_.push_back(child);
+        model_.CloneChild(parent, child);
+        log_ << " c" << child;
+      } else {
+        // Second stage failed; the abort path already destroyed the child.
+        ++aborted;
+        dead_.push_back(child);
+        log_ << " a" << child;
+      }
+    }
+    Expect("clone/batches_total", 1);
+    Expect("clone/clones_total", n);
+    Expect("hypervisor/domains/created", n);
+    Expect("xencloned/clones_completed", n - aborted);
+    Expect("xencloned/clones_aborted", aborted);
+    // Every stage-2 abort retires its pending slot through CloneAborted,
+    // which counts as a rollback and destroys the child.
+    Expect("clone/rolled_back", aborted);
+    Expect("hypervisor/domains/destroyed", aborted);
+  } else if (!would_validate && !faults_armed_) {
+    // Admission-control rejection: no batch was planned, nothing changed.
+  } else {
+    if (!faults_armed_) {
+      // The model admitted the batch, so the failure happened mid-plan
+      // (resource exhaustion) and must have been rolled back exactly once.
+      const std::uint64_t rolled_back_now = sys_->metrics().CounterValue("clone/rolled_back");
+      if (rolled_back_now != rolled_back_before + 1) {
+        Fail("counters", result_.ops_executed,
+             "failed clone did not roll back exactly once: " + children.status().ToString());
+      }
+    }
+    // Rollback churns created/destroyed counters; re-baseline.
+    ResyncCounters();
+  }
+}
+
+void Executor::OpWrite(const Op& op) {
+  DomId dom = Pick(op.dom);
+  const std::uint32_t slot = op.slot % ReferenceModel::kCells;
+  const std::uint8_t value = static_cast<std::uint8_t>(op.value);
+  Status status = sys_->hypervisor().WriteGuestPage(
+      dom, CellGfn(slot), ReferenceModel::SlotOffset(slot), &value, 1);
+  sys_->Settle();
+  log_ << ' ' << static_cast<int>(status.code()) << " dom=" << dom << " slot=" << slot;
+  if (status.ok()) {
+    model_.Write(dom, slot, value);
+  } else if (!faults_armed_ && status.code() != StatusCode::kResourceExhausted) {
+    Fail("op-status", result_.ops_executed,
+         "guest write failed without faults armed: " + status.ToString());
+  }
+}
+
+void Executor::OpReset(const Op& op) {
+  DomId dom = Pick(op.dom);
+  const bool can_reset = model_.CanReset(dom);
+  auto restored = sys_->clone_engine().CloneReset(kDom0, dom);
+  sys_->Settle();
+  log_ << ' ' << static_cast<int>(restored.status().code()) << " dom=" << dom;
+  if (restored.ok()) {
+    if (!can_reset && !faults_armed_) {
+      Fail("op-status", result_.ops_executed,
+           "clone_reset succeeded for a domain the model says has no live parent");
+      return;
+    }
+    const std::size_t predicted = model_.Reset(dom);
+    log_ << " restored=" << *restored;
+    if (*restored != predicted) {
+      Fail("cells", result_.ops_executed,
+           "clone_reset restored " + std::to_string(*restored) + " pages, model predicts " +
+               std::to_string(predicted));
+    }
+    Expect("clone/reset/count", 1);
+    Expect("clone/reset/pages_restored", predicted);
+  } else if (can_reset && !faults_armed_) {
+    Fail("op-status", result_.ops_executed,
+         "clone_reset failed for a resettable clone: " + restored.status().ToString());
+  }
+}
+
+void Executor::OpDestroy(const Op& op) {
+  DomId dom = Pick(op.dom);
+  Status status = sys_->toolstack().DestroyDomain(dom);
+  if (sys_->hypervisor().FindDomain(dom) != nullptr) {
+    status = sys_->hypervisor().DestroyDomain(dom);
+  }
+  sys_->Settle();
+  log_ << ' ' << static_cast<int>(status.code()) << " dom=" << dom;
+  if (sys_->hypervisor().FindDomain(dom) == nullptr) {
+    model_.Destroy(dom);
+    live_.erase(std::remove(live_.begin(), live_.end(), dom), live_.end());
+    dead_.push_back(dom);
+    Expect("toolstack/domains_destroyed", 1);
+    Expect("hypervisor/domains/destroyed", 1);
+  } else if (!faults_armed_) {
+    Fail("op-status", result_.ops_executed, "destroy left the domain alive: " + status.ToString());
+  } else {
+    ResyncCounters();
+  }
+}
+
+void Executor::OpMigrateOut(const Op& op) {
+  DomId dom = Pick(op.dom);
+  const bool can_migrate = model_.CanMigrateOut(dom);
+  auto stream = sys_->toolstack().MigrateOut(dom);
+  sys_->Settle();
+  log_ << ' ' << static_cast<int>(stream.status().code()) << " dom=" << dom;
+  if (stream.ok()) {
+    if (!can_migrate && !faults_armed_) {
+      Fail("op-status", result_.ops_executed,
+           "migrate-out accepted a domain with family relations");
+      return;
+    }
+    streams_.push_back(std::move(*stream));
+    model_.MigrateOut(dom);
+    live_.erase(std::remove(live_.begin(), live_.end(), dom), live_.end());
+    dead_.push_back(dom);
+    Expect("toolstack/domains_destroyed", 1);
+    Expect("hypervisor/domains/destroyed", 1);
+  } else if (can_migrate && !faults_armed_) {
+    Fail("op-status", result_.ops_executed,
+         "migrate-out failed for an unrelated domain: " + stream.status().ToString());
+  }
+}
+
+void Executor::OpMigrateIn(const Op& op) {
+  const MigrationStream& stream = streams_[op.slot % streams_.size()];
+  auto dom = sys_->toolstack().MigrateIn(stream);
+  sys_->Settle();
+  log_ << ' ' << static_cast<int>(dom.status().code());
+  if (dom.ok()) {
+    log_ << " dom=" << *dom;
+    live_.push_back(*dom);
+    model_.MigrateIn(op.slot % streams_.size(), *dom);
+    // Only image-based RestoreDomain counts as "restored"; stream
+    // immigration books a plain hypervisor create.
+    Expect("hypervisor/domains/created", 1);
+  } else {
+    ResyncCounters();  // failed immigration unwinds with unmodelled churn
+  }
+}
+
+void Executor::OpArm(const Op& op) {
+  Status status = sys_->fault_injector().Arm(op.point, op.spec);
+  log_ << ' ' << static_cast<int>(status.code()) << ' ' << op.point;
+  if (status.ok()) {
+    faults_armed_ = true;
+  }
+}
+
+void Executor::OpDevio(const Op& op) {
+  DomId dom = Pick(op.dom);
+  const std::uint32_t key = op.slot % 8;
+  std::string value = EncodeDevioValue(op.value);
+  const std::string path =
+      XsDomainPath(dom) + "/data/dst/" + std::string(1, static_cast<char>('a' + key));
+  Status status = sys_->xenstore().Write(path, value);
+  sys_->Settle();
+  log_ << ' ' << static_cast<int>(status.code()) << " dom=" << dom << " key=" << key;
+  if (status.ok()) {
+    model_.DeviceIo(dom, key, std::move(value));
+  } else if (!faults_armed_) {
+    Fail("op-status", result_.ops_executed,
+         "xenstore data write failed without faults armed: " + status.ToString());
+  }
+}
+
+void Executor::RunOracle(std::size_t op_index) {
+  if (!result_.ok()) {
+    return;
+  }
+  struct Check {
+    const char* kind;
+    std::string message;
+  };
+  Check checks[] = {
+      {"live-set", CheckLiveSet()},   {"topology", CheckTopology()},
+      {"cells", CheckCells()},        {"xenstore", CheckXenstore()},
+      {"frames", CheckFrames()},      {"counters", CheckCounters()},
+  };
+  for (Check& check : checks) {
+    if (!check.message.empty()) {
+      Fail(check.kind, op_index, std::move(check.message));
+      return;
+    }
+  }
+}
+
+std::string Executor::CheckLiveSet() {
+  std::vector<DomId> system_ids = sys_->hypervisor().DomainIds();
+  std::size_t guests = 0;
+  for (DomId id : system_ids) {
+    if (id == kDom0) {
+      continue;
+    }
+    ++guests;
+    if (model_.Find(id) == nullptr) {
+      return "domain " + std::to_string(id) + " alive in the hypervisor but not in the model";
+    }
+  }
+  if (guests != model_.domains().size()) {
+    return "hypervisor has " + std::to_string(guests) + " guests, model has " +
+           std::to_string(model_.domains().size());
+  }
+  return "";
+}
+
+std::string Executor::CheckTopology() {
+  for (const auto& [id, m] : model_.domains()) {
+    const Domain* d = sys_->hypervisor().FindDomain(id);
+    if (d == nullptr) {
+      return "model domain " + std::to_string(id) + " missing from hypervisor";
+    }
+    if (d->parent != m.parent) {
+      return "dom " + std::to_string(id) + " parent=" + std::to_string(d->parent) +
+             ", model says " + std::to_string(m.parent);
+    }
+    if (d->track_dirty != m.is_clone) {
+      return "dom " + std::to_string(id) + " track_dirty mismatch";
+    }
+    if (d->clones_created != m.clones_created) {
+      return "dom " + std::to_string(id) + " clones_created=" +
+             std::to_string(d->clones_created) + ", model says " +
+             std::to_string(m.clones_created);
+    }
+    if (d->IsPaused() || d->blocked_in_clone) {
+      return "dom " + std::to_string(id) + " still paused/blocked after settle";
+    }
+    if (d->tot_pages() != guest_pages_) {
+      return "dom " + std::to_string(id) + " has " + std::to_string(d->tot_pages()) +
+             " pages, expected " + std::to_string(guest_pages_);
+    }
+    for (std::size_t page = 0; page < ReferenceModel::kTrackedPages; ++page) {
+      const P2mEntry& entry = d->p2m[heap0_ + page];
+      if (entry.writable != m.writable[page]) {
+        return "dom " + std::to_string(id) + " tracked page " + std::to_string(page) +
+               " writable=" + (entry.writable ? "1" : "0") + ", model says " +
+               (m.writable[page] ? "1" : "0");
+      }
+    }
+  }
+  return "";
+}
+
+std::string Executor::CheckCells() {
+  for (const auto& [id, m] : model_.domains()) {
+    for (std::uint32_t slot = 0; slot < ReferenceModel::kCells; ++slot) {
+      std::uint8_t got = 0;
+      Status status = sys_->hypervisor().ReadGuestPage(
+          id, CellGfn(slot), ReferenceModel::SlotOffset(slot), &got, 1);
+      if (!status.ok()) {
+        return "cell read failed for dom " + std::to_string(id) + ": " + status.ToString();
+      }
+      if (got != m.cells[slot]) {
+        return "COW isolation violated: dom " + std::to_string(id) + " slot " +
+               std::to_string(slot) + " reads " + std::to_string(got) + ", model says " +
+               std::to_string(m.cells[slot]);
+      }
+    }
+  }
+  return "";
+}
+
+std::string Executor::CheckXenstore() {
+  const XenstoreDaemon& xs = sys_->xenstore();
+  for (const auto& [id, m] : model_.domains()) {
+    if (!xs.Exists(XsDomainPath(id))) {
+      return "live dom " + std::to_string(id) + " has no xenstore subtree";
+    }
+    for (const auto& [key, value] : m.xs_data) {
+      const std::string path =
+          XsDomainPath(id) + "/data/dst/" + std::string(1, static_cast<char>('a' + key));
+      const std::string* got = xs.PeekValue(path);
+      if (got == nullptr) {
+        return "xenstore mirror missing " + path;
+      }
+      if (*got != value) {
+        return "xenstore mirror diverged at " + path + ": '" + *got + "' vs model '" + value +
+               "'";
+      }
+    }
+  }
+  for (DomId id : dead_) {
+    if (sys_->xenstore().Exists(XsDomainPath(id))) {
+      return "destroyed dom " + std::to_string(id) + " still has a xenstore subtree";
+    }
+  }
+  return "";
+}
+
+std::string Executor::CheckFrames() {
+  const Hypervisor& hv_const = sys_->hypervisor();
+  Hypervisor& hv = sys_->hypervisor();
+  const FrameTable& ft = hv_const.frames();
+  if (ft.free_frames() + ft.allocated_frames() != ft.total_frames()) {
+    return "frame conservation violated: free " + std::to_string(ft.free_frames()) +
+           " + allocated " + std::to_string(ft.allocated_frames()) + " != total " +
+           std::to_string(ft.total_frames());
+  }
+  std::unordered_map<Mfn, std::uint64_t> refs;
+  refs.reserve(ft.allocated_frames());
+  for (DomId id : hv.DomainIds()) {
+    const Domain* d = hv.FindDomain(id);
+    for (const P2mEntry& e : d->p2m) {
+      if (e.mfn != kInvalidMfn) {
+        ++refs[e.mfn];
+      }
+    }
+    for (Mfn m : d->page_table_frames) {
+      ++refs[m];
+    }
+    for (Mfn m : d->p2m_frames) {
+      ++refs[m];
+    }
+  }
+  if (ft.allocated_frames() != refs.size()) {
+    return "frame leak: " + std::to_string(ft.allocated_frames()) + " allocated, " +
+           std::to_string(refs.size()) + " mapped";
+  }
+  for (const auto& [mfn, count] : refs) {
+    const FrameInfo& fi = ft.info(mfn);
+    if (!fi.allocated) {
+      return "freed frame still mapped: mfn " + std::to_string(mfn);
+    }
+    if (fi.shared) {
+      if (fi.refcount.load(std::memory_order_relaxed) != count) {
+        return "refcount mismatch on shared mfn " + std::to_string(mfn) + ": table says " +
+               std::to_string(fi.refcount.load(std::memory_order_relaxed)) + ", mapped " +
+               std::to_string(count) + " times";
+      }
+    } else if (count != 1) {
+      return "unshared mfn " + std::to_string(mfn) + " mapped " + std::to_string(count) +
+             " times";
+    }
+  }
+  return "";
+}
+
+std::string Executor::CheckCounters() {
+  if (faults_armed_) {
+    // Probability faults can fire inside any op while armed; comparisons
+    // resume from a fresh baseline after the disarm op.
+    ResyncCounters();
+    return "";
+  }
+  for (const auto& [name, want] : expected_) {
+    const std::uint64_t got = sys_->metrics().CounterValue(name);
+    if (got != want) {
+      return "counter " + name + " = " + std::to_string(got) + ", model expects " +
+             std::to_string(want);
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+DomainConfig DstGuestConfig() {
+  DomainConfig cfg;
+  cfg.name = "dst";
+  cfg.memory_mb = 4;
+  cfg.max_clones = 512;
+  cfg.with_vif = true;
+  return cfg;
+}
+
+RunResult RunScenario(const Scenario& scenario, const RunOptions& options) {
+  Executor executor(scenario, options);
+  return executor.Run();
+}
+
+}  // namespace nephele

@@ -1,0 +1,75 @@
+// DST scenario executor: runs one Scenario against a freshly constructed,
+// fully-wired NepheleSystem while updating the ReferenceModel in lock step,
+// and evaluates the whole oracle after every op:
+//
+//   live-set    hypervisor domain table == model domain set
+//   topology    parent edges, clone accounting, pause state, p2m geometry,
+//               per-page pte writability vs the model's COW mirror
+//   cells       every tracked heap cell of every live domain reads exactly
+//               the byte the model predicts (COW isolation)
+//   xenstore    the /data mirror each domain carries (inherited on clone,
+//               dropped on destroy) matches, via side-effect-free peeks
+//   frames      frame conservation + refcount-vs-mapping consistency (the
+//               tests/frame_invariants.h checks, gtest-free)
+//   counters    expected deltas of the clone/reset/destroy counter set
+//
+// A run is deterministic: the same scenario produces a byte-identical digest
+// at any worker-thread count, which the DST suite asserts directly.
+
+#ifndef SRC_DST_EXECUTOR_H_
+#define SRC_DST_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/dst/scenario.h"
+#include "src/toolstack/domain_config.h"
+
+namespace nephele {
+
+class NepheleSystem;
+
+// The fixed configuration every DST guest boots with. Exposed so tests can
+// recompute the guest memory layout (e.g. to seed bugs at known cells).
+DomainConfig DstGuestConfig();
+
+struct RunOptions {
+  // Non-zero: ignore per-op `workers` and stage every batch with this many
+  // threads. The determinism suite runs each scenario at 1 and 4 and
+  // compares digests.
+  unsigned force_workers = 0;
+  // Test-only hook, invoked after each op executes and the model is updated
+  // but before the oracle runs. Lets tests seed a deliberate bug (mutate
+  // system state behind the model's back) to prove the oracle catches it
+  // and the shrinker minimises it.
+  std::function<void(NepheleSystem&, const Op&, std::size_t op_index)> after_op;
+};
+
+struct RunResult {
+  // Empty when the run passed; otherwise the failing check's category
+  // ("live-set", "topology", "cells", "xenstore", "frames", "counters",
+  // "op-status", "teardown").
+  std::string fail_kind;
+  std::size_t fail_op = static_cast<std::size_t>(-1);
+  std::string message;
+
+  // Deterministic run fingerprint: per-op outcome log plus hashes of the
+  // final metrics JSON, trace JSON and the final virtual time.
+  std::string digest;
+  // Coverage edges for the generator's feedback loop.
+  std::vector<std::uint32_t> edges;
+  std::size_t ops_executed = 0;
+
+  bool ok() const { return fail_kind.empty(); }
+};
+
+RunResult RunScenario(const Scenario& scenario, const RunOptions& options = {});
+
+// 64-bit FNV-1a, the digest hash (exposed for tests).
+std::uint64_t DstHash64(std::string_view data);
+
+}  // namespace nephele
+
+#endif  // SRC_DST_EXECUTOR_H_

@@ -1,0 +1,195 @@
+#include "src/dst/generator.h"
+
+#include "src/dst/reference_model.h"
+#include "src/sim/rng.h"
+
+namespace nephele {
+
+namespace {
+
+// Fault points worth arming in generated scenarios: the clone, reset and
+// xenstore paths the oracle exercises. Probability faults are avoided here —
+// NthHit specs keep the injected error at a tape-chosen hit, so a shrunk
+// scenario still fires it.
+constexpr const char* kFaultMenu[] = {
+    "clone/stage1/create_domain",
+    "clone/stage1/memory",
+    "clone/stage1/share",
+    "clone/stage1/page_tables",
+    "clone/stage1/grants",
+    "clone/stage1/evtchns",
+    "clone/reset",
+    "xencloned/stage2",
+    "hypervisor/frame_alloc",
+    "hypervisor/cow_resolve",
+    "xenstore/xs_clone",
+};
+
+// Tape reader: consumes mutation-controlled bytes first, then falls back to
+// a deterministic stream derived from everything consumed so far.
+class Tape {
+ public:
+  Tape(std::uint64_t seed, const std::vector<std::uint8_t>& bytes)
+      : bytes_(bytes), fallback_(Mix(seed, bytes)) {}
+
+  std::uint8_t Byte() {
+    if (pos_ < bytes_.size()) {
+      return bytes_[pos_++];
+    }
+    return static_cast<std::uint8_t>(fallback_.NextU64());
+  }
+
+  std::uint32_t Below(std::uint32_t bound) { return bound == 0 ? 0 : Byte() % bound; }
+
+ private:
+  static std::uint64_t Mix(std::uint64_t seed, const std::vector<std::uint8_t>& bytes) {
+    std::uint64_t h = seed ^ 0x6e657068656c65ULL;  // "nephele"
+    for (std::uint8_t b : bytes) {
+      h = (h ^ b) * 0x100000001b3ULL;
+    }
+    return h;
+  }
+
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+  Rng fallback_;
+};
+
+struct Weighted {
+  OpKind kind;
+  std::uint32_t weight;
+};
+
+// The walk's op distribution. Writes dominate (they drive COW churn, the
+// richest invariant surface); structural ops are rarer so scenarios keep a
+// small, shrinkable domain population.
+constexpr Weighted kWeights[] = {
+    {OpKind::kLaunchGuest, 3}, {OpKind::kCloneBatch, 6}, {OpKind::kCowWrite, 10},
+    {OpKind::kCloneReset, 4},  {OpKind::kDestroy, 2},    {OpKind::kMigrateOut, 1},
+    {OpKind::kMigrateIn, 1},   {OpKind::kArmFault, 2},   {OpKind::kDisarmFaults, 2},
+    {OpKind::kDeviceIo, 4},    {OpKind::kAdvanceTime, 2},
+};
+
+}  // namespace
+
+Scenario ScenarioFromTape(std::uint64_t seed, const std::vector<std::uint8_t>& tape) {
+  Tape t(seed, tape);
+  Scenario scenario;
+  scenario.seed = seed;
+
+  constexpr std::uint32_t kTotalWeight = [] {
+    std::uint32_t sum = 0;
+    for (const Weighted& w : kWeights) {
+      sum += w.weight;
+    }
+    return sum;
+  }();
+
+  const std::size_t num_ops = 8 + t.Below(25);
+  // Approximate live count, only used to bias the walk (the executor
+  // re-resolves indices modulo the actual live set).
+  std::uint32_t live = 0;
+  bool armed = false;
+
+  // Every scenario opens with a root guest so early ops have a target.
+  Op boot;
+  boot.kind = OpKind::kLaunchGuest;
+  scenario.ops.push_back(boot);
+  ++live;
+
+  while (scenario.ops.size() < num_ops) {
+    std::uint32_t roll = t.Below(kTotalWeight);
+    OpKind kind = OpKind::kLaunchGuest;
+    for (const Weighted& w : kWeights) {
+      if (roll < w.weight) {
+        kind = w.kind;
+        break;
+      }
+      roll -= w.weight;
+    }
+
+    Op op;
+    op.kind = kind;
+    switch (kind) {
+      case OpKind::kLaunchGuest:
+        ++live;
+        break;
+      case OpKind::kCloneBatch:
+        op.dom = t.Below(live != 0 ? live : 1);
+        op.n = 1 + t.Below(4);
+        op.workers = t.Below(5);  // 0 = keep current thread count
+        live += op.n;
+        break;
+      case OpKind::kCowWrite:
+        op.dom = t.Below(live != 0 ? live : 1);
+        op.slot = t.Below(ReferenceModel::kCells);
+        op.value = 1 + t.Below(255);
+        break;
+      case OpKind::kCloneReset:
+      case OpKind::kDestroy:
+      case OpKind::kMigrateOut:
+        op.dom = t.Below(live != 0 ? live : 1);
+        if (kind != OpKind::kCloneReset && live > 0) {
+          --live;
+        }
+        break;
+      case OpKind::kMigrateIn:
+        op.slot = t.Byte();
+        ++live;
+        break;
+      case OpKind::kArmFault:
+        op.point = kFaultMenu[t.Below(std::size(kFaultMenu))];
+        op.spec = FaultSpec::NthHit(1 + t.Below(20));
+        armed = true;
+        break;
+      case OpKind::kDisarmFaults:
+        if (!armed) {
+          continue;  // pointless op; spend the byte, emit nothing
+        }
+        armed = false;
+        break;
+      case OpKind::kDeviceIo:
+        op.dom = t.Below(live != 0 ? live : 1);
+        op.slot = t.Below(8);
+        op.value = t.Byte();
+        break;
+      case OpKind::kAdvanceTime:
+        op.amount = static_cast<std::uint64_t>(1 + t.Byte()) * 1000;
+        break;
+    }
+    scenario.ops.push_back(std::move(op));
+  }
+
+  // Leave no fault armed at scenario end: the teardown phase asserts exact
+  // frame conservation, which injected destroy failures would void.
+  if (armed) {
+    Op disarm;
+    disarm.kind = OpKind::kDisarmFaults;
+    scenario.ops.push_back(disarm);
+  }
+  return scenario;
+}
+
+ScenarioGenerator::ScenarioGenerator(std::uint64_t seed) : seed_(seed), engine_(seed) {
+  // Seed tapes of graded length: the empty tape (pure fallback walk) plus a
+  // few byte ramps give the mutator distinct starting shapes.
+  engine_.AddSeed({});
+  for (std::uint8_t len : {4, 12, 32}) {
+    std::vector<std::uint8_t> ramp(len);
+    for (std::uint8_t i = 0; i < len; ++i) {
+      ramp[i] = static_cast<std::uint8_t>(i * 7 + len);
+    }
+    engine_.AddSeed(std::move(ramp));
+  }
+}
+
+Scenario ScenarioGenerator::Next() {
+  last_tape_ = engine_.NextInput();
+  return ScenarioFromTape(seed_, last_tape_);
+}
+
+void ScenarioGenerator::Report(const RunResult& result) {
+  engine_.ReportResult(last_tape_, result.edges, !result.ok());
+}
+
+}  // namespace nephele

@@ -1,0 +1,50 @@
+// Coverage-guided scenario generation.
+//
+// Scenarios are derived from a *decision tape*: a byte string consumed left
+// to right to drive every choice of a weighted-op random walk (which op,
+// which domain index, which cell, which fault point). The tape is the unit
+// of mutation — AflEngine flips/extends/replaces tape bytes, and the edges a
+// run reports feed its coverage map, so generation gravitates toward op
+// sequences that reach new executor states. When a tape runs out of bytes
+// the walk continues on a SplitMix64 stream seeded from the scenario seed
+// and the consumed prefix, keeping `(seed, tape) -> Scenario` a total, pure
+// function: replaying a tape always rebuilds the identical scenario.
+
+#ifndef SRC_DST_GENERATOR_H_
+#define SRC_DST_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dst/executor.h"
+#include "src/dst/scenario.h"
+#include "src/fuzz/afl.h"
+
+namespace nephele {
+
+// Pure tape decoder (exposed for tests).
+Scenario ScenarioFromTape(std::uint64_t seed, const std::vector<std::uint8_t>& tape);
+
+class ScenarioGenerator {
+ public:
+  explicit ScenarioGenerator(std::uint64_t seed);
+
+  // Produces the next scenario to run (a mutation of a queued tape).
+  Scenario Next();
+
+  // Feeds the executed scenario's coverage edges back; tapes that found new
+  // edges are queued for further mutation.
+  void Report(const RunResult& result);
+
+  std::size_t corpus_size() const { return engine_.queue_size(); }
+  std::size_t edges_covered() const { return engine_.edges_covered(); }
+
+ private:
+  std::uint64_t seed_;
+  AflEngine engine_;
+  std::vector<std::uint8_t> last_tape_;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_DST_GENERATOR_H_

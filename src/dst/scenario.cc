@@ -1,0 +1,204 @@
+#include "src/dst/scenario.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace nephele {
+
+namespace {
+
+constexpr const char* kOpNames[] = {
+    "launch",      "clone",  "write",  "reset", "destroy", "migrate_out",
+    "migrate_in",  "arm",    "disarm", "devio", "advance",
+};
+
+bool SpecEquals(const FaultSpec& a, const FaultSpec& b) {
+  return a.policy == b.policy && a.nth == b.nth && a.probability == b.probability &&
+         a.seed == b.seed && a.code == b.code;
+}
+
+Status ParseU64(std::string_view text, std::uint64_t& out) {
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return ErrInvalidArgument("bad integer: " + std::string(text));
+  }
+  return Status::Ok();
+}
+
+Status ParseDouble(std::string_view text, double& out) {
+  // std::from_chars<double> is still spotty across libstdc++ versions in
+  // minor modes; strtod on a bounded copy is equivalent here.
+  std::string copy(text);
+  char* end = nullptr;
+  out = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || copy.empty()) {
+    return ErrInvalidArgument("bad float: " + copy);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* OpKindName(OpKind kind) { return kOpNames[static_cast<std::size_t>(kind)]; }
+
+bool Op::operator==(const Op& other) const {
+  return kind == other.kind && dom == other.dom && n == other.n && workers == other.workers &&
+         slot == other.slot && value == other.value && amount == other.amount &&
+         point == other.point && SpecEquals(spec, other.spec);
+}
+
+std::string Scenario::ToText() const {
+  std::ostringstream out;
+  out << "# nephele dst scenario v1\n";
+  out << "seed " << seed << "\n";
+  out << "pool_frames " << pool_frames << "\n";
+  for (const Op& op : ops) {
+    out << OpKindName(op.kind);
+    switch (op.kind) {
+      case OpKind::kLaunchGuest:
+        break;
+      case OpKind::kCloneBatch:
+        out << " dom=" << op.dom << " n=" << op.n;
+        if (op.workers != 0) {
+          out << " workers=" << op.workers;
+        }
+        break;
+      case OpKind::kCowWrite:
+        out << " dom=" << op.dom << " slot=" << op.slot << " val=" << op.value;
+        break;
+      case OpKind::kCloneReset:
+      case OpKind::kDestroy:
+      case OpKind::kMigrateOut:
+        out << " dom=" << op.dom;
+        break;
+      case OpKind::kMigrateIn:
+        out << " stream=" << op.slot;
+        break;
+      case OpKind::kArmFault:
+        out << " point=" << op.point;
+        if (op.spec.policy == FaultSpec::Policy::kNthHit) {
+          out << " nth=" << op.spec.nth;
+        } else if (op.spec.policy == FaultSpec::Policy::kProbability) {
+          out << " p=" << op.spec.probability << " pseed=" << op.spec.seed;
+        }
+        break;
+      case OpKind::kDisarmFaults:
+        break;
+      case OpKind::kDeviceIo:
+        out << " dom=" << op.dom << " key=" << op.slot << " val=" << op.value;
+        break;
+      case OpKind::kAdvanceTime:
+        out << " ns=" << op.amount;
+        break;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<Scenario> Scenario::FromText(const std::string& text) {
+  Scenario scenario;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string head;
+    fields >> head;
+    auto fail = [&](std::string_view why) -> Result<Scenario> {
+      return ErrInvalidArgument("scenario line " + std::to_string(line_no) + ": " +
+                                std::string(why));
+    };
+
+    if (head == "seed" || head == "pool_frames") {
+      std::string value;
+      if (!(fields >> value)) {
+        return fail("missing value for " + head);
+      }
+      std::uint64_t v = 0;
+      NEPHELE_RETURN_IF_ERROR(ParseU64(value, v));
+      if (head == "seed") {
+        scenario.seed = v;
+      } else {
+        scenario.pool_frames = static_cast<std::size_t>(v);
+      }
+      continue;
+    }
+
+    Op op;
+    bool known = false;
+    for (std::size_t k = 0; k < std::size(kOpNames); ++k) {
+      if (head == kOpNames[k]) {
+        op.kind = static_cast<OpKind>(k);
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return fail("unknown op '" + head + "'");
+    }
+
+    // kArmFault defaults to an nth=1 spec so `arm point=x` alone is valid.
+    double probability = -1.0;
+    std::uint64_t nth = 0;
+    std::uint64_t pseed = 0;
+
+    std::string operand;
+    while (fields >> operand) {
+      std::size_t eq = operand.find('=');
+      if (eq == std::string::npos) {
+        return fail("operand without '=': " + operand);
+      }
+      std::string key = operand.substr(0, eq);
+      std::string value = operand.substr(eq + 1);
+      std::uint64_t v = 0;
+      if (key == "point") {
+        op.point = value;
+        continue;
+      }
+      if (key == "p") {
+        NEPHELE_RETURN_IF_ERROR(ParseDouble(value, probability));
+        continue;
+      }
+      NEPHELE_RETURN_IF_ERROR(ParseU64(value, v));
+      if (key == "dom") {
+        op.dom = static_cast<std::uint32_t>(v);
+      } else if (key == "n") {
+        op.n = static_cast<std::uint32_t>(v);
+      } else if (key == "workers") {
+        op.workers = static_cast<std::uint32_t>(v);
+      } else if (key == "slot" || key == "key" || key == "stream") {
+        op.slot = static_cast<std::uint32_t>(v);
+      } else if (key == "val") {
+        op.value = static_cast<std::uint32_t>(v);
+      } else if (key == "ns") {
+        op.amount = v;
+      } else if (key == "nth") {
+        nth = v;
+      } else if (key == "pseed") {
+        pseed = v;
+      } else {
+        return fail("unknown key '" + key + "'");
+      }
+    }
+
+    if (op.kind == OpKind::kArmFault) {
+      if (op.point.empty()) {
+        return fail("arm needs point=");
+      }
+      if (probability >= 0.0) {
+        op.spec = FaultSpec::WithProbability(probability, pseed);
+      } else {
+        op.spec = FaultSpec::NthHit(nth == 0 ? 1 : nth);
+      }
+    }
+    scenario.ops.push_back(std::move(op));
+  }
+  return scenario;
+}
+
+}  // namespace nephele

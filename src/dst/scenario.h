@@ -1,0 +1,81 @@
+// Deterministic simulation testing (DST): serializable scenarios.
+//
+// A Scenario is a seeded, typed op sequence — the complete input of one
+// simulation run. Ops never name concrete DomIds: they address domains by
+// creation-order index (modulo the live count at execution time), so a
+// scenario stays meaningful while the shrinker deletes ops in front of it.
+// The text encoding (one op per line, `key=value` operands) is what the
+// corpus under tests/dst_corpus/ stores and what a failure report prints, so
+// any oracle violation is replayable from a dozen lines of text.
+
+#ifndef SRC_DST_SCENARIO_H_
+#define SRC_DST_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/fault/fault.h"
+
+namespace nephele {
+
+enum class OpKind : std::uint8_t {
+  kLaunchGuest = 0,  // xl create of a fresh root guest
+  kCloneBatch,       // CLONEOP kClone: `n` children of domain `dom`
+  kCowWrite,         // guest write to one tracked heap cell
+  kCloneReset,       // CLONEOP kCloneReset of domain `dom`
+  kDestroy,          // xl destroy of domain `dom`
+  kMigrateOut,       // stop-and-copy emigration into stream slot
+  kMigrateIn,        // immigration of stored stream `slot`
+  kArmFault,         // arm a named fault point
+  kDisarmFaults,     // disarm every fault point
+  kDeviceIo,         // device control-plane I/O (xenstore data write)
+  kAdvanceTime,      // advance virtual time by `amount` ns
+};
+
+// The canonical op names of the text encoding, in OpKind order.
+const char* OpKindName(OpKind kind);
+
+struct Op {
+  OpKind kind = OpKind::kLaunchGuest;
+  // Domain index into the executor's creation-ordered live list (mod size).
+  std::uint32_t dom = 0;
+  // kCloneBatch: children per batch.
+  std::uint32_t n = 1;
+  // kCloneBatch: staging worker threads to configure first (0 = keep).
+  std::uint32_t workers = 0;
+  // kCowWrite: tracked cell index; kDeviceIo: data key; kMigrateIn: stream.
+  std::uint32_t slot = 0;
+  // kCowWrite: byte value; kDeviceIo: value tag.
+  std::uint32_t value = 0;
+  // kAdvanceTime: nanoseconds.
+  std::uint64_t amount = 0;
+  // kArmFault operands.
+  std::string point;
+  FaultSpec spec;
+
+  bool operator==(const Op& other) const;
+};
+
+struct Scenario {
+  // Provenance only: the generator seed this scenario was derived from.
+  // Execution is deterministic regardless.
+  std::uint64_t seed = 0;
+  // Hypervisor pool size for the run.
+  std::size_t pool_frames = 64 * 1024;
+  std::vector<Op> ops;
+
+  bool operator==(const Scenario& other) const {
+    return seed == other.seed && pool_frames == other.pool_frames && ops == other.ops;
+  }
+
+  std::string ToText() const;
+  // Strict parser: unknown op names, unknown keys or malformed values fail
+  // loudly so corpus rot is caught, not silently skipped.
+  static Result<Scenario> FromText(const std::string& text);
+};
+
+}  // namespace nephele
+
+#endif  // SRC_DST_SCENARIO_H_

@@ -1,0 +1,37 @@
+// Automatic scenario minimisation (delta debugging).
+//
+// Given a scenario whose run fails the oracle, ShrinkScenario searches for a
+// local minimum that still fails with the SAME fail kind:
+//
+//   1. truncate — ops after the failing op are irrelevant by construction;
+//   2. ddmin    — delete chunks of ops, halving the chunk size down to 1,
+//                 restarting whenever a deletion sticks;
+//   3. simplify — per-op operand reduction (batch size to 1, worker override
+//                 off, values to 1), accepted only when the failure persists.
+//
+// Every candidate is re-executed with the caller's RunOptions, so seeded-bug
+// hooks travel with the reruns. The result is 1-minimal: removing any single
+// remaining op makes the failure disappear.
+
+#ifndef SRC_DST_SHRINKER_H_
+#define SRC_DST_SHRINKER_H_
+
+#include <cstddef>
+
+#include "src/dst/executor.h"
+#include "src/dst/scenario.h"
+
+namespace nephele {
+
+struct ShrinkOutcome {
+  Scenario scenario;   // the minimised failing scenario
+  RunResult result;    // its failing run
+  std::size_t runs = 0;  // executions spent shrinking
+};
+
+ShrinkOutcome ShrinkScenario(const Scenario& failing, const RunResult& failure,
+                             const RunOptions& options = {});
+
+}  // namespace nephele
+
+#endif  // SRC_DST_SHRINKER_H_

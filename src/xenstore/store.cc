@@ -412,4 +412,9 @@ bool XenstoreDaemon::Exists(const std::string& path) const {
   return n != nullptr;
 }
 
+const std::string* XenstoreDaemon::PeekValue(const std::string& path) const {
+  const Node* n = Lookup(path);
+  return n != nullptr && n->has_value ? &n->value : nullptr;
+}
+
 }  // namespace nephele

@@ -116,6 +116,11 @@ class XenstoreDaemon {
   // ------------------------------------------------------------------
   const XenstoreStats& stats() const { return stats_; }
   bool Exists(const std::string& path) const;
+  // Side-effect-free value lookup: no request charge, no access-log append,
+  // no fault pokes. Null when the node is absent or holds no value. This is
+  // the DST oracle's window into the store — probing must not perturb the
+  // simulation it is checking.
+  const std::string* PeekValue(const std::string& path) const;
   std::size_t NumEntries() const { return stats_.entries; }
   // Approximate resident memory of the daemon (for Dom0 accounting, Fig. 5).
   std::size_t ApproxMemoryBytes() const { return approx_bytes_; }

@@ -11,6 +11,7 @@
 
 #include "src/core/system.h"
 #include "src/xenstore/path.h"
+#include "tests/frame_invariants.h"
 
 namespace nephele {
 namespace {
@@ -286,6 +287,55 @@ TEST_F(CloneRollbackTest, CloneResetFaultLeavesDirtyListConsistent) {
   ASSERT_TRUE(retry.ok());
   EXPECT_EQ(*retry, 2u);
   EXPECT_TRUE(c->dirty_since_clone.empty());
+}
+
+// Regression: a CloneReset issued after a fault-aborted clone of the same
+// parent. The abort path (CloneAborted + hv destroy) must leave frame
+// refcounts, the engine's pending-slot table and the rollback/abort counters
+// in a state where the surviving child resets cleanly and the parent can
+// clone again.
+TEST_F(CloneRollbackTest, CloneResetAfterAbortedCloneStaysConsistent) {
+  DomId parent = BootParent();
+  ASSERT_TRUE(system_.fault_injector()
+                  .Arm("xencloned/stage2", FaultSpec::NthHit(1))
+                  .ok());
+  auto r = system_.clone_engine().Clone(parent, parent, StartInfoMfn(parent), 2);
+  ASSERT_TRUE(r.ok());
+  system_.Settle();
+  system_.fault_injector().DisarmAll();
+
+  // First child aborted mid-stage-2, second survived.
+  ASSERT_EQ(system_.hypervisor().FindDomain((*r)[0]), nullptr);
+  const DomId child = (*r)[1];
+  ASSERT_NE(system_.hypervisor().FindDomain(child), nullptr);
+  EXPECT_EQ(RolledBack(), 1u);
+  EXPECT_EQ(system_.metrics().GetCounter("xencloned/clones_aborted").value(), 1u);
+  ExpectFrameConsistency(system_);
+
+  // Dirty the survivor, then reset it. The abort must not have corrupted the
+  // shared-frame refcounts the reset re-shares against.
+  std::uint8_t b = 0x77;
+  ASSERT_TRUE(system_.hypervisor().WriteGuestPage(child, 310, 0, &b, 1).ok());
+  ASSERT_TRUE(system_.hypervisor().WriteGuestPage(child, 311, 0, &b, 1).ok());
+  auto reset = system_.clone_engine().CloneReset(kDom0, child);
+  ASSERT_TRUE(reset.ok()) << reset.status().ToString();
+  EXPECT_EQ(*reset, 2u);
+  EXPECT_TRUE(system_.hypervisor().FindDomain(child)->dirty_since_clone.empty());
+  EXPECT_EQ(system_.metrics().GetCounter("clone/reset/count").value(), 1u);
+  ExpectFrameConsistency(system_);
+
+  // The aborted child's pending slot was retired: the parent is unblocked
+  // and a fresh batch goes through end to end.
+  const Domain* p = system_.hypervisor().FindDomain(parent);
+  EXPECT_FALSE(p->blocked_in_clone);
+  EXPECT_EQ(p->state, DomainState::kRunning);
+  auto again = system_.clone_engine().Clone(parent, parent, StartInfoMfn(parent), 1);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  system_.Settle();
+  EXPECT_NE(system_.hypervisor().FindDomain((*again)[0]), nullptr);
+  EXPECT_EQ(system_.metrics().GetCounter("xencloned/clones_completed").value(), 2u);
+  EXPECT_EQ(RolledBack(), 1u) << "the clean batch must not add rollbacks";
+  ExpectFrameConsistency(system_);
 }
 
 // --- Toolstack boot unwinding (the FailBoot path). ---

@@ -1,0 +1,108 @@
+// Golden-file schema tests for the observability exports.
+//
+// A fixed workload (one guest, one clone batch, one COW write, one reset)
+// runs against a fresh system; the resulting MetricsRegistry::ExportJson()
+// and TraceRecorder::ExportJson() must match the committed golden files
+// byte for byte. Any change to metric names, JSON shape, key ordering or
+// span layout shows up as a diff here — intentional changes re-record with:
+//
+//   NEPHELE_UPDATE_GOLDEN=1 ./golden_schema_test
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/core/system.h"
+#include "src/toolstack/domain_config.h"
+
+namespace nephele {
+namespace {
+
+#ifndef NEPHELE_GOLDEN_DIR
+#define NEPHELE_GOLDEN_DIR "tests/golden"
+#endif
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(NEPHELE_GOLDEN_DIR) + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void CompareOrUpdate(const std::string& name, const std::string& actual) {
+  const std::string path = GoldenPath(name);
+  if (std::getenv("NEPHELE_UPDATE_GOLDEN") != nullptr) {
+    std::filesystem::create_directories(NEPHELE_GOLDEN_DIR);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << actual;
+    GTEST_SKIP() << "golden updated: " << path;
+  }
+  ASSERT_TRUE(std::filesystem::exists(path))
+      << "missing golden file " << path << "; record it with NEPHELE_UPDATE_GOLDEN=1";
+  const std::string expected = ReadFile(path);
+  EXPECT_EQ(actual, expected)
+      << "export schema drifted from " << path
+      << "; if intentional, re-record with NEPHELE_UPDATE_GOLDEN=1";
+}
+
+// The fixed workload both exports are recorded against.
+void RunGoldenWorkload(NepheleSystem& sys) {
+  DomainConfig cfg;
+  cfg.name = "golden";
+  cfg.max_clones = 8;
+  auto parent = sys.toolstack().CreateDomain(cfg);
+  ASSERT_TRUE(parent.ok());
+  sys.Settle();
+
+  const Domain* d = sys.hypervisor().FindDomain(*parent);
+  ASSERT_NE(d, nullptr);
+  auto children =
+      sys.clone_engine().Clone(*parent, *parent, d->p2m[d->start_info_gfn].mfn, 2);
+  ASSERT_TRUE(children.ok());
+  sys.Settle();
+
+  const GuestMemoryLayout layout =
+      ComputeGuestLayout(cfg, sys.hypervisor().config().min_domain_pages);
+  const std::uint8_t value = 7;
+  ASSERT_TRUE(sys.hypervisor()
+                  .WriteGuestPage(children->front(), static_cast<Gfn>(layout.heap_first_gfn),
+                                  0, &value, 1)
+                  .ok());
+  ASSERT_TRUE(sys.clone_engine().CloneReset(kDom0, children->front()).ok());
+  sys.Settle();
+}
+
+TEST(GoldenSchemaTest, MetricsExportMatchesGolden) {
+  NepheleSystem sys;
+  RunGoldenWorkload(sys);
+  CompareOrUpdate("metrics_export.json", sys.metrics().ExportJson());
+}
+
+TEST(GoldenSchemaTest, TraceExportMatchesGolden) {
+  NepheleSystem sys;
+  RunGoldenWorkload(sys);
+  CompareOrUpdate("trace_export.json", sys.trace().ExportJson());
+}
+
+// The exports are deterministic: two identical systems running the same
+// workload serialize identically. This guards the golden comparison itself
+// against nondeterminism (which would make the files flap).
+TEST(GoldenSchemaTest, ExportsAreDeterministicAcrossRuns) {
+  NepheleSystem a;
+  NepheleSystem b;
+  RunGoldenWorkload(a);
+  RunGoldenWorkload(b);
+  EXPECT_EQ(a.metrics().ExportJson(), b.metrics().ExportJson());
+  EXPECT_EQ(a.trace().ExportJson(), b.trace().ExportJson());
+}
+
+}  // namespace
+}  // namespace nephele

@@ -1,0 +1,100 @@
+// Unit tests for the clone engine's staging pool (src/core/worker_pool):
+// construction edge cases, drain-on-destruction, exception containment and
+// the submit-after-shutdown path.
+
+#include "src/core/worker_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace nephele {
+namespace {
+
+TEST(WorkerPoolTest, ZeroSizeClampsToOneThread) {
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> ran{0};
+  pool.Submit(0, [&] { ran.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(WorkerPoolTest, SingleThreadRunsJobsInSubmissionOrder) {
+  WorkerPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit(0, [&order, i] { order.push_back(i); });
+  }
+  pool.WaitIdle();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(WorkerPoolTest, WorkerSelectionWrapsModuloSize) {
+  WorkerPool pool(2);
+  std::atomic<int> ran{0};
+  // Worker indices far beyond size() must land on a real worker.
+  for (unsigned w : {0u, 1u, 2u, 3u, 17u, 1000u}) {
+    pool.Submit(w, [&] { ran.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 6);
+}
+
+TEST(WorkerPoolTest, DestructionDrainsQueuedWork) {
+  std::atomic<int> ran{0};
+  {
+    WorkerPool pool(2);
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit(static_cast<unsigned>(i), [&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        ran.fetch_add(1);
+      });
+    }
+    // No WaitIdle: the destructor must still run every pending job.
+  }
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(WorkerPoolTest, ThrowingJobIsContainedAndCounted) {
+  WorkerPool pool(1);
+  std::atomic<int> ran{0};
+  pool.Submit(0, [] { throw std::runtime_error("boom"); });
+  pool.Submit(0, [&] { ran.fetch_add(1); });
+  pool.WaitIdle();
+  // The worker survived the throw and ran the next job.
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(pool.exceptions_caught(), 1u);
+
+  pool.Submit(0, [] { throw 42; });  // non-std::exception payloads too
+  pool.WaitIdle();
+  EXPECT_EQ(pool.exceptions_caught(), 2u);
+}
+
+TEST(WorkerPoolTest, SubmitAfterShutdownIsRejectedNotRun) {
+  WorkerPool pool(2);
+  std::atomic<int> ran{0};
+  pool.Submit(0, [&] { ran.fetch_add(1); });
+  pool.Shutdown();
+  EXPECT_TRUE(pool.shut_down());
+  EXPECT_EQ(ran.load(), 1);  // pre-shutdown work drained
+
+  pool.Submit(0, [&] { ran.fetch_add(1); });
+  pool.Submit(1, [&] { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(pool.rejected_jobs(), 2u);
+
+  // Shutdown is idempotent; destruction after shutdown is clean.
+  pool.Shutdown();
+  EXPECT_EQ(pool.rejected_jobs(), 2u);
+}
+
+}  // namespace
+}  // namespace nephele
