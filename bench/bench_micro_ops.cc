@@ -137,7 +137,7 @@ void BM_ParallelCloneBatch64(benchmark::State& state) {
   const Domain* p = system.hypervisor().FindDomain(*parent);
   const Mfn start_info = p->p2m[p->start_info_gfn].mfn;
   for (auto _ : state) {
-    auto children = system.clone_engine().Clone(*parent, *parent, start_info, 64);
+    auto children = system.clone_engine().Clone({*parent, *parent, start_info, 64});
     if (!children.ok()) {
       state.SkipWithError("clone failed");
       break;

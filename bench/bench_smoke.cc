@@ -43,8 +43,8 @@ std::string RunScenario() {
     return {};
   }
   const Domain* d = system.hypervisor().FindDomain(*parent);
-  auto children = system.clone_engine().Clone(*parent, *parent,
-                                             d->p2m[d->start_info_gfn].mfn, 2);
+  auto children = system.clone_engine().Clone({*parent, *parent,
+                                             d->p2m[d->start_info_gfn].mfn, 2});
   Check(children.ok(), "clone of smoke parent");
   system.Settle();
   return system.metrics().ExportJson();

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Full verification: the test suite under the plain build, under ASan+UBSan,
 # under TSan (three separate build trees, so switching sanitizers never
-# forces a reconfigure of your main build), and a fourth leg running the
-# deterministic-simulation suite (ctest label `dst`) on the plain tree.
+# forces a reconfigure of your main build), a fourth leg running the
+# deterministic-simulation suite (ctest label `dst`) and a fifth running the
+# clone-scheduler suite (ctest label `sched`), both on the plain tree.
 #
 # Usage: scripts/check.sh [ctest-args...]
 #   e.g. scripts/check.sh -R parallel_clone       (one suite, all legs)
@@ -34,4 +35,10 @@ run_leg tsan build-tsan -DNEPHELE_TSAN=ON
 echo "==== [dst] ctest -L dst ===="
 (cd build && ctest --output-on-failure -j "${JOBS}" -L dst "${CTEST_ARGS[@]}")
 
-echo "==== all four legs passed ===="
+# Leg 5: the clone-scheduler suite by label on the plain tree — batching
+# windows, warm-pool hit/miss/evict, admission control, timeouts, and digest
+# stability of sched-op scenarios across worker counts.
+echo "==== [sched] ctest -L sched ===="
+(cd build && ctest --output-on-failure -j "${JOBS}" -L sched "${CTEST_ARGS[@]}")
+
+echo "==== all five legs passed ===="

@@ -8,13 +8,12 @@
 
 namespace nephele {
 
-CloneEngine::CloneEngine(Hypervisor& hv, MetricsRegistry* metrics, TraceRecorder* trace,
-                         FaultInjector* faults)
+CloneEngine::CloneEngine(Hypervisor& hv, const SystemServices& services)
     : hv_(hv),
       ring_(256),
-      own_metrics_(metrics == nullptr ? std::make_unique<MetricsRegistry>() : nullptr),
-      metrics_(metrics != nullptr ? metrics : own_metrics_.get()),
-      trace_(trace),
+      own_metrics_(services.metrics == nullptr ? std::make_unique<MetricsRegistry>() : nullptr),
+      metrics_(services.metrics != nullptr ? services.metrics : own_metrics_.get()),
+      trace_(services.trace),
       m_clones_(metrics_->GetCounter("clone/clones_total")),
       m_batches_(metrics_->GetCounter("clone/batches_total")),
       m_pages_shared_(metrics_->GetCounter("clone/stage1/pages_shared")),
@@ -29,14 +28,14 @@ CloneEngine::CloneEngine(Hypervisor& hv, MetricsRegistry* metrics, TraceRecorder
       m_rolled_back_(metrics_->GetCounter("clone/rolled_back")),
       m_stage1_ns_(metrics_->GetHistogram("clone/stage1/duration_ns")),
       m_stage2_ns_(metrics_->GetHistogram("clone/stage2/duration_ns")) {
-  if (faults != nullptr) {
-    f_stage1_create_ = faults->GetPoint("clone/stage1/create_domain");
-    f_stage1_memory_ = faults->GetPoint("clone/stage1/memory");
-    f_stage1_share_ = faults->GetPoint("clone/stage1/share");
-    f_stage1_page_tables_ = faults->GetPoint("clone/stage1/page_tables");
-    f_stage1_grants_ = faults->GetPoint("clone/stage1/grants");
-    f_stage1_evtchns_ = faults->GetPoint("clone/stage1/evtchns");
-    f_reset_ = faults->GetPoint("clone/reset");
+  if (services.faults != nullptr) {
+    f_stage1_create_ = services.faults->GetPoint("clone/stage1/create_domain");
+    f_stage1_memory_ = services.faults->GetPoint("clone/stage1/memory");
+    f_stage1_share_ = services.faults->GetPoint("clone/stage1/share");
+    f_stage1_page_tables_ = services.faults->GetPoint("clone/stage1/page_tables");
+    f_stage1_grants_ = services.faults->GetPoint("clone/stage1/grants");
+    f_stage1_evtchns_ = services.faults->GetPoint("clone/stage1/evtchns");
+    f_reset_ = services.faults->GetPoint("clone/reset");
   }
   // COW faults are resolved inside the hypervisor; surface them to clone
   // observers (metrics, fuzzing harnesses) through the engine.
@@ -384,8 +383,11 @@ void CloneEngine::RollbackBatch(Domain& parent, BatchPlan& batch,
   }
 }
 
-Result<std::vector<DomId>> CloneEngine::Clone(DomId caller, DomId parent_id, Mfn start_info_mfn,
-                                              unsigned num_clones) {
+Result<std::vector<DomId>> CloneEngine::Clone(const CloneRequest& req) {
+  const DomId caller = req.caller;
+  const DomId parent_id = req.parent;
+  const Mfn start_info_mfn = req.start_info_mfn;
+  const unsigned num_clones = req.num_children;
   hv_.ChargeHypercall();
   if (!hv_.cloning_globally_enabled()) {
     return ErrFailedPrecondition("cloning disabled globally");

@@ -39,32 +39,42 @@
 #include "src/hypervisor/hypervisor.h"
 #include "src/obs/clone_observer.h"
 #include "src/obs/metrics.h"
+#include "src/obs/services.h"
 #include "src/obs/trace.h"
 
 namespace nephele {
 
 class CloneEngine {
  public:
-  // `metrics`/`trace` may be null: the engine then records into a private
-  // registry (standalone constructions in tests keep working) and skips
-  // tracing. NepheleSystem passes its own instances so the whole stack
-  // exports through one registry. `faults` may be null — the stage-1 fault
-  // points are then never armed.
-  explicit CloneEngine(Hypervisor& hv, MetricsRegistry* metrics = nullptr,
-                       TraceRecorder* trace = nullptr, FaultInjector* faults = nullptr);
+  // Every service in `services` may be null: the engine then records into a
+  // private registry (standalone constructions in tests keep working), skips
+  // tracing, and never arms its stage-1 fault points. NepheleSystem passes
+  // services() so the whole stack exports through one registry.
+  explicit CloneEngine(Hypervisor& hv, const SystemServices& services = {});
+
+  // Pre-SystemServices pointer-tail constructor; kept delegating for one
+  // release so out-of-tree callers migrate on their own schedule.
+  [[deprecated("pass a SystemServices bundle instead of the pointer tail")]]
+  CloneEngine(Hypervisor& hv, MetricsRegistry* metrics, TraceRecorder* trace = nullptr,
+              FaultInjector* faults = nullptr)
+      : CloneEngine(hv, SystemServices{metrics, trace, faults}) {}
 
   // ---------------------------------------------------------------------
   // CLONEOP subcommands.
   // ---------------------------------------------------------------------
 
-  // kClone: creates `num_clones` children of `parent`. `caller` is the
-  // invoking domain — the parent itself on the guest path, or kDom0 when
-  // cloning is triggered from outside the VM (fuzzing). `start_info_mfn`
-  // must name the parent's start_info page (interface check). On success
-  // the parent is paused until every child finishes the second stage, and
-  // the returned array is what the hypervisor writes back to the caller.
+  // kClone: creates `req.num_children` children of `req.parent` (see
+  // CloneRequest for the field semantics). On success the parent is paused
+  // until every child finishes the second stage, and the returned array is
+  // what the hypervisor writes back to the caller.
+  Result<std::vector<DomId>> Clone(const CloneRequest& req);
+
+  // Positional-parameter form of kClone; kept delegating for one release.
+  [[deprecated("pass a CloneRequest instead of positional parameters")]]
   Result<std::vector<DomId>> Clone(DomId caller, DomId parent, Mfn start_info_mfn,
-                                   unsigned num_clones);
+                                   unsigned num_clones) {
+    return Clone(CloneRequest{caller, parent, start_info_mfn, num_clones});
+  }
 
   // kCloneCompletion: xencloned signals that the second stage of `child` is
   // done. Resumes the child (unless configured paused) and the parent once

@@ -21,6 +21,43 @@ enum class CloneOpCmd : int {
   kEnableGlobal = 4,     // xencloned enables cloning system-wide
 };
 
+// The typed argument block of CLONEOP kClone — what the caller marshals into
+// the hypercall. `caller` is the invoking domain (the parent itself on the
+// guest path, Dom0 when cloning is driven from outside the VM);
+// `start_info_mfn` must name the parent's start_info page (interface check).
+struct CloneRequest {
+  DomId caller = kDomInvalid;
+  DomId parent = kDomInvalid;
+  Mfn start_info_mfn = kInvalidMfn;
+  unsigned num_children = 1;
+};
+
+// Knobs of the clone scheduler (src/sched). Lives here — not in src/sched —
+// so SystemConfig can carry the whole knob surface without the core layer
+// depending on the scheduler built on top of it.
+struct SchedulerConfig {
+  // Clone requests for the same parent arriving within this window coalesce
+  // into one CloneEngine batch.
+  SimDuration batch_window = SimDuration::Millis(2);
+  // A parent's pending queue dispatches immediately once it holds this many
+  // requests, without waiting for the window to expire.
+  unsigned max_batch = 8;
+  // Warm children parked per parent; the least-recently-parked child is
+  // evicted (destroyed) when a park would exceed this.
+  std::size_t warm_pool_capacity = 4;
+  // Admission control: pending (queued, not yet dispatched) requests per
+  // parent. An acquire that would push the queue past this is rejected with
+  // kResourceExhausted instead of growing the queue unboundedly.
+  std::size_t max_queue_depth = 32;
+  // A queued request not dispatched within this duration fails with
+  // kAborted instead of waiting forever.
+  SimDuration request_timeout = SimDuration::Seconds(5);
+  // Memory-pressure watermark: after every park, warm children are evicted
+  // LRU-first until Toolstack::Dom0FreeBytes() is back above this. 0
+  // disables pressure eviction.
+  std::size_t dom0_low_watermark_bytes = 0;
+};
+
 // One entry of the hypervisor -> xencloned notification ring. "A
 // notification contains only the minimum required information for xencloned
 // to proceed with the second stage" (Sec. 5.1).

@@ -2,18 +2,19 @@
 
 namespace nephele {
 
-NepheleSystem::NepheleSystem(SystemConfig config) : costs_(config.costs) {
-  hv_ = std::make_unique<Hypervisor>(loop_, costs_, config.hypervisor, &metrics_, &faults_);
+NepheleSystem::NepheleSystem(SystemConfig config)
+    : config_(std::move(config)), costs_(config_.costs) {
+  hv_ = std::make_unique<Hypervisor>(loop_, costs_, config_.hypervisor, &metrics_, &faults_);
   xs_ = std::make_unique<XenstoreDaemon>(loop_, costs_, &metrics_, &faults_);
   devices_ = std::make_unique<DeviceManager>(*hv_, *xs_, loop_, costs_, &faults_);
-  toolstack_ = std::make_unique<Toolstack>(*hv_, *xs_, *devices_, loop_, costs_, &metrics_,
-                                           &trace_, &faults_);
-  engine_ = std::make_unique<CloneEngine>(*hv_, &metrics_, &trace_, &faults_);
-  engine_->SetWorkerThreads(config.clone_worker_threads);
-  toolstack_->AttachCloneThreadSetter(
-      [e = engine_.get()](unsigned n) { e->SetWorkerThreads(n); });
+  toolstack_ = std::make_unique<Toolstack>(*hv_, *xs_, *devices_, loop_, costs_, services());
+  engine_ = std::make_unique<CloneEngine>(*hv_, services());
+  engine_->SetWorkerThreads(config_.clone_worker_threads);
+  // The toolstack's administrator knob routes through the system so
+  // config() keeps reflecting the effective thread count.
+  toolstack_->AttachCloneThreadSetter([this](unsigned n) { SetCloneWorkerThreads(n); });
   xencloned_ = std::make_unique<Xencloned>(*hv_, *engine_, *xs_, *devices_, *toolstack_, loop_,
-                                           costs_, &metrics_, &trace_, &faults_);
+                                           costs_, services());
 
   // The metrics layer subscribes to the clone path like any other observer.
   clone_metrics_ = std::make_unique<CloneMetricsObserver>(metrics_, loop_);
@@ -30,7 +31,7 @@ NepheleSystem::NepheleSystem(SystemConfig config) : costs_(config.costs) {
     }
   });
 
-  if (config.start_xencloned) {
+  if (config_.start_xencloned) {
     (void)xencloned_->Start();
   }
 }

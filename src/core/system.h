@@ -23,14 +23,21 @@
 
 namespace nephele {
 
+// The single source of truth for every host-side knob. Runtime setters
+// (NepheleSystem::SetCloneWorkerThreads, Toolstack::SetCloneWorkerThreads)
+// are thin forwards that update this struct and push the value down; reading
+// NepheleSystem::config() always reflects the current effective settings.
 struct SystemConfig {
   HypervisorConfig hypervisor;
   CostModel costs;
   // Start xencloned (and enable cloning globally) at construction.
   bool start_xencloned = true;
-  // Host threads staging clone batches (CloneEngine::SetWorkerThreads).
-  // 1 = serial; results are identical at any setting.
+  // Host threads staging clone batches. 1 = serial; results are identical
+  // at any setting.
   unsigned clone_worker_threads = 1;
+  // Clone-scheduler knobs (batch window, max batch, warm-pool capacity,
+  // queue depth, ...). Consumed by CloneScheduler(NepheleSystem&).
+  SchedulerConfig sched;
 };
 
 class NepheleSystem {
@@ -61,11 +68,28 @@ class NepheleSystem {
   // src/fault/fault.h) to drive error paths that are otherwise unreachable.
   FaultInjector& fault_injector() { return faults_; }
 
+  // The service bundle (metrics + trace + faults) components constructed on
+  // top of this system (GuestManager, CloneScheduler, ...) should receive.
+  SystemServices services() { return SystemServices{&metrics_, &trace_, &faults_}; }
+
+  // The effective configuration. Runtime setters below keep it current, so
+  // this is always what the system is actually running with.
+  const SystemConfig& config() const { return config_; }
+
+  // Single entry point for retuning clone staging parallelism at runtime:
+  // updates config() and forwards to the engine. Toolstack's administrator
+  // knob is wired here too, so every path converges on one source of truth.
+  void SetCloneWorkerThreads(unsigned n) {
+    config_.clone_worker_threads = n == 0 ? 1 : n;
+    engine_->SetWorkerThreads(n);
+  }
+
   // Runs the event loop until idle.
   void Settle() { loop_.Run(); }
   SimTime Now() const { return loop_.Now(); }
 
  private:
+  SystemConfig config_;
   CostModel costs_;
   EventLoop loop_;
   MetricsRegistry metrics_;  // constructed before every subsystem using it

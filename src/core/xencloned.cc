@@ -7,8 +7,7 @@ namespace nephele {
 
 Xencloned::Xencloned(Hypervisor& hv, CloneEngine& engine, XenstoreDaemon& xs,
                      DeviceManager& devices, Toolstack& toolstack, EventLoop& loop,
-                     const CostModel& costs, MetricsRegistry* metrics, TraceRecorder* trace,
-                     FaultInjector* faults)
+                     const CostModel& costs, const SystemServices& services)
     : hv_(hv),
       engine_(engine),
       xs_(xs),
@@ -16,17 +15,17 @@ Xencloned::Xencloned(Hypervisor& hv, CloneEngine& engine, XenstoreDaemon& xs,
       toolstack_(toolstack),
       loop_(loop),
       costs_(costs),
-      own_metrics_(metrics == nullptr ? std::make_unique<MetricsRegistry>() : nullptr),
-      metrics_(metrics != nullptr ? metrics : own_metrics_.get()),
-      trace_(trace),
+      own_metrics_(services.metrics == nullptr ? std::make_unique<MetricsRegistry>() : nullptr),
+      metrics_(services.metrics != nullptr ? services.metrics : own_metrics_.get()),
+      trace_(services.trace),
       m_clones_completed_(metrics_->GetCounter("xencloned/clones_completed")),
       m_clones_aborted_(metrics_->GetCounter("xencloned/clones_aborted")),
       m_cache_hits_(metrics_->GetCounter("xencloned/cache_hits")),
       m_cache_misses_(metrics_->GetCounter("xencloned/cache_misses")),
       m_deep_copy_writes_(metrics_->GetCounter("xencloned/deep_copy_writes")),
       m_stage2_ns_(metrics_->GetHistogram("xencloned/stage2/duration_ns")) {
-  if (faults != nullptr) {
-    f_stage2_ = faults->GetPoint("xencloned/stage2");
+  if (services.faults != nullptr) {
+    f_stage2_ = services.faults->GetPoint("xencloned/stage2");
   }
 }
 

@@ -18,6 +18,7 @@
 #include "src/core/clone_types.h"
 #include "src/devices/device_manager.h"
 #include "src/obs/metrics.h"
+#include "src/obs/services.h"
 #include "src/obs/trace.h"
 #include "src/toolstack/toolstack.h"
 #include "src/xenstore/store.h"
@@ -40,14 +41,22 @@ struct XenclonedStats {
 
 class Xencloned {
  public:
-  // `metrics`/`trace` may be null: the daemon then records into a private
-  // registry and skips tracing (standalone constructions keep working).
-  // `faults` may be null — the xencloned/stage2 fault point is then never
-  // armed.
+  // Every service in `services` may be null: the daemon then records into a
+  // private registry, skips tracing (standalone constructions keep working),
+  // and never arms the xencloned/stage2 fault point.
   Xencloned(Hypervisor& hv, CloneEngine& engine, XenstoreDaemon& xs, DeviceManager& devices,
             Toolstack& toolstack, EventLoop& loop, const CostModel& costs,
-            MetricsRegistry* metrics = nullptr, TraceRecorder* trace = nullptr,
-            FaultInjector* faults = nullptr);
+            const SystemServices& services = {});
+
+  // Pre-SystemServices pointer-tail constructor; kept delegating for one
+  // release so out-of-tree callers migrate on their own schedule.
+  [[deprecated("pass a SystemServices bundle instead of the pointer tail")]]
+  Xencloned(Hypervisor& hv, CloneEngine& engine, XenstoreDaemon& xs, DeviceManager& devices,
+            Toolstack& toolstack, EventLoop& loop, const CostModel& costs,
+            MetricsRegistry* metrics, TraceRecorder* trace = nullptr,
+            FaultInjector* faults = nullptr)
+      : Xencloned(hv, engine, xs, devices, toolstack, loop, costs,
+                  SystemServices{metrics, trace, faults}) {}
 
   // Binds VIRQ_CLONED, submits the notification ring and enables cloning
   // globally — the daemon's startup sequence.

@@ -6,6 +6,7 @@
 
 #include "src/core/system.h"
 #include "src/dst/reference_model.h"
+#include "src/sched/scheduler.h"
 #include "src/toolstack/domain_config.h"
 #include "src/xenstore/path.h"
 
@@ -64,6 +65,9 @@ class Executor {
   void OpMigrateIn(const Op& op);
   void OpArm(const Op& op);
   void OpDevio(const Op& op);
+  void OpSchedAcquire(const Op& op);
+  void OpSchedRelease(const Op& op);
+  void WireScheduler();
 
   // --- Oracle. Each check returns "" or a failure message. ---
   void RunOracle(std::size_t op_index);
@@ -113,9 +117,11 @@ class Executor {
   RunResult result_;
 
   std::unique_ptr<NepheleSystem> sys_;
+  std::unique_ptr<CloneScheduler> sched_;  // after sys_: destroyed first
   ReferenceModel model_;
   std::vector<DomId> live_;            // creation order; op.dom indexes this
   std::vector<DomId> dead_;            // destroyed ids (never reused)
+  std::vector<DomId> granted_;         // scheduler grants eligible for release
   std::vector<MigrationStream> streams_;
   std::map<std::string, std::uint64_t> expected_;
   bool faults_armed_ = false;
@@ -130,7 +136,18 @@ RunResult Executor::Run() {
   SystemConfig config;
   config.hypervisor.pool_frames = scenario_.pool_frames;
   config.clone_worker_threads = options_.force_workers != 0 ? options_.force_workers : 1;
+  // Fixed, tight scheduler knobs so scenarios exercise batching, warm-pool
+  // reuse and queue-full rejection with few ops. The 1 ms window and 100 ms
+  // timeout both drain inside each op's Settle, so every scheduler decision
+  // lands within the op that caused it.
+  config.sched.batch_window = SimDuration::Millis(1);
+  config.sched.max_batch = 4;
+  config.sched.warm_pool_capacity = 2;
+  config.sched.max_queue_depth = 4;
+  config.sched.request_timeout = SimDuration::Millis(100);
   sys_ = std::make_unique<NepheleSystem>(config);
+  sched_ = std::make_unique<CloneScheduler>(*sys_);
+  WireScheduler();
   sys_->Settle();
   initial_free_ = sys_->hypervisor().FreePoolFrames();
 
@@ -252,6 +269,20 @@ void Executor::ExecuteOp(const Op& op, std::size_t index) {
       sys_->loop().AdvanceBy(SimDuration::Nanos(
           static_cast<std::int64_t>(std::min<std::uint64_t>(op.amount, 1'000'000'000ULL))));
       break;
+    case OpKind::kSchedAcquire:
+      if (live_.empty()) {
+        log_ << " skip";
+      } else {
+        OpSchedAcquire(op);
+      }
+      break;
+    case OpKind::kSchedRelease:
+      if (granted_.empty()) {
+        log_ << " skip";
+      } else {
+        OpSchedRelease(op);
+      }
+      break;
   }
   OpEdges(op, 0);
 }
@@ -284,7 +315,7 @@ void Executor::OpClone(const Op& op) {
   const bool would_validate = model_.CloneWouldValidate(parent, DstGuestConfig().max_clones, n);
   const std::uint64_t rolled_back_before = sys_->metrics().CounterValue("clone/rolled_back");
 
-  auto children = sys_->clone_engine().Clone(parent, parent, StartInfoMfn(parent), n);
+  auto children = sys_->clone_engine().Clone({parent, parent, StartInfoMfn(parent), n});
   sys_->Settle();
   log_ << ' ' << static_cast<int>(children.status().code()) << " parent=" << parent << " n=" << n;
 
@@ -381,8 +412,10 @@ void Executor::OpDestroy(const Op& op) {
   sys_->Settle();
   log_ << ' ' << static_cast<int>(status.code()) << " dom=" << dom;
   if (sys_->hypervisor().FindDomain(dom) == nullptr) {
+    sched_->Forget(dom);  // the scheduler must not serve a destroyed child warm
     model_.Destroy(dom);
     live_.erase(std::remove(live_.begin(), live_.end(), dom), live_.end());
+    granted_.erase(std::remove(granted_.begin(), granted_.end(), dom), granted_.end());
     dead_.push_back(dom);
     Expect("toolstack/domains_destroyed", 1);
     Expect("hypervisor/domains/destroyed", 1);
@@ -432,6 +465,145 @@ void Executor::OpMigrateIn(const Op& op) {
   } else {
     ResyncCounters();  // failed immigration unwinds with unmodelled churn
   }
+}
+
+void Executor::WireScheduler() {
+  // Scheduled batches run through the ordinary engine path; the wrapper adds
+  // the model/counter bookkeeping OpClone would do for a direct batch and
+  // logs the dispatch so batching decisions are part of the digest.
+  sched_->SetCloneExecutor([this](const CloneRequest& req) {
+    auto children = sys_->clone_engine().Clone(req);
+    log_ << " B" << req.parent << "x" << req.num_children << "t" << sys_->Now().ns() << "s"
+         << static_cast<int>(children.status().code());
+    if (children.ok()) {
+      model_.CloneBatchPlanned(req.parent, req.num_children);
+      Expect("clone/batches_total", 1);
+      Expect("clone/clones_total", req.num_children);
+      Expect("hypervisor/domains/created", req.num_children);
+      Expect("xencloned/clones_completed", req.num_children);
+    } else {
+      // Mid-plan failures roll back with churn the counter model does not
+      // predict (same as a failed direct batch).
+      ResyncCounters();
+    }
+    return children;
+  });
+  // Evictions and fallback destroys tear the child down behind the op
+  // stream's back; mirror them into the model and the live/dead lists.
+  sched_->SetEvictFn([this](DomId dom) {
+    (void)sys_->toolstack().DestroyDomain(dom);
+    if (sys_->hypervisor().FindDomain(dom) != nullptr) {
+      (void)sys_->hypervisor().DestroyDomain(dom);
+    }
+    log_ << " E" << dom;
+    if (sys_->hypervisor().FindDomain(dom) == nullptr) {
+      model_.Destroy(dom);
+      live_.erase(std::remove(live_.begin(), live_.end(), dom), live_.end());
+      granted_.erase(std::remove(granted_.begin(), granted_.end(), dom), granted_.end());
+      dead_.push_back(dom);
+      Expect("toolstack/domains_destroyed", 1);
+      Expect("hypervisor/domains/destroyed", 1);
+    } else {
+      ResyncCounters();
+    }
+  });
+}
+
+void Executor::OpSchedAcquire(const Op& op) {
+  DomId parent = Pick(op.dom);
+  // Deliberately allowed past max_queue_depth (4) so scenarios can force a
+  // deterministic wholesale queue-full rejection.
+  const unsigned n = 1 + (op.n - 1) % 6;
+  CloneRequest req;
+  req.caller = kDom0;
+  req.parent = parent;
+  req.start_info_mfn = StartInfoMfn(parent);
+  req.num_children = n;
+
+  auto outcomes = std::make_shared<std::vector<Result<DomId>>>();
+  Status status = sched_->Acquire(
+      req, [outcomes](Result<DomId> r) { outcomes->push_back(std::move(r)); });
+  // The 1 ms window, the batch itself and the 100 ms ticket timeouts all
+  // drain here, so every grant outcome is in `outcomes` after Settle.
+  sys_->Settle();
+  log_ << ' ' << static_cast<int>(status.code()) << " parent=" << parent << " n=" << n;
+
+  if (!status.ok()) {
+    const bool oversized = n > sched_->config().max_queue_depth;
+    if (!faults_armed_) {
+      if (!oversized) {
+        Fail("op-status", result_.ops_executed,
+             "sched acquire rejected a request the empty queue could take: " +
+                 status.ToString());
+      } else if (status.code() != StatusCode::kResourceExhausted) {
+        Fail("op-status", result_.ops_executed,
+             "queue-full rejection carries the wrong code: " + status.ToString());
+      }
+    }
+    return;
+  }
+
+  for (Result<DomId>& r : *outcomes) {
+    if (!r.ok()) {
+      log_ << " e" << static_cast<int>(r.status().code());
+      continue;
+    }
+    DomId child = *r;
+    if (std::find(live_.begin(), live_.end(), child) != live_.end()) {
+      // Warm grant: the child never left the live set; its parked state was
+      // already reset at release time.
+      log_ << " w" << child;
+    } else {
+      const Domain* d = sys_->hypervisor().FindDomain(child);
+      if (d == nullptr) {
+        Fail("live-set", result_.ops_executed,
+             "scheduler granted a dead domain " + std::to_string(child));
+        return;
+      }
+      live_.push_back(child);
+      model_.CloneChild(d->parent, child);
+      log_ << " c" << child;
+    }
+    granted_.push_back(child);
+  }
+}
+
+void Executor::OpSchedRelease(const Op& op) {
+  DomId child = granted_[op.slot % granted_.size()];
+  const bool can_reset = model_.CanReset(child);
+  auto outcome = sched_->Release(child);
+  sys_->Settle();
+  log_ << ' ' << static_cast<int>(outcome.status().code()) << " dom=" << child;
+  if (!outcome.ok()) {
+    // Legitimate refusals exist without faults: a child orphaned by its
+    // parent's destruction is no longer a clone. Only a child the model says
+    // is resettable must be accepted.
+    if (can_reset && !faults_armed_) {
+      Fail("op-status", result_.ops_executed,
+           "sched release failed for a resettable clone: " + outcome.status().ToString());
+    }
+    return;
+  }
+  if (outcome->reset_applied) {
+    const std::size_t predicted = model_.Reset(child);
+    log_ << " restored=" << outcome->pages_restored << (outcome->parked ? " parked" : " evicted");
+    if (outcome->pages_restored != predicted) {
+      Fail("cells", result_.ops_executed,
+           "sched release restored " + std::to_string(outcome->pages_restored) +
+               " pages, model predicts " + std::to_string(predicted));
+    }
+    Expect("clone/reset/count", 1);
+    Expect("clone/reset/pages_restored", predicted);
+  } else if (can_reset && !faults_armed_) {
+    Fail("op-status", result_.ops_executed,
+         "sched release fell back to destroy for a resettable clone");
+  }
+  if (outcome->parked) {
+    // Parked children leave the grant list; they come back via a warm hit.
+    granted_.erase(std::remove(granted_.begin(), granted_.end(), child), granted_.end());
+  }
+  // Non-parked outcomes were destroyed through the evict hook, which already
+  // scrubbed every list.
 }
 
 void Executor::OpArm(const Op& op) {

@@ -23,6 +23,9 @@ constexpr const char* kFaultMenu[] = {
     "hypervisor/frame_alloc",
     "hypervisor/cow_resolve",
     "xenstore/xs_clone",
+    "sched/admit",
+    "sched/dispatch",
+    "sched/park",
 };
 
 // Tape reader: consumes mutation-controlled bytes first, then falls back to
@@ -67,7 +70,8 @@ constexpr Weighted kWeights[] = {
     {OpKind::kLaunchGuest, 3}, {OpKind::kCloneBatch, 6}, {OpKind::kCowWrite, 10},
     {OpKind::kCloneReset, 4},  {OpKind::kDestroy, 2},    {OpKind::kMigrateOut, 1},
     {OpKind::kMigrateIn, 1},   {OpKind::kArmFault, 2},   {OpKind::kDisarmFaults, 2},
-    {OpKind::kDeviceIo, 4},    {OpKind::kAdvanceTime, 2},
+    {OpKind::kDeviceIo, 4},    {OpKind::kAdvanceTime, 2}, {OpKind::kSchedAcquire, 4},
+    {OpKind::kSchedRelease, 3},
 };
 
 }  // namespace
@@ -155,6 +159,14 @@ Scenario ScenarioFromTape(std::uint64_t seed, const std::vector<std::uint8_t>& t
         break;
       case OpKind::kAdvanceTime:
         op.amount = static_cast<std::uint64_t>(1 + t.Byte()) * 1000;
+        break;
+      case OpKind::kSchedAcquire:
+        op.dom = t.Below(live != 0 ? live : 1);
+        op.n = 1 + t.Below(2);
+        live += op.n;  // approximate: grants may come warm or be rejected
+        break;
+      case OpKind::kSchedRelease:
+        op.slot = t.Byte();
         break;
     }
     scenario.ops.push_back(std::move(op));

@@ -8,8 +8,9 @@ namespace nephele {
 namespace {
 
 constexpr const char* kOpNames[] = {
-    "launch",      "clone",  "write",  "reset", "destroy", "migrate_out",
-    "migrate_in",  "arm",    "disarm", "devio", "advance",
+    "launch",      "clone",  "write",  "reset", "destroy",       "migrate_out",
+    "migrate_in",  "arm",    "disarm", "devio", "advance",       "sched_acquire",
+    "sched_release",
 };
 
 bool SpecEquals(const FaultSpec& a, const FaultSpec& b) {
@@ -89,6 +90,12 @@ std::string Scenario::ToText() const {
         break;
       case OpKind::kAdvanceTime:
         out << " ns=" << op.amount;
+        break;
+      case OpKind::kSchedAcquire:
+        out << " dom=" << op.dom << " n=" << op.n;
+        break;
+      case OpKind::kSchedRelease:
+        out << " slot=" << op.slot;
         break;
     }
     out << "\n";

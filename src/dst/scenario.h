@@ -32,6 +32,8 @@ enum class OpKind : std::uint8_t {
   kDisarmFaults,     // disarm every fault point
   kDeviceIo,         // device control-plane I/O (xenstore data write)
   kAdvanceTime,      // advance virtual time by `amount` ns
+  kSchedAcquire,     // CloneScheduler::Acquire: `n` children of domain `dom`
+  kSchedRelease,     // CloneScheduler::Release of granted child `slot`
 };
 
 // The canonical op names of the text encoding, in OpKind order.

@@ -141,6 +141,17 @@ class Shrinker {
         v.amount = 1;
         push(v);
         break;
+      case OpKind::kSchedAcquire:
+        v.n = 1;
+        push(v);
+        v = op;
+        v.dom = 0;
+        push(v);
+        break;
+      case OpKind::kSchedRelease:
+        v.slot = 0;
+        push(v);
+        break;
       case OpKind::kLaunchGuest:
       case OpKind::kDisarmFaults:
         break;

@@ -1,7 +1,10 @@
 #include "src/faas/backend.h"
 
+#include <memory>
+
 #include "src/apps/faas_app.h"
 #include "src/base/log.h"
+#include "src/sched/scheduler.h"
 
 namespace nephele {
 
@@ -81,11 +84,92 @@ Status UnikernelBackend::Deploy() {
   return Status::Ok();
 }
 
+void UnikernelBackend::AttachScheduler(CloneScheduler* sched) {
+  sched_ = sched;
+  if (sched == nullptr) {
+    return;
+  }
+  // Scheduled batches still go through GuestManager so children get their
+  // runtime plumbing; the continuation only warms the interpreter — instance
+  // bookkeeping happens per grant, in OnInstanceGranted.
+  std::size_t warmup_pages = config_.warmup_pages;
+  sched->SetCloneExecutor([this, warmup_pages](const CloneRequest& req) {
+    return manager_.ForkChildren(
+        req.parent, req.num_children,
+        [warmup_pages](GuestContext& ctx, GuestApp& app, const ForkResult& r) {
+          (void)app;
+          if (r.is_child) {
+            (void)ctx.arena().Allocate(warmup_pages * kPageSize, /*resident=*/true);
+          }
+        },
+        req.caller);
+  });
+  // Evicted pool children are full guests; tear them down through the
+  // manager so their runtime state goes too.
+  sched->SetEvictFn([this](DomId dom) { (void)manager_.Destroy(dom); });
+}
+
+void UnikernelBackend::OnInstanceGranted(DomId dom, bool warm) {
+  instances_.push_back(dom);
+  // A warm child's interpreter state survived CloneReset-then-park; it skips
+  // pod creation and re-warming entirely.
+  SimDuration latency = warm ? config_.warm_report_latency : config_.k8s_report_latency;
+  manager_.system().loop().Post(latency, [this] {
+    ++ready_;
+    readiness_.push_back(manager_.system().loop().Now().ToSeconds());
+  });
+}
+
+Status UnikernelBackend::ScaleDown() {
+  if (sched_ == nullptr) {
+    return ErrUnimplemented("scale-down requires an attached scheduler");
+  }
+  if (instances_.size() <= 1) {
+    return ErrFailedPrecondition("nothing to scale down");
+  }
+  // Retire the youngest instance; the root (front) is never released.
+  DomId victim = instances_.back();
+  instances_.pop_back();
+  if (ready_ > 0) {
+    --ready_;
+  }
+  NEPHELE_ASSIGN_OR_RETURN(ReleaseOutcome outcome, sched_->Release(victim));
+  (void)outcome;
+  return Status::Ok();
+}
+
 Status UnikernelBackend::ScaleUp() {
   if (instances_.empty()) {
     return ErrFailedPrecondition("not deployed");
   }
   DomId root = instances_.front();
+  if (sched_ != nullptr) {
+    const Domain* d = manager_.system().hypervisor().FindDomain(root);
+    if (d == nullptr || d->start_info_gfn == kInvalidGfn) {
+      return ErrInternal("root domain incomplete");
+    }
+    CloneRequest req;
+    req.caller = kDom0;
+    req.parent = root;
+    req.start_info_mfn = d->p2m[d->start_info_gfn].mfn;
+    req.num_children = 1;
+    // Whether this grant comes warm is decided synchronously inside
+    // Acquire; the flag is read back (via the warm-hit counter) before the
+    // loop delivers the grant.
+    MetricsRegistry& metrics = manager_.system().metrics();
+    const std::uint64_t hits_before = metrics.CounterValue("sched/warm_hits");
+    auto warm = std::make_shared<bool>(false);
+    Status s = sched_->Acquire(req, [this, warm](Result<DomId> r) {
+      if (r.ok()) {
+        OnInstanceGranted(*r, *warm);
+      }
+    });
+    if (!s.ok()) {
+      return s;
+    }
+    *warm = metrics.CounterValue("sched/warm_hits") > hits_before;
+    return Status::Ok();
+  }
   UnikernelBackend* self = this;
   std::size_t warmup_pages = config_.warmup_pages;
   SimDuration report_latency = config_.k8s_report_latency;

@@ -14,6 +14,8 @@
 
 namespace nephele {
 
+class CloneScheduler;
+
 class FunctionBackend {
  public:
   virtual ~FunctionBackend() = default;
@@ -22,6 +24,9 @@ class FunctionBackend {
   virtual Status Deploy() = 0;
   // Launches one more instance; it becomes ready asynchronously.
   virtual Status ScaleUp() = 0;
+  // Retires one instance. Backends without an instance-recycling path keep
+  // the default refusal (the container model has no scale-down rule).
+  virtual Status ScaleDown() { return ErrUnimplemented("scale-down not supported"); }
 
   virtual std::size_t ReadyInstances() const = 0;
   virtual std::size_t TotalInstances() const = 0;
@@ -84,13 +89,23 @@ class UnikernelBackend : public FunctionBackend {
     // Python interpreter warm-up after the clone: pages the child dirties.
     std::size_t warmup_pages = 2600;
     double capacity_rps = 300;  // lwip stack (Sec. 7.3)
+    // Reporting latency for an instance served from the scheduler's warm
+    // pool: no pod creation, just marking the endpoint ready again.
+    SimDuration warm_report_latency = SimDuration::Millis(200);
   };
 
   UnikernelBackend(GuestManager& manager, Config config)
       : manager_(manager), config_(config) {}
 
+  // Routes scale-up through `sched` (batching + warm pool) instead of
+  // calling Fork directly, and enables ScaleDown: retired instances are
+  // released to the scheduler, which resets and parks them. Installs the
+  // scheduler's clone executor and evict hook; pass nullptr to detach.
+  void AttachScheduler(CloneScheduler* sched);
+
   Status Deploy() override;
   Status ScaleUp() override;
+  Status ScaleDown() override;
   std::size_t ReadyInstances() const override { return ready_; }
   std::size_t TotalInstances() const override { return instances_.size(); }
   double CapacityPerInstance() const override { return config_.capacity_rps; }
@@ -100,8 +115,11 @@ class UnikernelBackend : public FunctionBackend {
   const std::vector<DomId>& instances() const { return instances_; }
 
  private:
+  void OnInstanceGranted(DomId dom, bool warm);
+
   GuestManager& manager_;
   Config config_;
+  CloneScheduler* sched_ = nullptr;
   std::vector<DomId> instances_;
   std::size_t ready_ = 0;
   std::vector<double> readiness_;

@@ -34,6 +34,9 @@ GatewayRunResult OpenFaasGateway::Run(SimDuration duration,
           }
           (void)backend_.ScaleUp();
         }
+      } else if (config_.scale_down_threshold_per_instance > 0 && total > 1 &&
+                 per_instance < config_.scale_down_threshold_per_instance) {
+        (void)backend_.ScaleDown();
       }
     }
 

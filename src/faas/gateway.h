@@ -23,6 +23,10 @@ struct GatewayConfig {
   double rps_threshold_per_instance = 10.0;
   unsigned instances_per_scale_up = 1;
   std::size_t max_instances = 20;
+  // Scale-down rule: retire one instance when the per-instance load drops
+  // below this. 0 (the default) disables it — the paper's experiment only
+  // scales up; the scheduler bench uses it to exercise the warm pool.
+  double scale_down_threshold_per_instance = 0.0;
 };
 
 struct GatewaySample {

@@ -153,6 +153,12 @@ Result<DomId> GuestManager::Restore(const DomainImage& image, std::unique_ptr<Gu
 
 Status GuestManager::Fork(DomId parent, unsigned num_children, ForkContinuation continuation,
                           DomId caller) {
+  return ForkChildren(parent, num_children, std::move(continuation), caller).status();
+}
+
+Result<std::vector<DomId>> GuestManager::ForkChildren(DomId parent, unsigned num_children,
+                                                      ForkContinuation continuation,
+                                                      DomId caller) {
   auto git = guests_.find(parent);
   if (git == guests_.end()) {
     return ErrNotFound("no such guest");
@@ -164,14 +170,13 @@ Status GuestManager::Fork(DomId parent, unsigned num_children, ForkContinuation 
   if (d == nullptr || d->start_info_gfn == kInvalidGfn) {
     return ErrInternal("parent domain incomplete");
   }
-  Mfn start_info_mfn = d->p2m[d->start_info_gfn].mfn;
-  if (caller == kDomInvalid) {
-    caller = parent;
-  }
+  CloneRequest req;
+  req.caller = caller == kDomInvalid ? parent : caller;
+  req.parent = parent;
+  req.start_info_mfn = d->p2m[d->start_info_gfn].mfn;
+  req.num_children = num_children;
 
-  NEPHELE_ASSIGN_OR_RETURN(
-      std::vector<DomId> children,
-      system_.clone_engine().Clone(caller, parent, start_info_mfn, num_children));
+  NEPHELE_ASSIGN_OR_RETURN(std::vector<DomId> children, system_.clone_engine().Clone(req));
 
   PendingFork pending;
   pending.continuation = std::move(continuation);
@@ -182,7 +187,7 @@ Status GuestManager::Fork(DomId parent, unsigned num_children, ForkContinuation 
     pending_child_parent_[child] = parent;
   }
   pending_forks_[parent] = std::move(pending);
-  return Status::Ok();
+  return children;
 }
 
 void GuestManager::MaterialiseChild(DomId child, PendingFork& pending) {

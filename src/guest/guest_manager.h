@@ -39,6 +39,14 @@ class GuestManager : public CloneObserver {
   Status Fork(DomId parent, unsigned num_children, ForkContinuation continuation,
               DomId caller = kDomInvalid);
 
+  // Fork variant returning the created child ids (known synchronously after
+  // CLONEOP stage 1; guest state still materialises asynchronously, exactly
+  // like Fork). The clone scheduler uses this as its executor so it can map
+  // batch members back to the requests they serve.
+  Result<std::vector<DomId>> ForkChildren(DomId parent, unsigned num_children,
+                                          ForkContinuation continuation,
+                                          DomId caller = kDomInvalid);
+
   // Destroys a guest (and its domain).
   Status Destroy(DomId dom);
 

@@ -1,0 +1,30 @@
+// SystemServices: the bundle of cross-cutting service handles (metrics,
+// tracing, fault injection) every control-plane component receives at
+// construction. Replaces the old trailing `MetricsRegistry*, TraceRecorder*,
+// FaultInjector*` optional-pointer tails on Toolstack, CloneEngine, Xencloned
+// and CloneScheduler: one struct passed by const-ref, so adding a service
+// never changes a constructor signature again.
+//
+// Every member may be null — components then fall back to a private registry
+// (metrics), skip tracing, or never arm their fault points, exactly as the
+// old null pointer tails behaved. NepheleSystem::services() hands out the
+// fully-populated bundle.
+
+#ifndef SRC_OBS_SERVICES_H_
+#define SRC_OBS_SERVICES_H_
+
+namespace nephele {
+
+class MetricsRegistry;
+class TraceRecorder;
+class FaultInjector;
+
+struct SystemServices {
+  MetricsRegistry* metrics = nullptr;
+  TraceRecorder* trace = nullptr;
+  FaultInjector* faults = nullptr;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_OBS_SERVICES_H_

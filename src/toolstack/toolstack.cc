@@ -6,23 +6,22 @@
 namespace nephele {
 
 Toolstack::Toolstack(Hypervisor& hv, XenstoreDaemon& xs, DeviceManager& devices, EventLoop& loop,
-                     const CostModel& costs, MetricsRegistry* metrics, TraceRecorder* trace,
-                     FaultInjector* faults)
+                     const CostModel& costs, const SystemServices& services)
     : hv_(hv),
       xs_(xs),
       devices_(devices),
       loop_(loop),
       costs_(costs),
-      own_metrics_(metrics == nullptr ? std::make_unique<MetricsRegistry>() : nullptr),
-      metrics_(metrics != nullptr ? metrics : own_metrics_.get()),
-      trace_(trace),
+      own_metrics_(services.metrics == nullptr ? std::make_unique<MetricsRegistry>() : nullptr),
+      metrics_(services.metrics != nullptr ? services.metrics : own_metrics_.get()),
+      trace_(services.trace),
       m_domains_booted_(metrics_->GetCounter("toolstack/domains_booted")),
       m_domains_restored_(metrics_->GetCounter("toolstack/domains_restored")),
       m_domains_destroyed_(metrics_->GetCounter("toolstack/domains_destroyed")),
       m_boot_ns_(metrics_->GetHistogram("toolstack/boot/duration_ns")),
       m_restore_ns_(metrics_->GetHistogram("toolstack/restore/duration_ns")) {
-  if (faults != nullptr) {
-    f_create_domain_ = faults->GetPoint("toolstack/create_domain");
+  if (services.faults != nullptr) {
+    f_create_domain_ = services.faults->GetPoint("toolstack/create_domain");
   }
   default_switch_ = &builtin_bridge_;
   metrics_->GetGauge("toolstack/dom0_free_bytes").SetProvider([this] {

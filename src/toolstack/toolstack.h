@@ -18,6 +18,7 @@
 #include "src/hypervisor/hypervisor.h"
 #include "src/net/switch.h"
 #include "src/obs/metrics.h"
+#include "src/obs/services.h"
 #include "src/obs/trace.h"
 #include "src/toolstack/domain_config.h"
 #include "src/xenstore/store.h"
@@ -51,12 +52,19 @@ struct MigrationStream {
 
 class Toolstack {
  public:
-  // `metrics`/`trace` may be null: the toolstack then records into a private
-  // registry and skips tracing (standalone constructions keep working).
-  // `faults` may be null — the boot fault point is then never armed.
+  // Every service in `services` may be null: the toolstack then records into
+  // a private registry, skips tracing (standalone constructions keep
+  // working), and never arms the boot fault point.
   Toolstack(Hypervisor& hv, XenstoreDaemon& xs, DeviceManager& devices, EventLoop& loop,
-            const CostModel& costs, MetricsRegistry* metrics = nullptr,
-            TraceRecorder* trace = nullptr, FaultInjector* faults = nullptr);
+            const CostModel& costs, const SystemServices& services = {});
+
+  // Pre-SystemServices pointer-tail constructor; kept delegating for one
+  // release so out-of-tree callers migrate on their own schedule.
+  [[deprecated("pass a SystemServices bundle instead of the pointer tail")]]
+  Toolstack(Hypervisor& hv, XenstoreDaemon& xs, DeviceManager& devices, EventLoop& loop,
+            const CostModel& costs, MetricsRegistry* metrics, TraceRecorder* trace = nullptr,
+            FaultInjector* faults = nullptr)
+      : Toolstack(hv, xs, devices, loop, costs, SystemServices{metrics, trace, faults}) {}
 
   // Where new vifs are attached. Defaults to an internal Bridge; the Fig. 4
   // and Fig. 7 setups install a Bond instead.

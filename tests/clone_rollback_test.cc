@@ -67,7 +67,7 @@ class CloneRollbackTest : public ::testing::Test {
     ASSERT_TRUE(system_.fault_injector()
                     .Arm(point, FaultSpec::NthHit(1, StatusCode::kAborted, "boom"))
                     .ok());
-    auto r = system_.clone_engine().Clone(parent, parent, StartInfoMfn(parent), 1);
+    auto r = system_.clone_engine().Clone({parent, parent, StartInfoMfn(parent), 1});
     system_.Settle();
 
     // The injected code surfaces verbatim.
@@ -92,7 +92,7 @@ class CloneRollbackTest : public ::testing::Test {
 
     // The engine stays usable: disarm and clone for real.
     system_.fault_injector().DisarmAll();
-    auto ok = system_.clone_engine().Clone(parent, parent, StartInfoMfn(parent), 1);
+    auto ok = system_.clone_engine().Clone({parent, parent, StartInfoMfn(parent), 1});
     system_.Settle();
     ASSERT_TRUE(ok.ok()) << ok.status().ToString();
     EXPECT_EQ(ClonesTotal(), 1u);
@@ -109,7 +109,7 @@ class CloneRollbackTest : public ::testing::Test {
     ASSERT_TRUE(system_.fault_injector()
                     .Arm(point, FaultSpec::NthHit(1, StatusCode::kUnavailable, "boom"))
                     .ok());
-    auto r = system_.clone_engine().Clone(parent, parent, StartInfoMfn(parent), 1);
+    auto r = system_.clone_engine().Clone({parent, parent, StartInfoMfn(parent), 1});
     ASSERT_TRUE(r.ok()) << "stage 1 must succeed; the fault is in stage 2";
     DomId child = (*r)[0];
     system_.Settle();
@@ -136,7 +136,7 @@ class CloneRollbackTest : public ::testing::Test {
     EXPECT_EQ(system_.metrics().GetCounter("xencloned/clones_completed").value(), 0u);
 
     system_.fault_injector().DisarmAll();
-    auto ok = system_.clone_engine().Clone(parent, parent, StartInfoMfn(parent), 1);
+    auto ok = system_.clone_engine().Clone({parent, parent, StartInfoMfn(parent), 1});
     system_.Settle();
     ASSERT_TRUE(ok.ok()) << ok.status().ToString();
     EXPECT_EQ(system_.hypervisor().FindDomain(parent)->children.size(), 1u);
@@ -171,7 +171,7 @@ TEST_F(CloneRollbackTest, FrameAllocDuringCloneMemory) {
   ASSERT_TRUE(system_.fault_injector()
                   .Arm("hypervisor/frame_alloc", FaultSpec::NthHit(1))
                   .ok());
-  auto r = system_.clone_engine().Clone(parent, parent, StartInfoMfn(parent), 1);
+  auto r = system_.clone_engine().Clone({parent, parent, StartInfoMfn(parent), 1});
   system_.Settle();
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
@@ -190,7 +190,7 @@ TEST_F(CloneRollbackTest, BatchIsAllOrNothing) {
                   .Arm("clone/stage1/create_domain",
                        FaultSpec::NthHit(2, StatusCode::kAborted, "second child"))
                   .ok());
-  auto r = system_.clone_engine().Clone(parent, parent, StartInfoMfn(parent), 2);
+  auto r = system_.clone_engine().Clone({parent, parent, StartInfoMfn(parent), 2});
   system_.Settle();
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kAborted);
@@ -238,7 +238,7 @@ TEST_F(CloneRollbackTest, PartialBatchStage2Abort) {
   ASSERT_TRUE(system_.fault_injector()
                   .Arm("xencloned/stage2", FaultSpec::NthHit(2))
                   .ok());
-  auto r = system_.clone_engine().Clone(parent, parent, StartInfoMfn(parent), 2);
+  auto r = system_.clone_engine().Clone({parent, parent, StartInfoMfn(parent), 2});
   ASSERT_TRUE(r.ok());
   system_.Settle();
 
@@ -261,7 +261,7 @@ TEST_F(CloneRollbackTest, PartialBatchStage2Abort) {
 
 TEST_F(CloneRollbackTest, CloneResetFaultLeavesDirtyListConsistent) {
   DomId parent = BootParent();
-  auto r = system_.clone_engine().Clone(parent, parent, StartInfoMfn(parent), 1);
+  auto r = system_.clone_engine().Clone({parent, parent, StartInfoMfn(parent), 1});
   ASSERT_TRUE(r.ok());
   system_.Settle();
   DomId child = (*r)[0];
@@ -299,7 +299,7 @@ TEST_F(CloneRollbackTest, CloneResetAfterAbortedCloneStaysConsistent) {
   ASSERT_TRUE(system_.fault_injector()
                   .Arm("xencloned/stage2", FaultSpec::NthHit(1))
                   .ok());
-  auto r = system_.clone_engine().Clone(parent, parent, StartInfoMfn(parent), 2);
+  auto r = system_.clone_engine().Clone({parent, parent, StartInfoMfn(parent), 2});
   ASSERT_TRUE(r.ok());
   system_.Settle();
   system_.fault_injector().DisarmAll();
@@ -329,7 +329,7 @@ TEST_F(CloneRollbackTest, CloneResetAfterAbortedCloneStaysConsistent) {
   const Domain* p = system_.hypervisor().FindDomain(parent);
   EXPECT_FALSE(p->blocked_in_clone);
   EXPECT_EQ(p->state, DomainState::kRunning);
-  auto again = system_.clone_engine().Clone(parent, parent, StartInfoMfn(parent), 1);
+  auto again = system_.clone_engine().Clone({parent, parent, StartInfoMfn(parent), 1});
   ASSERT_TRUE(again.ok()) << again.status().ToString();
   system_.Settle();
   EXPECT_NE(system_.hypervisor().FindDomain((*again)[0]), nullptr);

@@ -89,7 +89,7 @@ TEST_F(ConcurrencyStressTest, MixedWorkloadKeepsInvariantsEveryRound) {
     SCOPED_TRACE("round " + std::to_string(round));
     const unsigned batch = (round % 2 == 0) ? 8 : 3;
 
-    auto children = sys.clone_engine().Clone(*parent, *parent, StartInfoMfn(sys, *parent), batch);
+    auto children = sys.clone_engine().Clone({*parent, *parent, StartInfoMfn(sys, *parent), batch});
     ASSERT_TRUE(children.ok()) << children.status().ToString();
     sys.Settle();
     live_children.insert(live_children.end(), children->begin(), children->end());
@@ -130,7 +130,7 @@ TEST_F(ConcurrencyStressTest, MixedWorkloadKeepsInvariantsEveryRound) {
       const std::size_t free_before = sys.hypervisor().FreePoolFrames();
       const std::uint64_t rollbacks_before = sys.clone_engine().stats().rollbacks;
       ASSERT_TRUE(sys.fault_injector().Arm(point, FaultSpec::NthHit(nth)).ok());
-      auto failed = sys.clone_engine().Clone(*parent, *parent, StartInfoMfn(sys, *parent), 6);
+      auto failed = sys.clone_engine().Clone({*parent, *parent, StartInfoMfn(sys, *parent), 6});
       sys.fault_injector().DisarmAll();
       sys.Settle();
       if (!failed.ok()) {
@@ -177,7 +177,7 @@ TEST_F(ConcurrencyStressTest, CloneOfCloneGenerationsUnderPool) {
     SCOPED_TRACE("generation " + std::to_string(gen));
     std::vector<DomId> next;
     for (DomId dom : generation) {
-      auto children = sys.clone_engine().Clone(dom, dom, StartInfoMfn(sys, dom), 2);
+      auto children = sys.clone_engine().Clone({dom, dom, StartInfoMfn(sys, dom), 2});
       ASSERT_TRUE(children.ok()) << children.status().ToString();
       sys.Settle();
       next.insert(next.end(), children->begin(), children->end());
@@ -204,7 +204,7 @@ TEST_F(ConcurrencyStressTest, PoolSurvivesRepeatedReconfiguration) {
   for (unsigned threads : {4u, 1u, 8u, 3u, 8u}) {
     SCOPED_TRACE("threads=" + std::to_string(threads));
     sys.clone_engine().SetWorkerThreads(threads);
-    auto children = sys.clone_engine().Clone(*parent, *parent, StartInfoMfn(sys, *parent), 5);
+    auto children = sys.clone_engine().Clone({*parent, *parent, StartInfoMfn(sys, *parent), 5});
     ASSERT_TRUE(children.ok()) << children.status().ToString();
     sys.Settle();
     std::uint8_t b = 1;

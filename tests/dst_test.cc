@@ -94,6 +94,15 @@ TEST(DstScenarioTest, TextRoundTripsEveryOpKind) {
   op.kind = OpKind::kAdvanceTime;
   op.amount = 123456;
   scenario.ops.push_back(op);
+  op = Op{};
+  op.kind = OpKind::kSchedAcquire;
+  op.dom = 1;
+  op.n = 2;
+  scenario.ops.push_back(op);
+  op = Op{};
+  op.kind = OpKind::kSchedRelease;
+  op.slot = 3;
+  scenario.ops.push_back(op);
 
   const std::string text = scenario.ToText();
   Scenario reparsed = MustParse(text);

@@ -26,6 +26,7 @@
 
 #include "src/core/idc.h"
 #include "src/core/system.h"
+#include "src/sched/scheduler.h"
 #include "tests/frame_invariants.h"
 
 namespace nephele {
@@ -108,8 +109,8 @@ class FaultSweepTest : public ::testing::Test {
     // A batch of two clones crosses every stage-1, stage-2 and device point.
     const Domain* d = hv.FindDomain(run.parent);
     if (d != nullptr && d->start_info_gfn != kInvalidGfn) {
-      auto children = sys.clone_engine().Clone(run.parent, run.parent,
-                                               d->p2m[d->start_info_gfn].mfn, 2);
+      auto children = sys.clone_engine().Clone({run.parent, run.parent,
+                                               d->p2m[d->start_info_gfn].mfn, 2});
       sys.Settle();
       if (children.ok()) {
         run.children = *children;
@@ -133,7 +134,7 @@ class FaultSweepTest : public ::testing::Test {
     // so "last hit" variants land after teardown has already happened once.
     d = hv.FindDomain(run.parent);
     if (d != nullptr && d->start_info_gfn != kInvalidGfn) {
-      (void)sys.clone_engine().Clone(run.parent, run.parent, d->p2m[d->start_info_gfn].mfn, 1);
+      (void)sys.clone_engine().Clone({run.parent, run.parent, d->p2m[d->start_info_gfn].mfn, 1});
       sys.Settle();
     }
     return run;
@@ -181,7 +182,7 @@ class FaultSweepTest : public ::testing::Test {
     const Domain* d = sys.hypervisor().FindDomain(*retry);
     ASSERT_NE(d, nullptr);
     auto kids =
-        sys.clone_engine().Clone(*retry, *retry, d->p2m[d->start_info_gfn].mfn, 1);
+        sys.clone_engine().Clone({*retry, *retry, d->p2m[d->start_info_gfn].mfn, 1});
     sys.Settle();
     EXPECT_TRUE(kids.ok()) << kids.status().ToString();
     ExpectFrameConsistency(sys);
@@ -343,6 +344,116 @@ TEST_F(FaultSweepTest, FaultedRunsAreByteDeterministic) {
   };
   EXPECT_EQ(pattern_for(7), pattern_for(7));
   EXPECT_NE(pattern_for(7), pattern_for(8)) << "seed must alter the draw sequence";
+}
+
+// --- Clone-scheduler fault points -----------------------------------------
+//
+// The scheduler registers its points (sched/admit, sched/dispatch,
+// sched/park) only when one is constructed, so the main coverage gate never
+// sees them; this section sweeps them with a dedicated scheduler workload:
+// a cold batched acquire, releases back into the warm pool, and a warm
+// re-acquire — crossing admit, dispatch and park on every run.
+
+class SchedFaultSweepTest : public FaultSweepTest {
+ protected:
+  static void RunSchedScenario(NepheleSystem& sys, CloneScheduler& sched) {
+    auto parent = sys.toolstack().CreateDomain(ParentConfig());
+    sys.Settle();
+    if (!parent.ok()) {
+      return;
+    }
+    std::vector<DomId> granted;
+    auto collect = [&granted](Result<DomId> r) {
+      if (r.ok()) {
+        granted.push_back(*r);
+      }
+    };
+    (void)sched.Acquire({kDom0, *parent, kInvalidMfn, 2}, collect);
+    sys.Settle();
+    for (DomId child : granted) {
+      (void)sched.Release(child);
+    }
+    (void)sched.Acquire({kDom0, *parent, kInvalidMfn, 1}, collect);
+    sys.Settle();
+    if (!granted.empty()) {
+      (void)sched.Release(granted.back());
+    }
+  }
+
+  static void RunSchedFaultedVariant(const std::string& point, const FaultSpec& spec) {
+    SCOPED_TRACE("sched fault point: " + point);
+    NepheleSystem sys(SmallSystem());
+    CloneScheduler sched(sys);
+    const std::size_t initial_free = sys.hypervisor().FreePoolFrames();
+    ASSERT_TRUE(sys.fault_injector().Arm(point, spec).ok()) << "unknown fault point " << point;
+    RunSchedScenario(sys, sched);
+    sys.fault_injector().DisarmAll();
+    ExpectFrameConsistency(sys);
+
+    // Recovery: the same scheduler must serve a fresh acquire cleanly.
+    DomainConfig cfg = ParentConfig();
+    cfg.name = "retry";
+    auto retry = sys.toolstack().CreateDomain(cfg);
+    sys.Settle();
+    ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+    bool granted = false;
+    ASSERT_TRUE(sched
+                    .Acquire({kDom0, *retry, kInvalidMfn, 1},
+                             [&granted](Result<DomId> r) { granted = r.ok(); })
+                    .ok());
+    sys.Settle();
+    EXPECT_TRUE(granted);
+    ExpectFrameConsistency(sys);
+
+    // Drain the pool, then full teardown restores the frame pool exactly.
+    sched.DrainAll();
+    sys.Settle();
+    std::vector<DomId> doms = sys.hypervisor().DomainIds();
+    std::sort(doms.rbegin(), doms.rend());
+    for (DomId dom : doms) {
+      if (dom == kDom0) {
+        continue;
+      }
+      (void)sys.toolstack().DestroyDomain(dom);
+      if (sys.hypervisor().FindDomain(dom) != nullptr) {
+        (void)sys.hypervisor().DestroyDomain(dom);
+      }
+    }
+    sys.Settle();
+    EXPECT_EQ(sys.hypervisor().FreePoolFrames(), initial_free);
+  }
+};
+
+// Coverage gate for the scheduler's own points: the sched workload must hit
+// all three.
+TEST_F(SchedFaultSweepTest, SchedScenarioCoversSchedPoints) {
+  NepheleSystem sys(SmallSystem());
+  CloneScheduler sched(sys);
+  RunSchedScenario(sys, sched);
+  for (const char* point : {"sched/admit", "sched/dispatch", "sched/park"}) {
+    EXPECT_GT(sys.fault_injector().HitCount(point), 0u)
+        << "sched fault point never hit by the sched sweep scenario: " << point;
+  }
+}
+
+// Deterministic nth-hit sweep of every sched point: first and second hit.
+TEST_F(SchedFaultSweepTest, NthHitSweepAcrossSchedPoints) {
+  for (const char* point : {"sched/admit", "sched/dispatch", "sched/park"}) {
+    for (std::uint64_t nth : {1u, 2u}) {
+      SCOPED_TRACE("nth=" + std::to_string(nth));
+      RunSchedFaultedVariant(point, FaultSpec::NthHit(nth));
+    }
+  }
+}
+
+// Seeded stochastic sweep of the sched points.
+TEST_F(SchedFaultSweepTest, ProbabilitySweepAcrossSchedPoints) {
+  for (const char* point : {"sched/admit", "sched/dispatch", "sched/park"}) {
+    for (std::uint64_t seed : {1u, 2u}) {
+      SCOPED_TRACE("seed=" + std::to_string(seed));
+      RunSchedFaultedVariant(point, FaultSpec::WithProbability(0.4, seed));
+    }
+  }
 }
 
 // fault/injected in the shared registry mirrors the injector's own total.

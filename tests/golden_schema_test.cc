@@ -65,7 +65,7 @@ void RunGoldenWorkload(NepheleSystem& sys) {
   const Domain* d = sys.hypervisor().FindDomain(*parent);
   ASSERT_NE(d, nullptr);
   auto children =
-      sys.clone_engine().Clone(*parent, *parent, d->p2m[d->start_info_gfn].mfn, 2);
+      sys.clone_engine().Clone({*parent, *parent, d->p2m[d->start_info_gfn].mfn, 2});
   ASSERT_TRUE(children.ok());
   sys.Settle();
 

@@ -31,7 +31,7 @@ class IdcTest : public ::testing::Test {
   DomId CloneOnce(DomId parent) {
     const Domain* p = system_.hypervisor().FindDomain(parent);
     auto children =
-        system_.clone_engine().Clone(parent, parent, p->p2m[p->start_info_gfn].mfn, 1);
+        system_.clone_engine().Clone({parent, parent, p->p2m[p->start_info_gfn].mfn, 1});
     EXPECT_TRUE(children.ok()) << children.status().ToString();
     system_.Settle();
     return children->front();
@@ -234,8 +234,8 @@ TEST_P(PipeStreamProperty, RandomInterleaving) {
   auto pipe = IdcPipe::Create(system.hypervisor(), *parent);
   ASSERT_TRUE(pipe.ok());
   const Domain* p = system.hypervisor().FindDomain(*parent);
-  auto children = system.clone_engine().Clone(*parent, *parent,
-                                              p->p2m[p->start_info_gfn].mfn, 1);
+  auto children = system.clone_engine().Clone({*parent, *parent,
+                                              p->p2m[p->start_info_gfn].mfn, 1});
   ASSERT_TRUE(children.ok());
   system.Settle();
   DomId child = children->front();

@@ -250,7 +250,7 @@ class ObsIntegrationTest : public ::testing::Test {
   static void CloneAndSettle(NepheleSystem& system, DomId parent, unsigned n = 1) {
     const Domain* d = system.hypervisor().FindDomain(parent);
     Mfn start_info = d->p2m[d->start_info_gfn].mfn;
-    auto children = system.clone_engine().Clone(parent, parent, start_info, n);
+    auto children = system.clone_engine().Clone({parent, parent, start_info, n});
     ASSERT_TRUE(children.ok()) << children.status().ToString();
     system.Settle();
   }

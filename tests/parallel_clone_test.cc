@@ -99,7 +99,7 @@ RunResult RunWorkload(unsigned threads, unsigned batch) {
 
   const Domain* p = sys.hypervisor().FindDomain(*parent);
   auto children =
-      sys.clone_engine().Clone(*parent, *parent, p->p2m[p->start_info_gfn].mfn, batch);
+      sys.clone_engine().Clone({*parent, *parent, p->p2m[p->start_info_gfn].mfn, batch});
   EXPECT_TRUE(children.ok()) << children.status().ToString();
   sys.Settle();
 
@@ -172,7 +172,7 @@ TEST(ParallelClone, VirtualTimeIsCriticalPathNotSum) {
     const Domain* p = sys.hypervisor().FindDomain(*parent);
     SimTime before = sys.Now();
     auto children =
-        sys.clone_engine().Clone(*parent, *parent, p->p2m[p->start_info_gfn].mfn, batch);
+        sys.clone_engine().Clone({*parent, *parent, p->p2m[p->start_info_gfn].mfn, batch});
     EXPECT_TRUE(children.ok());
     std::int64_t ns = (sys.Now() - before).ns();
     sys.Settle();
@@ -219,7 +219,7 @@ TEST(ParallelClone, ReconfiguringThreadsBetweenBatchesIsTransparent) {
   Mfn si = p->p2m[p->start_info_gfn].mfn;
   for (unsigned threads : {1u, 3u, 8u, 2u}) {
     sys.clone_engine().SetWorkerThreads(threads);
-    auto children = sys.clone_engine().Clone(*parent, *parent, si, 4);
+    auto children = sys.clone_engine().Clone({*parent, *parent, si, 4});
     ASSERT_TRUE(children.ok()) << children.status().ToString();
     sys.Settle();
     ExpectFrameConsistency(sys);

@@ -32,7 +32,7 @@ class XenclonedTest : public ::testing::Test {
   DomId CloneOnce(DomId parent) {
     const Domain* p = system_.hypervisor().FindDomain(parent);
     auto children =
-        system_.clone_engine().Clone(parent, parent, p->p2m[p->start_info_gfn].mfn, 1);
+        system_.clone_engine().Clone({parent, parent, p->p2m[p->start_info_gfn].mfn, 1});
     EXPECT_TRUE(children.ok()) << children.status().ToString();
     system_.Settle();
     return children->front();
@@ -159,7 +159,7 @@ TEST_F(XenclonedTest, StartClonesPausedRespected) {
   ASSERT_TRUE(parent.ok());
   const Domain* p = system_.hypervisor().FindDomain(*parent);
   auto children =
-      system_.clone_engine().Clone(*parent, *parent, p->p2m[p->start_info_gfn].mfn, 1);
+      system_.clone_engine().Clone({*parent, *parent, p->p2m[p->start_info_gfn].mfn, 1});
   ASSERT_TRUE(children.ok());
   system_.Settle();
   // Parent resumed, child left paused (Sec. 5).
