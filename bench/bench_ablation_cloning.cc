@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench/bench_args.h"
 #include "src/apps/udp_ready_app.h"
 #include "src/guest/guest_manager.h"
 #include "src/sim/series.h"
@@ -138,7 +139,8 @@ void AblationRingPolicy() {
 
 int main(int argc, char** argv) {
   using namespace nephele;
-  int n = argc > 1 ? std::atoi(argv[1]) : 300;
+  BenchArgs args(argc, argv, {{"instances", 300, "instances per ablation"}});
+  int n = static_cast<int>(args.Positional("instances"));
   std::printf("# Cloning design ablations (see DESIGN.md)\n");
   AblationXsClone(n);
   AblationCache();

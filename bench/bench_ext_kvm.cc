@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_args.h"
 #include "src/apps/udp_ready_app.h"
 #include "src/guest/guest_manager.h"
 #include "src/kvm/kvmcloned.h"
@@ -71,8 +72,10 @@ PortResult MeasureKvm(std::size_t memory_mb, int clones) {
 }  // namespace
 }  // namespace nephele
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nephele;
+  BenchArgs args(argc, argv, {});
+  (void)args;
   std::printf("# Platform-port comparison: Xen CLONEOP vs KVM_CLONE_VM (10 clones each)\n");
   SeriesTable table("Extension: clone cost per platform",
                     {"guest_mb", "xen_clone_ms", "xen_upfront_mb", "kvm_clone_ms",

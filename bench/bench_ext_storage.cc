@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_args.h"
 #include "src/apps/udp_ready_app.h"
 #include "src/guest/guest_manager.h"
 #include "src/sim/series.h"
@@ -117,8 +118,10 @@ void CowWriteOverhead() {
 }  // namespace
 }  // namespace nephele
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nephele;
+  BenchArgs args(argc, argv, {});
+  (void)args;
   std::printf("# Storage & COW extension experiments (see DESIGN.md)\n");
   DiskCloneTimes();
   DiskDensity();

@@ -9,11 +9,16 @@
 // Usage: bench_fig04_instantiation [num_instances] [clone_worker_threads]
 // (defaults: 1000 instances, 1 staging thread). The thread count only moves
 // host wall-clock — every simulated figure is identical at any setting.
+// With --json=PATH the run means land in a BenchJsonWriter document for the
+// perf-regression gate (scripts/bench_gate.sh).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string_view>
 
+#include "bench/bench_args.h"
+#include "bench/bench_json.h"
 #include "src/apps/udp_ready_app.h"
 #include "src/guest/guest_manager.h"
 #include "src/net/switch.h"
@@ -179,17 +184,47 @@ std::vector<double> RunClone(int n, bool use_xs_clone, CloneRunStats* stats) {
 
 int main(int argc, char** argv) {
   using namespace nephele;
-  int n = argc > 1 ? std::atoi(argv[1]) : 1000;
-  if (argc > 2) {
-    g_clone_worker_threads = static_cast<unsigned>(std::atoi(argv[2]));
-  }
+  BenchArgs args(argc, argv,
+                 {{"num_instances", 1000, "instances per series"},
+                  {"clone_worker_threads", 1, "staging threads (wall-clock only)"}});
+  int n = static_cast<int>(args.Positional("num_instances"));
+  g_clone_worker_threads = static_cast<unsigned>(args.Positional("clone_worker_threads"));
 
+  auto wall_start = std::chrono::steady_clock::now();
   std::vector<double> boot = RunBoot(n);
   std::vector<double> restore = RunRestore(n);
   CloneRunStats deep_stats;
   std::vector<double> deep = RunClone(n, /*use_xs_clone=*/false, &deep_stats);
   CloneRunStats clone_stats;
   std::vector<double> clone = RunClone(n, /*use_xs_clone=*/true, &clone_stats);
+  double wall_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                             wall_start)
+                       .count();
+
+  if (!args.json_path().empty()) {
+    auto mean_of = [](const std::vector<double>& v) {
+      RunningStat s;
+      for (double x : v) {
+        s.Add(x);
+      }
+      return s.mean();
+    };
+    BenchJsonWriter json("fig04");
+    json.Add("boot_mean_ms", mean_of(boot), "ms", MetricDir::kLowerIsBetter, MetricKind::kSim);
+    json.Add("restore_mean_ms", mean_of(restore), "ms", MetricDir::kLowerIsBetter,
+             MetricKind::kSim);
+    json.Add("clone_deepcopy_mean_ms", mean_of(deep), "ms", MetricDir::kLowerIsBetter,
+             MetricKind::kSim);
+    json.Add("clone_mean_ms", mean_of(clone), "ms", MetricDir::kLowerIsBetter, MetricKind::kSim);
+    json.Add("clone_vs_boot_speedup", mean_of(boot) / mean_of(clone), "x",
+             MetricDir::kHigherIsBetter, MetricKind::kSim);
+    json.Add("stage1_mean_ms", clone_stats.stage1_mean_ms, "ms", MetricDir::kLowerIsBetter,
+             MetricKind::kSim);
+    json.Add("stage2_mean_ms", clone_stats.stage2_mean_ms, "ms", MetricDir::kLowerIsBetter,
+             MetricKind::kSim);
+    json.Add("host_wall_ms", wall_ms, "ms", MetricDir::kLowerIsBetter, MetricKind::kWall);
+    return json.WriteFile(args.json_path()) ? 0 : 1;
+  }
 
   SeriesTable table("Figure 4: instantiation times for Mini-OS UDP server (ms)",
                     {"instance", "boot", "restore", "clone_xs_deep_copy", "clone"});

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench/bench_args.h"
 #include "src/apps/udp_ready_app.h"
 #include "src/guest/guest_manager.h"
 #include "src/sim/series.h"
@@ -108,7 +109,8 @@ std::vector<DensityPoint> RunCloneDensity(std::size_t stride, std::size_t* total
 
 int main(int argc, char** argv) {
   using namespace nephele;
-  std::size_t stride = argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 100;
+  BenchArgs args(argc, argv, {{"stride", 100, "instances between samples"}});
+  std::size_t stride = static_cast<std::size_t>(args.Positional("stride"));
 
   std::size_t boot_total = 0, clone_total = 0;
   auto boot = RunBootDensity(stride, &boot_total);

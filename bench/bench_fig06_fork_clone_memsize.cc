@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench/bench_args.h"
 #include "src/apps/mem_app.h"
 #include "src/baseline/linux_process.h"
 #include "src/guest/guest_manager.h"
@@ -83,7 +84,8 @@ Sample MeasureOne(std::size_t alloc_mb) {
 
 int main(int argc, char** argv) {
   using namespace nephele;
-  int reps = argc > 1 ? std::atoi(argv[1]) : 3;
+  BenchArgs args(argc, argv, {{"reps", 3, "repetitions per size"}});
+  int reps = static_cast<int>(args.Positional("reps"));
 
   SeriesTable table(
       "Figure 6: fork/clone duration vs allocation size (ms, log-log in the paper)",

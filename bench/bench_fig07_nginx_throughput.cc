@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench/bench_args.h"
 #include "src/apps/nginx_app.h"
 #include "src/baseline/linux_process.h"
 #include "src/guest/guest_manager.h"
@@ -126,8 +127,10 @@ double MeasureProcesses(unsigned workers, int seconds, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   using namespace nephele;
-  int reps = argc > 1 ? std::atoi(argv[1]) : 5;
-  int seconds = argc > 2 ? std::atoi(argv[2]) : 2;
+  BenchArgs args(argc, argv, {{"reps", 5, "repetitions per worker count"},
+                              {"seconds", 2, "simulated seconds per run"}});
+  int reps = static_cast<int>(args.Positional("reps"));
+  int seconds = static_cast<int>(args.Positional("seconds"));
 
   SeriesTable table("Figure 7: NGINX HTTP throughput vs #workers (requests/s)",
                     {"workers", "processes_mean", "processes_stddev", "clones_mean",

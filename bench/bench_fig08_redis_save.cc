@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_args.h"
 #include "src/apps/redis_app.h"
 #include "src/baseline/linux_process.h"
 #include "src/guest/guest_manager.h"
@@ -112,8 +113,10 @@ ProcessSample MeasureVmProcess(std::size_t keys) {
 }  // namespace
 }  // namespace nephele
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nephele;
+  BenchArgs args(argc, argv, {});
+  (void)args;
   SeriesTable table("Figure 8: Redis database saving times vs #keys (ms, log-log)",
                     {"keys", "vm_process_fork", "vm_process_save", "unikraft_clone",
                      "unikraft_save", "userspace_ops"});

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench/bench_args.h"
 #include "src/fuzz/fuzz_session.h"
 #include "src/sim/series.h"
 
@@ -37,7 +38,8 @@ FuzzSessionResult RunOne(FuzzMode mode, bool baseline, int seconds) {
 
 int main(int argc, char** argv) {
   using namespace nephele;
-  int seconds = argc > 1 ? std::atoi(argv[1]) : 300;
+  BenchArgs args(argc, argv, {{"seconds", 300, "simulated seconds per session"}});
+  int seconds = static_cast<int>(args.Positional("seconds"));
 
   struct Series {
     const char* name;

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench/bench_args.h"
 #include "src/faas/gateway.h"
 #include "src/sim/series.h"
 
@@ -44,7 +45,8 @@ GatewayRunResult RunUnikernels(int seconds) {
 
 int main(int argc, char** argv) {
   using namespace nephele;
-  int seconds = argc > 1 ? std::atoi(argv[1]) : 200;
+  BenchArgs args(argc, argv, {{"seconds", 200, "simulated seconds per run"}});
+  int seconds = static_cast<int>(args.Positional("seconds"));
 
   GatewayRunResult containers = RunContainers(seconds);
   GatewayRunResult unikernels = RunUnikernels(seconds);

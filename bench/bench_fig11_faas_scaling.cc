@@ -11,12 +11,17 @@
 // recovery is served from parked children in O(reset) — plus a deterministic
 // burst-rejection demo of the scheduler's admission control.
 //
-// Usage: bench_fig11_faas_scaling [seconds]   (default 150)
+// Usage: bench_fig11_faas_scaling [seconds]   (default 150). With
+// --json=PATH the scheduler-run figures land in a BenchJsonWriter document
+// for the perf-regression gate.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
+#include "bench/bench_args.h"
+#include "bench/bench_json.h"
 #include "src/faas/gateway.h"
 #include "src/sched/scheduler.h"
 #include "src/sim/series.h"
@@ -31,7 +36,9 @@ constexpr double kSaturationRps = 1450.0;  // ab with 8 workers, Sec. 7.3
 
 int main(int argc, char** argv) {
   using namespace nephele;
-  int seconds = argc > 1 ? std::atoi(argv[1]) : 150;
+  BenchArgs args(argc, argv, {{"seconds", 150, "simulated seconds per run"}});
+  int seconds = static_cast<int>(args.Positional("seconds"));
+  auto wall_start = std::chrono::steady_clock::now();
   auto demand = [](double) { return kSaturationRps; };
 
   EventLoop closs;
@@ -162,5 +169,30 @@ int main(int argc, char** argv) {
   PrintSummary("burst acquires rejected (queue depth 8, burst 12)",
                static_cast<double>(rejected));
   PrintSummary("burst acquires granted", static_cast<double>(granted));
+
+  if (!args.json_path().empty()) {
+    double wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - wall_start)
+                         .count();
+    BenchJsonWriter json("fig11");
+    json.Add("warm_hits", static_cast<double>(wm.CounterValue("sched/warm_hits")), "count",
+             MetricDir::kHigherIsBetter, MetricKind::kSim);
+    json.Add("warm_misses", static_cast<double>(wm.CounterValue("sched/warm_misses")), "count",
+             MetricDir::kLowerIsBetter, MetricKind::kSim);
+    json.Add("parked_total", static_cast<double>(wm.CounterValue("sched/parked_total")), "count",
+             MetricDir::kHigherIsBetter, MetricKind::kSim);
+    if (warm_ns != nullptr && cold_ns != nullptr) {
+      json.Add("warm_grant_mean_ms", warm_ns->mean() / 1e6, "ms", MetricDir::kLowerIsBetter,
+               MetricKind::kSim);
+      json.Add("cold_grant_mean_ms", cold_ns->mean() / 1e6, "ms", MetricDir::kLowerIsBetter,
+               MetricKind::kSim);
+    }
+    json.Add("burst_rejected", static_cast<double>(rejected), "count",
+             MetricDir::kLowerIsBetter, MetricKind::kSim);
+    json.Add("burst_granted", static_cast<double>(granted), "count",
+             MetricDir::kHigherIsBetter, MetricKind::kSim);
+    json.Add("host_wall_ms", wall_ms, "ms", MetricDir::kLowerIsBetter, MetricKind::kWall);
+    return json.WriteFile(args.json_path()) ? 0 : 1;
+  }
   return 0;
 }

@@ -2,12 +2,26 @@
 // operations. These measure HOST wall-clock cost of the implementation —
 // how fast the simulation itself executes — complementing the virtual-time
 // figures benches. Useful for keeping the 1000-instance sweeps fast.
+//
+// With --json=PATH the binary skips google-benchmark and runs the gate's
+// fixed op set instead (--suite=clone | sched), writing a BenchJsonWriter
+// document: per-op wall ms and ops/sec for serial stage 1, the 64-child
+// batch at 1 and 4 staging threads, scheduler cold dispatch and warm-pool
+// hits. Any other flag is passed through to google-benchmark.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_args.h"
+#include "bench/bench_json.h"
 #include "src/apps/udp_ready_app.h"
 #include "src/guest/guest_manager.h"
 #include "src/guest/ipc.h"
+#include "src/sched/scheduler.h"
 
 namespace nephele {
 namespace {
@@ -186,7 +200,195 @@ void BM_IdcPipeRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_IdcPipeRoundTrip);
 
+// ---------------------------------------------------------------------
+// Gate mode (--json=PATH --suite=clone|sched): a fixed op set measured
+// with plain steady_clock loops — small, reproducible op counts rather
+// than google-benchmark's adaptive iteration, so a run takes ~a second.
+// ---------------------------------------------------------------------
+
+struct OpTiming {
+  double ms_per_op = 0.0;
+  double ops_per_sec = 0.0;
+};
+
+template <typename Op>
+OpTiming TimeOps(int iters, Op&& op) {
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    op();
+  }
+  double ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+                  .count();
+  OpTiming t;
+  t.ms_per_op = ms / iters;
+  t.ops_per_sec = t.ms_per_op > 0.0 ? 1000.0 / t.ms_per_op : 0.0;
+  return t;
+}
+
+void DestroyChildren(NepheleSystem& system, const std::vector<DomId>& children) {
+  for (DomId c : children) {
+    (void)system.toolstack().DestroyDomain(c);
+    if (system.hypervisor().FindDomain(c) != nullptr) {
+      (void)system.hypervisor().DestroyDomain(c);
+    }
+  }
+  system.Settle();
+}
+
+// Wall cost of CLONEOP stage 1 for a single child, serial staging. Only the
+// Clone() call is timed; settle + teardown run off the clock.
+OpTiming MeasureSerialStage1(int iters) {
+  SystemConfig cfg;
+  cfg.hypervisor.pool_frames = 1024 * 1024;
+  cfg.clone_worker_threads = 1;
+  NepheleSystem system(cfg);
+  DomainConfig dcfg;
+  dcfg.name = "parent";
+  dcfg.memory_mb = 16;
+  dcfg.max_clones = 1u << 20;
+  auto parent = system.toolstack().CreateDomain(dcfg);
+  system.Settle();
+  const Domain* p = system.hypervisor().FindDomain(*parent);
+  const Mfn start_info = p->p2m[p->start_info_gfn].mfn;
+  double total_ms = 0.0;
+  for (int i = 0; i < iters; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    auto children = system.clone_engine().Clone({*parent, *parent, start_info, 1});
+    total_ms += std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                          start)
+                    .count();
+    system.Settle();
+    if (!children.ok()) {
+      break;
+    }
+    DestroyChildren(system, *children);
+  }
+  OpTiming t;
+  t.ms_per_op = total_ms / iters;
+  t.ops_per_sec = t.ms_per_op > 0.0 ? 1000.0 / t.ms_per_op : 0.0;
+  return t;
+}
+
+// Wall cost of one 64-child batch (stage 1) at `threads` staging threads —
+// the BM_ParallelCloneBatch64 figure, fixed at the gate's two points.
+OpTiming MeasureBatch64(unsigned threads, int batches) {
+  SystemConfig cfg;
+  cfg.hypervisor.pool_frames = 2 * 1024 * 1024;
+  cfg.clone_worker_threads = threads;
+  NepheleSystem system(cfg);
+  DomainConfig dcfg;
+  dcfg.name = "parent";
+  dcfg.memory_mb = 64;
+  dcfg.max_clones = 1u << 20;
+  auto parent = system.toolstack().CreateDomain(dcfg);
+  system.Settle();
+  const Domain* p = system.hypervisor().FindDomain(*parent);
+  const Mfn start_info = p->p2m[p->start_info_gfn].mfn;
+  double total_ms = 0.0;
+  for (int i = 0; i < batches; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    auto children = system.clone_engine().Clone({*parent, *parent, start_info, 64});
+    total_ms += std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                          start)
+                    .count();
+    system.Settle();
+    if (!children.ok()) {
+      break;
+    }
+    DestroyChildren(system, *children);
+  }
+  OpTiming t;
+  t.ms_per_op = total_ms / batches;
+  t.ops_per_sec = t.ms_per_op > 0.0 ? 1000.0 / t.ms_per_op : 0.0;
+  return t;
+}
+
+// Scheduler round trips. warm_pool_capacity 0 keeps every acquire cold
+// (full dispatch: window, batch, grant); the warm variant parks the child
+// between rounds so every acquire is a pool hit.
+OpTiming MeasureSchedulerRoundTrip(std::size_t warm_pool_capacity, int iters) {
+  SystemConfig cfg;
+  cfg.hypervisor.pool_frames = 256 * 1024;
+  cfg.sched.warm_pool_capacity = warm_pool_capacity;
+  NepheleSystem system(cfg);
+  CloneScheduler sched(system);
+  DomainConfig dcfg;
+  dcfg.name = "parent";
+  dcfg.memory_mb = 4;
+  dcfg.max_clones = 1u << 20;
+  auto parent = system.toolstack().CreateDomain(dcfg);
+  system.Settle();
+  DomId got = kDomInvalid;
+  auto round = [&] {
+    got = kDomInvalid;
+    (void)sched.Acquire({kDom0, *parent, kInvalidMfn, 1}, [&got](Result<DomId> r) {
+      if (r.ok()) {
+        got = *r;
+      }
+    });
+    system.Settle();
+    if (got != kDomInvalid) {
+      (void)sched.Release(got);
+      system.Settle();
+    }
+  };
+  if (warm_pool_capacity > 0) {
+    round();  // prime the pool off the clock
+  }
+  return TimeOps(iters, round);
+}
+
+int RunGateMode(const BenchArgs& args) {
+  const std::string suite = args.Flag("suite", "clone");
+  BenchJsonWriter json(suite);
+  if (suite == "clone") {
+    OpTiming serial = MeasureSerialStage1(64);
+    OpTiming t1 = MeasureBatch64(1, 6);
+    OpTiming t4 = MeasureBatch64(4, 6);
+    json.Add("serial_stage1_ms", serial.ms_per_op, "ms", MetricDir::kLowerIsBetter,
+             MetricKind::kWall);
+    json.Add("serial_stage1_ops_per_sec", serial.ops_per_sec, "ops_per_sec",
+             MetricDir::kHigherIsBetter, MetricKind::kWall);
+    json.Add("batch64_t1_ms", t1.ms_per_op, "ms", MetricDir::kLowerIsBetter, MetricKind::kWall);
+    json.Add("batch64_t4_ms", t4.ms_per_op, "ms", MetricDir::kLowerIsBetter, MetricKind::kWall);
+  } else if (suite == "sched") {
+    OpTiming dispatch = MeasureSchedulerRoundTrip(0, 64);
+    OpTiming warm = MeasureSchedulerRoundTrip(4, 64);
+    json.Add("dispatch_ms", dispatch.ms_per_op, "ms", MetricDir::kLowerIsBetter,
+             MetricKind::kWall);
+    json.Add("dispatch_ops_per_sec", dispatch.ops_per_sec, "ops_per_sec",
+             MetricDir::kHigherIsBetter, MetricKind::kWall);
+    json.Add("warm_hit_ms", warm.ms_per_op, "ms", MetricDir::kLowerIsBetter, MetricKind::kWall);
+    json.Add("warm_hit_ops_per_sec", warm.ops_per_sec, "ops_per_sec",
+             MetricDir::kHigherIsBetter, MetricKind::kWall);
+  } else {
+    std::fprintf(stderr, "unknown --suite=%s (clone | sched)\n", suite.c_str());
+    return 2;
+  }
+  return json.WriteFile(args.json_path()) ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace nephele
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace nephele;
+  std::vector<std::string> passthrough;
+  BenchArgs args(argc, argv, {}, {"suite"}, &passthrough);
+  if (!args.json_path().empty()) {
+    return RunGateMode(args);
+  }
+  std::vector<char*> bench_argv;
+  bench_argv.reserve(passthrough.size());
+  for (std::string& s : passthrough) {
+    bench_argv.push_back(s.data());
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

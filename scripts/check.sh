@@ -41,4 +41,10 @@ echo "==== [dst] ctest -L dst ===="
 echo "==== [sched] ctest -L sched ===="
 (cd build && ctest --output-on-failure -j "${JOBS}" -L sched "${CTEST_ARGS[@]}")
 
-echo "==== all five legs passed ===="
+# Leg 6: the full perf-regression gate on the plain tree — deterministic
+# virtual-time figures under the tight band plus host wall-clock micro-ops
+# under the loose band (3 attempts), against scripts/bench_baseline.json.
+echo "==== [bench] scripts/bench_gate.sh ===="
+scripts/bench_gate.sh --build-dir=build
+
+echo "==== all six legs passed ===="

@@ -52,13 +52,6 @@ class CloneEngine {
   // services() so the whole stack exports through one registry.
   explicit CloneEngine(Hypervisor& hv, const SystemServices& services = {});
 
-  // Pre-SystemServices pointer-tail constructor; kept delegating for one
-  // release so out-of-tree callers migrate on their own schedule.
-  [[deprecated("pass a SystemServices bundle instead of the pointer tail")]]
-  CloneEngine(Hypervisor& hv, MetricsRegistry* metrics, TraceRecorder* trace = nullptr,
-              FaultInjector* faults = nullptr)
-      : CloneEngine(hv, SystemServices{metrics, trace, faults}) {}
-
   // ---------------------------------------------------------------------
   // CLONEOP subcommands.
   // ---------------------------------------------------------------------
@@ -68,13 +61,6 @@ class CloneEngine {
   // until every child finishes the second stage, and the returned array is
   // what the hypervisor writes back to the caller.
   Result<std::vector<DomId>> Clone(const CloneRequest& req);
-
-  // Positional-parameter form of kClone; kept delegating for one release.
-  [[deprecated("pass a CloneRequest instead of positional parameters")]]
-  Result<std::vector<DomId>> Clone(DomId caller, DomId parent, Mfn start_info_mfn,
-                                   unsigned num_clones) {
-    return Clone(CloneRequest{caller, parent, start_info_mfn, num_clones});
-  }
 
   // kCloneCompletion: xencloned signals that the second stage of `child` is
   // done. Resumes the child (unless configured paused) and the parent once

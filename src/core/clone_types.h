@@ -56,6 +56,12 @@ struct SchedulerConfig {
   // LRU-first until Toolstack::Dom0FreeBytes() is back above this. 0
   // disables pressure eviction.
   std::size_t dom0_low_watermark_bytes = 0;
+  // Telemetry feedback (SchedulerAlarmFeedback): while the warm-pool-thrash
+  // alarm is raised, the batch window is stretched by this factor — wider
+  // windows coalesce more requests per batch, easing churn — and LRU
+  // eviction is frozen so the pool stops shedding children it is about to
+  // need again. Must be >= 1.
+  double thrash_window_multiplier = 4.0;
 };
 
 // One entry of the hypervisor -> xencloned notification ring. "A

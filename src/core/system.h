@@ -16,6 +16,7 @@
 #include "src/obs/clone_metrics.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/obs/tsdb/tsdb.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/event_loop.h"
 #include "src/toolstack/toolstack.h"
@@ -38,6 +39,10 @@ struct SystemConfig {
   // Clone-scheduler knobs (batch window, max batch, warm-pool capacity,
   // queue depth, ...). Consumed by CloneScheduler(NepheleSystem&).
   SchedulerConfig sched;
+  // Telemetry-pipeline knobs (tick interval, ring capacity). Consumed by
+  // TsdbCollector(system.metrics(), system.loop(), system.config().tsdb);
+  // like the scheduler, systems that never collect pay nothing.
+  TsdbConfig tsdb;
 };
 
 class NepheleSystem {

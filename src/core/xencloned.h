@@ -48,16 +48,6 @@ class Xencloned {
             Toolstack& toolstack, EventLoop& loop, const CostModel& costs,
             const SystemServices& services = {});
 
-  // Pre-SystemServices pointer-tail constructor; kept delegating for one
-  // release so out-of-tree callers migrate on their own schedule.
-  [[deprecated("pass a SystemServices bundle instead of the pointer tail")]]
-  Xencloned(Hypervisor& hv, CloneEngine& engine, XenstoreDaemon& xs, DeviceManager& devices,
-            Toolstack& toolstack, EventLoop& loop, const CostModel& costs,
-            MetricsRegistry* metrics, TraceRecorder* trace = nullptr,
-            FaultInjector* faults = nullptr)
-      : Xencloned(hv, engine, xs, devices, toolstack, loop, costs,
-                  SystemServices{metrics, trace, faults}) {}
-
   // Binds VIRQ_CLONED, submits the notification ring and enables cloning
   // globally — the daemon's startup sequence.
   Status Start();

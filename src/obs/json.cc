@@ -1,18 +1,23 @@
 #include "src/obs/json.h"
 
 #include <cctype>
+#include <cstdlib>
 #include <string>
 
 namespace nephele {
 namespace {
 
-class Checker {
+// Recursive-descent parser. The well-formedness checker is the same walk
+// with the value thrown away, so the two can never disagree about what is
+// valid JSON.
+class Parser {
  public:
-  explicit Checker(std::string_view text) : text_(text) {}
+  explicit Parser(std::string_view text) : text_(text) {}
 
-  bool Run(std::string* error) {
+  bool Run(JsonValue* out, std::string* error) {
     SkipWs();
-    if (!Value()) {
+    JsonValue root;
+    if (!Value(root)) {
       if (error != nullptr) *error = error_;
       return false;
     }
@@ -22,6 +27,7 @@ class Checker {
       if (error != nullptr) *error = error_;
       return false;
     }
+    if (out != nullptr) *out = std::move(root);
     return true;
   }
 
@@ -63,27 +69,34 @@ class Checker {
     return true;
   }
 
-  bool Value() {
+  bool Value(JsonValue& out) {
     if (AtEnd()) return Fail("unexpected end of input");
     switch (Peek()) {
       case '{':
-        return Object();
+        return Object(out);
       case '[':
-        return Array();
+        return Array(out);
       case '"':
-        return String();
+        out.kind = JsonValue::Kind::kString;
+        return String(out.string_value);
       case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.bool_value = true;
         return Literal("true");
       case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.bool_value = false;
         return Literal("false");
       case 'n':
+        out.kind = JsonValue::Kind::kNull;
         return Literal("null");
       default:
-        return Number();
+        return Number(out);
     }
   }
 
-  bool Object() {
+  bool Object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
     if (!Consume('{')) return false;
     SkipWs();
     if (!AtEnd() && Peek() == '}') {
@@ -92,11 +105,14 @@ class Checker {
     }
     while (true) {
       SkipWs();
-      if (!String()) return false;
+      std::string key;
+      if (!String(key)) return false;
       SkipWs();
       if (!Consume(':')) return false;
       SkipWs();
-      if (!Value()) return false;
+      JsonValue member;
+      if (!Value(member)) return false;
+      out.members.emplace_back(std::move(key), std::move(member));
       SkipWs();
       if (AtEnd()) return Fail("unterminated object");
       if (Peek() == ',') {
@@ -107,7 +123,8 @@ class Checker {
     }
   }
 
-  bool Array() {
+  bool Array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
     if (!Consume('[')) return false;
     SkipWs();
     if (!AtEnd() && Peek() == ']') {
@@ -116,7 +133,9 @@ class Checker {
     }
     while (true) {
       SkipWs();
-      if (!Value()) return false;
+      JsonValue element;
+      if (!Value(element)) return false;
+      out.elements.push_back(std::move(element));
       SkipWs();
       if (AtEnd()) return Fail("unterminated array");
       if (Peek() == ',') {
@@ -127,7 +146,7 @@ class Checker {
     }
   }
 
-  bool String() {
+  bool String(std::string& out) {
     if (!Consume('"')) return false;
     while (true) {
       if (AtEnd()) return Fail("unterminated string");
@@ -136,36 +155,57 @@ class Checker {
       if (static_cast<unsigned char>(c) < 0x20) {
         return Fail("unescaped control character in string");
       }
-      if (c == '\\') {
-        if (AtEnd()) return Fail("unterminated escape");
-        char esc = text_[pos_++];
-        switch (esc) {
-          case '"':
-          case '\\':
-          case '/':
-          case 'b':
-          case 'f':
-          case 'n':
-          case 'r':
-          case 't':
-            break;
-          case 'u': {
-            for (int i = 0; i < 4; ++i) {
-              if (AtEnd() || std::isxdigit(static_cast<unsigned char>(Peek())) == 0) {
-                return Fail("invalid \\u escape");
-              }
-              ++pos_;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (AtEnd()) return Fail("unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out += esc;
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (AtEnd() || std::isxdigit(static_cast<unsigned char>(Peek())) == 0) {
+              return Fail("invalid \\u escape");
             }
-            break;
+            char h = text_[pos_++];
+            unsigned digit = h <= '9'   ? static_cast<unsigned>(h - '0')
+                             : h <= 'F' ? static_cast<unsigned>(h - 'A' + 10)
+                                        : static_cast<unsigned>(h - 'a' + 10);
+            code = code * 16 + digit;
           }
-          default:
-            return Fail("invalid escape character");
+          // Only BMP code points below 0x80 round-trip losslessly in this
+          // byte-oriented DOM; everything else keeps a replacement '?'.
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
         }
+        default:
+          return Fail("invalid escape character");
       }
     }
   }
 
-  bool Number() {
+  bool Number(JsonValue& out) {
     std::size_t start = pos_;
     if (!AtEnd() && Peek() == '-') ++pos_;
     if (AtEnd() || std::isdigit(static_cast<unsigned char>(Peek())) == 0) {
@@ -191,7 +231,9 @@ class Checker {
       }
       while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek())) != 0) ++pos_;
     }
-    return pos_ > start;
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(), nullptr);
+    return true;
   }
 
   std::string_view text_;
@@ -201,8 +243,24 @@ class Checker {
 
 }  // namespace
 
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& [name, value] : members) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+bool ParseJson(std::string_view json, JsonValue* out, std::string* error) {
+  return Parser(json).Run(out, error);
+}
+
 bool JsonIsWellFormed(std::string_view json, std::string* error) {
-  return Checker(json).Run(error);
+  return Parser(json).Run(nullptr, error);
 }
 
 }  // namespace nephele

@@ -120,6 +120,55 @@ std::int64_t MetricsRegistry::GaugeValue(std::string_view name) const {
   return g == nullptr ? 0 : g->value();
 }
 
+std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::SnapshotCounters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> MetricsRegistry::SnapshotGauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, MetricsRegistry::HistogramSample>>
+MetricsRegistry::SnapshotHistograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, HistogramSample>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    out.emplace_back(name, HistogramSample{hist->count(), hist->sum()});
+  }
+  return out;
+}
+
+std::vector<std::string> MetricsRegistry::AllNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.push_back(name);
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.push_back(name);
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 std::string MetricsRegistry::ExportJson() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;

@@ -24,6 +24,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace nephele {
@@ -131,6 +132,24 @@ class MetricsRegistry {
   // Convenience readers for tests/benches; 0 for absent metrics.
   std::uint64_t CounterValue(std::string_view name) const;
   std::int64_t GaugeValue(std::string_view name) const;
+
+  // Point-in-time snapshots of every metric, names sorted — the collector
+  // interface of the TSDB (src/obs/tsdb) and the metric-naming audit. One
+  // registry lock, then per-metric reads; provider-backed gauges are sampled
+  // while taking the snapshot, so like export these run on the simulation
+  // thread. Histograms are reduced to their (count, sum) pair: the two
+  // series windowed rate/mean queries need.
+  struct HistogramSample {
+    std::uint64_t count = 0;
+    std::int64_t sum = 0;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> SnapshotCounters() const;
+  std::vector<std::pair<std::string, std::int64_t>> SnapshotGauges() const;
+  std::vector<std::pair<std::string, HistogramSample>> SnapshotHistograms() const;
+
+  // Every metric name currently registered (counters, gauges and histograms
+  // interleaved), sorted and de-duplicated.
+  std::vector<std::string> AllNames() const;
 
   // Deterministic export: {"counters": {...}, "gauges": {...},
   // "histograms": {...}} with names sorted and integer values only.

@@ -1,0 +1,69 @@
+// RingSeries: the fixed-size storage cell of the TSDB (src/obs/tsdb) — one
+// per collected metric, the netdata "round-robin database" shape. Samples
+// are keyed by a monotonic tick index assigned at append time; once the ring
+// is full every append overwrites the oldest sample, so a series always
+// holds the last `capacity` ticks of history. Appends are O(1) and the
+// contents are a pure function of the appended values, so exports built on
+// top stay byte-deterministic.
+//
+// Single-threaded like the rest of the observability export surface: the
+// collector samples on the simulation thread.
+
+#ifndef SRC_OBS_TSDB_RING_SERIES_H_
+#define SRC_OBS_TSDB_RING_SERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace nephele {
+
+class RingSeries {
+ public:
+  explicit RingSeries(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    samples_.reserve(capacity_);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  // Number of samples currently retained (== min(appends, capacity)).
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // Tick index the next append will get; equals the number of appends ever.
+  std::uint64_t next_tick() const { return next_tick_; }
+  // Oldest tick still retained. Meaningless while empty().
+  std::uint64_t first_retained_tick() const { return next_tick_ - samples_.size(); }
+
+  bool Retained(std::uint64_t tick) const {
+    return tick < next_tick_ && tick >= first_retained_tick();
+  }
+
+  void Append(std::int64_t value) {
+    if (samples_.size() < capacity_) {
+      samples_.push_back(value);
+    } else {
+      samples_[head_] = value;
+      head_ = (head_ + 1) % capacity_;
+    }
+    ++next_tick_;
+  }
+
+  // Sample recorded at `tick`; Retained(tick) must hold.
+  std::int64_t AtTick(std::uint64_t tick) const {
+    const std::size_t offset = static_cast<std::size_t>(tick - first_retained_tick());
+    return samples_[(head_ + offset) % samples_.size()];
+  }
+
+  // Most recent sample; !empty() must hold.
+  std::int64_t Last() const { return AtTick(next_tick_ - 1); }
+
+ private:
+  std::size_t capacity_;
+  std::vector<std::int64_t> samples_;  // ring once full; head_ = oldest
+  std::size_t head_ = 0;
+  std::uint64_t next_tick_ = 0;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_OBS_TSDB_RING_SERIES_H_

@@ -1,0 +1,171 @@
+#include "src/obs/tsdb/tsdb.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nephele {
+
+TsdbCollector::TsdbCollector(MetricsRegistry& registry, EventLoop& loop, TsdbConfig config)
+    : registry_(registry),
+      loop_(loop),
+      config_(config),
+      m_ticks_(registry.GetCounter("tsdb/ticks")),
+      m_samples_(registry.GetCounter("tsdb/samples")),
+      g_series_(registry.GetGauge("tsdb/series")) {
+  if (config_.ring_capacity == 0) {
+    config_.ring_capacity = 1;
+  }
+}
+
+void TsdbCollector::AppendSample(const std::string& name, std::int64_t value) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_.emplace(name, Entry{tick_count_, RingSeries(config_.ring_capacity)}).first;
+  }
+  it->second.ring.Append(value);
+}
+
+void TsdbCollector::Tick() {
+  // Self-metrics first, then one coherent snapshot: the tick being recorded
+  // is visible in this tick's own "tsdb/ticks" sample, while samples/series
+  // tallies describe the PREVIOUS tick (they are updated after sampling).
+  ++tick_count_;
+  m_ticks_.Increment();
+
+  const auto counters = registry_.SnapshotCounters();
+  const auto gauges = registry_.SnapshotGauges();
+  const auto histograms = registry_.SnapshotHistograms();
+
+  std::uint64_t appended = 0;
+  for (const auto& [name, value] : counters) {
+    AppendSample(name, static_cast<std::int64_t>(value));
+    ++appended;
+  }
+  for (const auto& [name, value] : gauges) {
+    AppendSample(name, value);
+    ++appended;
+  }
+  for (const auto& [name, sample] : histograms) {
+    AppendSample(name + "/count", static_cast<std::int64_t>(sample.count));
+    AppendSample(name + "/sum", sample.sum);
+    appended += 2;
+  }
+  m_samples_.Increment(appended);
+  g_series_.Set(static_cast<std::int64_t>(series_.size()));
+
+  const std::uint64_t tick = tick_count_ - 1;  // index of the tick just taken
+  for (TsdbObserver* observer : observers_) {
+    observer->OnTick(tick);
+  }
+}
+
+void TsdbCollector::ScheduleTicks(unsigned n) {
+  for (unsigned i = 1; i <= n; ++i) {
+    loop_.Post(config_.tick_interval * static_cast<double>(i), [this] { Tick(); });
+  }
+}
+
+const RingSeries* TsdbCollector::FindSeries(std::string_view name) const {
+  auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second.ring;
+}
+
+WindowStats TsdbCollector::Aggregate(std::string_view name, std::size_t window) const {
+  WindowStats stats;
+  const RingSeries* ring = FindSeries(name);
+  if (ring == nullptr || ring->empty() || window == 0) {
+    return stats;
+  }
+  const std::size_t n = std::min(window, ring->size());
+  const std::uint64_t last = ring->next_tick() - 1;
+  const std::uint64_t first = last - (n - 1);
+  std::int64_t sum = 0;
+  for (std::uint64_t t = first; t <= last; ++t) {
+    const std::int64_t v = ring->AtTick(t);
+    if (stats.samples == 0 || v < stats.min) {
+      stats.min = v;
+    }
+    if (stats.samples == 0 || v > stats.max) {
+      stats.max = v;
+    }
+    sum += v;
+    ++stats.samples;
+  }
+  stats.mean = static_cast<double>(sum) / static_cast<double>(n);
+  if (n >= 2) {
+    stats.rate_per_tick = static_cast<double>(ring->AtTick(last) - ring->AtTick(first)) /
+                          static_cast<double>(n - 1);
+  }
+  return stats;
+}
+
+std::int64_t TsdbCollector::Percentile(std::string_view name, std::size_t window,
+                                       double p) const {
+  const RingSeries* ring = FindSeries(name);
+  if (ring == nullptr || ring->empty() || window == 0) {
+    return 0;
+  }
+  const std::size_t n = std::min(window, ring->size());
+  const std::uint64_t last = ring->next_tick() - 1;
+  std::vector<std::int64_t> values;
+  values.reserve(n);
+  for (std::uint64_t t = last - (n - 1); t <= last; ++t) {
+    values.push_back(ring->AtTick(t));
+  }
+  std::sort(values.begin(), values.end());
+  // Nearest-rank: the smallest value with at least p% of the window at or
+  // below it. p <= 0 is the minimum, p >= 100 the maximum.
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(n)));
+  if (rank == 0) {
+    rank = 1;
+  }
+  return values[rank - 1];
+}
+
+void TsdbCollector::AddObserver(TsdbObserver* observer) {
+  if (observer != nullptr &&
+      std::find(observers_.begin(), observers_.end(), observer) == observers_.end()) {
+    observers_.push_back(observer);
+  }
+}
+
+void TsdbCollector::RemoveObserver(TsdbObserver* observer) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+}
+
+std::string TsdbCollector::ExportJson() const {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n";
+  out += "  \"tick_interval_ns\": " + std::to_string(config_.tick_interval.ns()) + ",\n";
+  out += "  \"ring_capacity\": " + std::to_string(config_.ring_capacity) + ",\n";
+  out += "  \"ticks\": " + std::to_string(tick_count_) + ",\n";
+  out += "  \"series\": {";
+  bool first = true;
+  for (const auto& [name, entry] : series_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    out += name;
+    out += "\": {\"first_tick\": ";
+    out += std::to_string(entry.base_tick + (entry.ring.empty()
+                                                 ? 0
+                                                 : entry.ring.first_retained_tick()));
+    out += ", \"samples\": [";
+    for (std::size_t i = 0; i < entry.ring.size(); ++i) {
+      if (i != 0) {
+        out += ", ";
+      }
+      out += std::to_string(entry.ring.AtTick(entry.ring.first_retained_tick() + i));
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace nephele

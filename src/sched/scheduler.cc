@@ -42,12 +42,14 @@ CloneScheduler::CloneScheduler(Hypervisor& hv, CloneEngine& engine, Toolstack& t
       m_evictions_pressure_(metrics_->GetCounter("sched/evictions_pressure")),
       m_reset_fallback_(metrics_->GetCounter("sched/reset_fallback_destroys")),
       m_stale_drops_(metrics_->GetCounter("sched/stale_pool_drops")),
+      m_feedback_transitions_(metrics_->GetCounter("sched/feedback_transitions")),
       m_batch_size_(metrics_->GetHistogram("sched/batch_size", {1, 2, 4, 8, 16, 32, 64})),
       m_wait_ns_(metrics_->GetHistogram("sched/wait_ns", Histogram::DefaultLatencyBoundsNs())),
       m_warm_grant_ns_(
           metrics_->GetHistogram("sched/warm_grant_ns", Histogram::DefaultLatencyBoundsNs())),
       g_queue_depth_(metrics_->GetGauge("sched/queue_depth")),
-      g_pool_size_(metrics_->GetGauge("sched/warm_pool_size")) {
+      g_pool_size_(metrics_->GetGauge("sched/warm_pool_size")),
+      g_eviction_frozen_(metrics_->GetGauge("sched/eviction_frozen")) {
   if (config_.max_batch == 0) {
     config_.max_batch = 1;
   }
@@ -73,6 +75,28 @@ void CloneScheduler::SetCloneExecutor(CloneExecutor executor) {
 }
 
 void CloneScheduler::SetEvictFn(EvictFn evict) { evict_ = std::move(evict); }
+
+void CloneScheduler::SetBatchWindowScale(double scale) {
+  window_scale_ = scale < 1.0 ? 1.0 : scale;
+}
+
+void CloneScheduler::SetEvictionFrozen(bool frozen) {
+  if (frozen == eviction_frozen_) {
+    return;
+  }
+  eviction_frozen_ = frozen;
+  g_eviction_frozen_.Set(frozen ? 1 : 0);
+  m_feedback_transitions_.Increment();
+  if (!frozen) {
+    // Catch-up sweep: restore the capacity cap on every pool, then the Dom0
+    // watermark, exactly as if the parks had happened unfrozen.
+    for (auto& [parent, ps] : parents_) {
+      EvictToCapacity(ps, kDomInvalid, nullptr);
+    }
+    EvictForPressure(kDomInvalid, nullptr);
+    UpdateGauges();
+  }
+}
 
 std::size_t CloneScheduler::WarmPoolSize(DomId parent) const {
   auto it = parents_.find(parent);
@@ -188,7 +212,7 @@ void CloneScheduler::ArmWindow(DomId parent) {
   }
   ps.window_armed = true;
   const std::uint64_t epoch = ps.epoch;
-  loop_.Post(config_.batch_window, [this, parent, epoch] {
+  loop_.Post(effective_batch_window(), [this, parent, epoch] {
     auto pit = parents_.find(parent);
     if (pit == parents_.end() || pit->second.epoch != epoch) {
       return;  // a dispatch already consumed this window
@@ -354,35 +378,51 @@ Result<ReleaseOutcome> CloneScheduler::Release(DomId child) {
   m_parked_.Increment();
   outcome.parked = true;
 
-  // Capacity eviction: LRU (front) beyond the per-parent cap.
+  // Eviction passes, unless telemetry feedback froze them (thrash alarm):
+  // LRU beyond the per-parent cap, then LRU across every pool until Dom0's
+  // free memory is back above the watermark.
+  if (!eviction_frozen_) {
+    bool released_evicted = false;
+    EvictToCapacity(ps, child, &released_evicted);
+    EvictForPressure(child, &released_evicted);
+    if (released_evicted) {
+      outcome.parked = false;
+    }
+  }
+  UpdateGauges();
+  return outcome;
+}
+
+void CloneScheduler::EvictToCapacity(ParentState& ps, DomId released,
+                                     bool* released_evicted) {
   while (ps.pool.size() > config_.warm_pool_capacity) {
     DomId victim = ps.pool.front();
     ps.pool.erase(ps.pool.begin());
     --total_parked_;
     m_evictions_.Increment();
     DestroyChild(victim);
-    if (victim == child) {
-      outcome.parked = false;
+    if (victim == released && released_evicted != nullptr) {
+      *released_evicted = true;
     }
   }
-  // Memory-pressure eviction: shed LRU children across every pool until
-  // Dom0's free memory is back above the watermark (or the pools are empty).
-  if (config_.dom0_low_watermark_bytes > 0) {
-    while (toolstack_.Dom0FreeBytes() < config_.dom0_low_watermark_bytes) {
-      DomId victim = PopGlobalLru();
-      if (victim == kDomInvalid) {
-        break;
-      }
-      m_evictions_.Increment();
-      m_evictions_pressure_.Increment();
-      DestroyChild(victim);
-      if (victim == child) {
-        outcome.parked = false;
-      }
+}
+
+void CloneScheduler::EvictForPressure(DomId released, bool* released_evicted) {
+  if (config_.dom0_low_watermark_bytes == 0) {
+    return;
+  }
+  while (toolstack_.Dom0FreeBytes() < config_.dom0_low_watermark_bytes) {
+    DomId victim = PopGlobalLru();
+    if (victim == kDomInvalid) {
+      break;
+    }
+    m_evictions_.Increment();
+    m_evictions_pressure_.Increment();
+    DestroyChild(victim);
+    if (victim == released && released_evicted != nullptr) {
+      *released_evicted = true;
     }
   }
-  UpdateGauges();
-  return outcome;
 }
 
 DomId CloneScheduler::PopGlobalLru() {

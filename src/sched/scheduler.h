@@ -121,6 +121,28 @@ class CloneScheduler : public CloneObserver {
   void SetCloneExecutor(CloneExecutor executor);
   void SetEvictFn(EvictFn evict);
 
+  // ---------------------------------------------------------------------
+  // Telemetry feedback (driven by SchedulerAlarmFeedback, src/sched/
+  // feedback.h — or directly by tests/operators).
+  // ---------------------------------------------------------------------
+
+  // Stretches the batching window: future windows arm for
+  // config().batch_window * scale. Values below 1 clamp to 1; already-armed
+  // windows fire on their old schedule.
+  void SetBatchWindowScale(double scale);
+  double batch_window_scale() const { return window_scale_; }
+  SimDuration effective_batch_window() const {
+    return config_.batch_window * window_scale_;
+  }
+
+  // While frozen, Release parks unconditionally: capacity and
+  // memory-pressure eviction are suspended (pools may exceed
+  // warm_pool_capacity). Unfreezing runs a catch-up sweep that restores
+  // both limits. Transitions are counted in sched/feedback_transitions and
+  // mirrored by the sched/eviction_frozen gauge.
+  void SetEvictionFrozen(bool frozen);
+  bool eviction_frozen() const { return eviction_frozen_; }
+
   const SchedulerConfig& config() const { return config_; }
   std::size_t WarmPoolSize(DomId parent) const;
   std::size_t TotalPooled() const { return total_parked_; }
@@ -150,6 +172,12 @@ class CloneScheduler : public CloneObserver {
   void Dispatch(DomId parent);
   void FailTicket(Ticket& ticket, const Status& why);
   void DestroyChild(DomId child);
+  // Capacity (one pool) and watermark (all pools) eviction passes.
+  // `released_evicted` is set when the victim equals `released`, so Release
+  // can tell whether the just-parked child was reclaimed before it
+  // returned.
+  void EvictToCapacity(ParentState& ps, DomId released, bool* released_evicted);
+  void EvictForPressure(DomId released, bool* released_evicted);
   // LRU across every parent pool: the front of the first non-empty pool in
   // parent-id order. kDomInvalid when all pools are empty.
   DomId PopGlobalLru();
@@ -177,11 +205,13 @@ class CloneScheduler : public CloneObserver {
   Counter& m_evictions_pressure_;
   Counter& m_reset_fallback_;
   Counter& m_stale_drops_;
+  Counter& m_feedback_transitions_;
   Histogram& m_batch_size_;
   Histogram& m_wait_ns_;        // acquire -> cold grant
   Histogram& m_warm_grant_ns_;  // acquire -> warm grant
   Gauge& g_queue_depth_;
   Gauge& g_pool_size_;
+  Gauge& g_eviction_frozen_;
 
   FaultPoint* f_admit_ = nullptr;
   FaultPoint* f_dispatch_ = nullptr;
@@ -196,6 +226,8 @@ class CloneScheduler : public CloneObserver {
   std::uint64_t next_ticket_id_ = 1;
   std::size_t total_queued_ = 0;
   std::size_t total_parked_ = 0;
+  double window_scale_ = 1.0;
+  bool eviction_frozen_ = false;
 };
 
 }  // namespace nephele

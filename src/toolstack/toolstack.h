@@ -58,14 +58,6 @@ class Toolstack {
   Toolstack(Hypervisor& hv, XenstoreDaemon& xs, DeviceManager& devices, EventLoop& loop,
             const CostModel& costs, const SystemServices& services = {});
 
-  // Pre-SystemServices pointer-tail constructor; kept delegating for one
-  // release so out-of-tree callers migrate on their own schedule.
-  [[deprecated("pass a SystemServices bundle instead of the pointer tail")]]
-  Toolstack(Hypervisor& hv, XenstoreDaemon& xs, DeviceManager& devices, EventLoop& loop,
-            const CostModel& costs, MetricsRegistry* metrics, TraceRecorder* trace = nullptr,
-            FaultInjector* faults = nullptr)
-      : Toolstack(hv, xs, devices, loop, costs, SystemServices{metrics, trace, faults}) {}
-
   // Where new vifs are attached. Defaults to an internal Bridge; the Fig. 4
   // and Fig. 7 setups install a Bond instead.
   void SetDefaultSwitch(HostSwitch* sw) { default_switch_ = sw; }

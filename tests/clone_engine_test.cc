@@ -454,27 +454,5 @@ TEST_P(CloneTransparency, MemorySizeSweep) {
 INSTANTIATE_TEST_SUITE_P(MemorySizes, CloneTransparency,
                          ::testing::Values(4, 8, 16, 64, 128));
 
-// The pre-CloneRequest surface (positional Clone, pointer-tail CloneEngine
-// ctor) is deprecated but keeps working for one release; this is its
-// deliberate coverage. Remove together with the deprecated overloads.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST_F(CloneEngineTest, DeprecatedPositionalSurfaceStillWorks) {
-  DomId parent = BootCloneable();
-  auto children = system_.clone_engine().Clone(parent, parent, StartInfoMfn(parent), 2u);
-  ASSERT_TRUE(children.ok()) << children.status().ToString();
-  EXPECT_EQ(children->size(), 2u);
-  system_.Settle();
-  for (DomId child : *children) {
-    EXPECT_NE(system_.hypervisor().FindDomain(child), nullptr);
-  }
-
-  // The pointer-tail ctor still builds a working engine.
-  MetricsRegistry metrics;
-  CloneEngine legacy(system_.hypervisor(), &metrics);
-  EXPECT_EQ(metrics.CounterValue("clone/clones_total"), 0u);
-}
-#pragma GCC diagnostic pop
-
 }  // namespace
 }  // namespace nephele

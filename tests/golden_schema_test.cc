@@ -17,6 +17,8 @@
 #include <string>
 
 #include "src/core/system.h"
+#include "src/obs/tsdb/alarm.h"
+#include "src/obs/tsdb/tsdb.h"
 #include "src/toolstack/domain_config.h"
 
 namespace nephele {
@@ -78,6 +80,53 @@ void RunGoldenWorkload(NepheleSystem& sys) {
                   .ok());
   ASSERT_TRUE(sys.clone_engine().CloneReset(kDom0, children->front()).ok());
   sys.Settle();
+}
+
+// The telemetry pipeline over the same workload: a collector ticking every
+// simulated millisecond with the stock alarm rules, four ticks before the
+// workload and four after, so the ring holds samples from both the idle and
+// the post-clone regime.
+struct TsdbExports {
+  std::string tsdb;
+  std::string alarms;
+};
+
+TsdbExports RunTsdbGoldenWorkload(NepheleSystem& sys) {
+  TsdbConfig tcfg;
+  tcfg.tick_interval = SimDuration::Millis(1);
+  tcfg.ring_capacity = 16;
+  TsdbCollector tsdb(sys.metrics(), sys.loop(), tcfg);
+  AlarmEngine alarms(tsdb, sys.metrics());
+  for (const AlarmRule& rule : AlarmEngine::DefaultNepheleRules()) {
+    alarms.AddRule(rule);
+  }
+  tsdb.ScheduleTicks(4);
+  sys.Settle();
+  RunGoldenWorkload(sys);
+  tsdb.ScheduleTicks(4);
+  sys.Settle();
+  return {tsdb.ExportJson(), alarms.ExportJson()};
+}
+
+TEST(GoldenSchemaTest, TsdbExportMatchesGolden) {
+  NepheleSystem sys;
+  TsdbExports exports = RunTsdbGoldenWorkload(sys);
+  CompareOrUpdate("tsdb_export.json", exports.tsdb);
+}
+
+TEST(GoldenSchemaTest, AlarmExportMatchesGolden) {
+  NepheleSystem sys;
+  TsdbExports exports = RunTsdbGoldenWorkload(sys);
+  CompareOrUpdate("alarm_export.json", exports.alarms);
+}
+
+TEST(GoldenSchemaTest, TsdbExportsAreDeterministicAcrossRuns) {
+  NepheleSystem a;
+  NepheleSystem b;
+  TsdbExports ea = RunTsdbGoldenWorkload(a);
+  TsdbExports eb = RunTsdbGoldenWorkload(b);
+  EXPECT_EQ(ea.tsdb, eb.tsdb);
+  EXPECT_EQ(ea.alarms, eb.alarms);
 }
 
 TEST(GoldenSchemaTest, MetricsExportMatchesGolden) {

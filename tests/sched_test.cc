@@ -8,6 +8,9 @@
 #include "src/dst/executor.h"
 #include "src/dst/scenario.h"
 #include "src/fault/fault.h"
+#include "src/obs/tsdb/alarm.h"
+#include "src/obs/tsdb/tsdb.h"
+#include "src/sched/feedback.h"
 #include "src/sched/scheduler.h"
 
 namespace nephele {
@@ -298,6 +301,88 @@ TEST_F(SchedTest, DrainAllFailsQueuedAndDestroysParked) {
   EXPECT_EQ(system_.hypervisor().FindDomain(granted[0]), nullptr);
   ASSERT_EQ(errors.size(), 1u);
   EXPECT_EQ(errors[0].code(), StatusCode::kAborted);
+}
+
+// The full telemetry feedback loop, end to end on sim time: a capacity-1
+// warm pool thrashes (every round parks two children and evicts one), the
+// TSDB samples the eviction rate, the warm_pool_thrash alarm raises after
+// its hysteresis streak, and SchedulerAlarmFeedback measurably changes the
+// scheduler — eviction freezes (the pool grows past capacity) and the batch
+// window stretches by thrash_window_multiplier. When the eviction rate goes
+// quiet the alarm clears, the feedback disengages, and the unfreeze catch-up
+// sweep trims the pool back to capacity.
+TEST_F(SchedTest, ThrashAlarmFreezesEvictionAndWidensWindow) {
+  TsdbConfig tcfg;
+  tcfg.tick_interval = SimDuration::Millis(1);
+  tcfg.ring_capacity = 16;
+  TsdbCollector tsdb(system_.metrics(), system_.loop(), tcfg);
+  AlarmEngine alarms(tsdb, system_.metrics());
+  for (const AlarmRule& rule : AlarmEngine::DefaultNepheleRules()) {
+    alarms.AddRule(rule);
+  }
+
+  SchedulerConfig cfg;
+  cfg.warm_pool_capacity = 1;
+  auto sched = MakeScheduler(cfg);
+  SchedulerAlarmFeedback feedback(alarms, *sched);
+
+  DomId parent = BootCloneable();
+  const SimDuration base_window = sched->effective_batch_window();
+
+  // Thrash until the alarm engages: one eviction per TSDB tick is a rate of
+  // 1.0/tick, far above the 0.5 raise threshold. raise_after=2 makes the
+  // engage land deterministically within a handful of rounds.
+  int rounds = 0;
+  while (!sched->eviction_frozen() && rounds < 8) {
+    std::vector<DomId> granted;
+    ASSERT_TRUE(AcquireInto(*sched, parent, 2, &granted).ok());
+    system_.Settle();
+    ASSERT_EQ(granted.size(), 2u);
+    for (DomId child : granted) {
+      ASSERT_NE(child, kDomInvalid);
+      (void)sched->Release(child);
+    }
+    tsdb.ScheduleTicks(1);
+    system_.Settle();
+    ++rounds;
+  }
+  ASSERT_TRUE(sched->eviction_frozen()) << "alarm never engaged after " << rounds
+                                        << " thrash rounds";
+  EXPECT_EQ(sched->batch_window_scale(), sched->config().thrash_window_multiplier);
+  EXPECT_EQ(sched->effective_batch_window().ns(),
+            (base_window * sched->config().thrash_window_multiplier).ns());
+  EXPECT_EQ(system_.metrics().GaugeValue("sched/eviction_frozen"), 1);
+  EXPECT_EQ(CounterValue("sched/feedback_transitions"), 1u);
+  EXPECT_EQ(CounterValue("alarm/warm_pool_thrash/raised_total"), 1u);
+  EXPECT_EQ(system_.metrics().GaugeValue("alarm/warm_pool_thrash/state"), 1);
+
+  // While frozen, Release parks unconditionally: the pool exceeds its
+  // capacity of 1 and the eviction counter stands still.
+  const std::uint64_t evictions_at_freeze = CounterValue("sched/evictions");
+  std::vector<DomId> granted;
+  ASSERT_TRUE(AcquireInto(*sched, parent, 2, &granted).ok());
+  system_.Settle();
+  for (DomId child : granted) {
+    ASSERT_NE(child, kDomInvalid);
+    (void)sched->Release(child);
+  }
+  EXPECT_EQ(sched->WarmPoolSize(parent), 2u);
+  EXPECT_EQ(CounterValue("sched/evictions"), evictions_at_freeze);
+
+  // Quiet ticks: the eviction rate decays to zero, the alarm clears after
+  // its clear_after streak, and the disengage + catch-up sweep restore the
+  // capacity limit.
+  tsdb.ScheduleTicks(6);
+  system_.Settle();
+  EXPECT_FALSE(sched->eviction_frozen());
+  EXPECT_EQ(sched->batch_window_scale(), 1.0);
+  EXPECT_EQ(sched->effective_batch_window().ns(), base_window.ns());
+  EXPECT_EQ(system_.metrics().GaugeValue("sched/eviction_frozen"), 0);
+  EXPECT_EQ(CounterValue("sched/feedback_transitions"), 2u);
+  EXPECT_EQ(CounterValue("alarm/warm_pool_thrash/cleared_total"), 1u);
+  EXPECT_EQ(system_.metrics().GaugeValue("alarm/warm_pool_thrash/state"), 0);
+  EXPECT_EQ(sched->WarmPoolSize(parent), 1u);
+  EXPECT_EQ(CounterValue("sched/evictions"), evictions_at_freeze + 1);
 }
 
 // The scheduler must not break sim-time determinism: a scenario exercising
