@@ -2,8 +2,15 @@
 # Full verification: the test suite under the plain build, under ASan+UBSan,
 # under TSan (three separate build trees, so switching sanitizers never
 # forces a reconfigure of your main build), a fourth leg running the
-# deterministic-simulation suite (ctest label `dst`) and a fifth running the
-# clone-scheduler suite (ctest label `sched`), both on the plain tree.
+# deterministic-simulation suite (ctest label `dst`), a fifth running the
+# clone-scheduler suite (ctest label `sched`), a sixth running the
+# perf-regression gate, and a seventh running the hostile-guest fuzzing
+# suite (ctest label `hvfuzz`) on the plain tree.
+#
+# The sanitizer legs also get a short hostile-guest fuzz round
+# (NEPHELE_HVFUZZ_ROUNDS=40): the fuzzer's malformed-argument storms are
+# exactly where ASan/UBSan/TSan pay off, but the full default round count
+# is too slow under instrumentation.
 #
 # Usage: scripts/check.sh [ctest-args...]
 #   e.g. scripts/check.sh -R parallel_clone       (one suite, all legs)
@@ -26,8 +33,8 @@ run_leg() {
 CTEST_ARGS=("$@")
 
 run_leg plain build
-run_leg asan build-asan -DNEPHELE_SANITIZE=ON
-run_leg tsan build-tsan -DNEPHELE_TSAN=ON
+NEPHELE_HVFUZZ_ROUNDS=40 run_leg asan build-asan -DNEPHELE_SANITIZE=ON
+NEPHELE_HVFUZZ_ROUNDS=40 run_leg tsan build-tsan -DNEPHELE_TSAN=ON
 
 # Leg 4: the DST suite by label on the already-built plain tree — corpus
 # replay, 200 generated scenarios with the oracle after every op, digest
@@ -47,4 +54,12 @@ echo "==== [sched] ctest -L sched ===="
 echo "==== [bench] scripts/bench_gate.sh ===="
 scripts/bench_gate.sh --build-dir=build
 
-echo "==== all six legs passed ===="
+# Leg 7: the hostile-guest fuzzing suite by label on the plain tree —
+# shrunk crash-corpus replay, fresh coverage-guided hostile-op rounds with
+# the hypervisor invariant oracle after every op, digest determinism across
+# clone-worker counts, and the tape shrinker. NEPHELE_HVFUZZ_ROUNDS=0 turns
+# this into corpus-replay-only fast mode.
+echo "==== [hvfuzz] ctest -L hvfuzz ===="
+(cd build && ctest --output-on-failure -j "${JOBS}" -L hvfuzz "${CTEST_ARGS[@]}")
+
+echo "==== all seven legs passed ===="

@@ -606,6 +606,15 @@ Status CloneEngine::CloneCow(DomId caller, DomId dom, Gfn gfn, std::size_t count
   if (caller != dom && caller != kDom0) {
     return ErrPermissionDenied("clone_cow: not owner or Dom0");
   }
+  const Domain* d = hv_.FindDomain(dom);
+  if (d == nullptr) {
+    return ErrNotFound("clone_cow: no such domain");
+  }
+  // Bound the whole range up front: `gfn + i` wraps at 2^32 for hostile
+  // counts, which would otherwise loop (and resolve COW) astronomically.
+  if (gfn > d->p2m.size() || count > d->p2m.size() - gfn) {
+    return ErrOutOfRange("clone_cow: range outside p2m");
+  }
   for (std::size_t i = 0; i < count; ++i) {
     NEPHELE_RETURN_IF_ERROR(hv_.ForceCowResolve(dom, gfn + static_cast<Gfn>(i)));
     ++stats_.explicit_cow_pages;

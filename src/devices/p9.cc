@@ -1,11 +1,37 @@
 #include "src/devices/p9.h"
 
+#include <string_view>
+
 namespace nephele {
 
 namespace {
 // Resident memory of a QEMU 9pfs backend process and of one fid entry.
 constexpr std::size_t kDom0BytesPerProcess = 9 * 1024 * 1024;
 constexpr std::size_t kDom0BytesPerFid = 256;
+
+// Rejects walk/create path components that would escape the export root
+// (".." — a hostile guest steering its fid above export_root_) or that name
+// the directory itself ("."): the real 9p server resolves each component
+// against the export and refuses both.
+Status ValidatePathComponents(const std::string& path) {
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    std::size_t slash = path.find('/', start);
+    std::size_t end = slash == std::string::npos ? path.size() : slash;
+    std::string_view comp(path.data() + start, end - start);
+    if (comp == "..") {
+      return ErrPermissionDenied("9p path escapes export root");
+    }
+    if (comp == ".") {
+      return ErrInvalidArgument("9p path component '.' not allowed");
+    }
+    if (slash == std::string::npos) {
+      break;
+    }
+    start = slash + 1;
+  }
+  return Status::Ok();
+}
 }  // namespace
 
 P9BackendProcess::P9BackendProcess(EventLoop& loop, const CostModel& costs, HostFs& fs,
@@ -46,6 +72,7 @@ Result<std::uint32_t> P9BackendProcess::Walk(DomId dom, std::uint32_t dir_fid,
                                              const std::string& path) {
   loop_.AdvanceBy(costs_.p9_rpc);
   NEPHELE_ASSIGN_OR_RETURN(P9Fid * dir, FindFid(dom, dir_fid));
+  NEPHELE_RETURN_IF_ERROR(ValidatePathComponents(path));
   std::string rel = dir->path == "/" ? "/" + path : dir->path + "/" + path;
   FidTable& t = tables_[dom];
   std::uint32_t fid = t.next_fid++;
@@ -68,6 +95,10 @@ Result<std::uint32_t> P9BackendProcess::Create(DomId dom, std::uint32_t dir_fid,
                                                const std::string& name) {
   loop_.AdvanceBy(costs_.p9_rpc);
   NEPHELE_ASSIGN_OR_RETURN(P9Fid * dir, FindFid(dom, dir_fid));
+  if (name.find('/') != std::string::npos) {
+    return ErrInvalidArgument("9p create name must not contain '/'");
+  }
+  NEPHELE_RETURN_IF_ERROR(ValidatePathComponents(name));
   std::string rel = dir->path == "/" ? "/" + name : dir->path + "/" + name;
   std::string host = HostPath(rel);
   if (!fs_.Exists(host)) {

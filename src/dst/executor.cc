@@ -6,6 +6,7 @@
 
 #include "src/core/system.h"
 #include "src/dst/reference_model.h"
+#include "src/hypervisor/invariants.h"
 #include "src/sched/scheduler.h"
 #include "src/toolstack/domain_config.h"
 #include "src/xenstore/path.h"
@@ -76,6 +77,7 @@ class Executor {
   std::string CheckCells();
   std::string CheckXenstore();
   std::string CheckFrames();
+  std::string CheckHvState();
   std::string CheckCounters();
 
   void Fail(std::string kind, std::size_t op, std::string message) {
@@ -642,7 +644,8 @@ void Executor::RunOracle(std::size_t op_index) {
   Check checks[] = {
       {"live-set", CheckLiveSet()},   {"topology", CheckTopology()},
       {"cells", CheckCells()},        {"xenstore", CheckXenstore()},
-      {"frames", CheckFrames()},      {"counters", CheckCounters()},
+      {"frames", CheckFrames()},      {"hv-state", CheckHvState()},
+      {"counters", CheckCounters()},
   };
   for (Check& check : checks) {
     if (!check.message.empty()) {
@@ -754,52 +757,17 @@ std::string Executor::CheckXenstore() {
   return "";
 }
 
-std::string Executor::CheckFrames() {
-  const Hypervisor& hv_const = sys_->hypervisor();
-  Hypervisor& hv = sys_->hypervisor();
-  const FrameTable& ft = hv_const.frames();
-  if (ft.free_frames() + ft.allocated_frames() != ft.total_frames()) {
-    return "frame conservation violated: free " + std::to_string(ft.free_frames()) +
-           " + allocated " + std::to_string(ft.allocated_frames()) + " != total " +
-           std::to_string(ft.total_frames());
+std::string Executor::CheckFrames() { return CheckFrameInvariants(sys_->hypervisor()); }
+
+std::string Executor::CheckHvState() {
+  std::string msg = CheckP2mInvariants(sys_->hypervisor());
+  if (msg.empty()) {
+    msg = CheckGrantInvariants(sys_->hypervisor());
   }
-  std::unordered_map<Mfn, std::uint64_t> refs;
-  refs.reserve(ft.allocated_frames());
-  for (DomId id : hv.DomainIds()) {
-    const Domain* d = hv.FindDomain(id);
-    for (const P2mEntry& e : d->p2m) {
-      if (e.mfn != kInvalidMfn) {
-        ++refs[e.mfn];
-      }
-    }
-    for (Mfn m : d->page_table_frames) {
-      ++refs[m];
-    }
-    for (Mfn m : d->p2m_frames) {
-      ++refs[m];
-    }
+  if (msg.empty()) {
+    msg = CheckEvtchnInvariants(sys_->hypervisor());
   }
-  if (ft.allocated_frames() != refs.size()) {
-    return "frame leak: " + std::to_string(ft.allocated_frames()) + " allocated, " +
-           std::to_string(refs.size()) + " mapped";
-  }
-  for (const auto& [mfn, count] : refs) {
-    const FrameInfo& fi = ft.info(mfn);
-    if (!fi.allocated) {
-      return "freed frame still mapped: mfn " + std::to_string(mfn);
-    }
-    if (fi.shared) {
-      if (fi.refcount.load(std::memory_order_relaxed) != count) {
-        return "refcount mismatch on shared mfn " + std::to_string(mfn) + ": table says " +
-               std::to_string(fi.refcount.load(std::memory_order_relaxed)) + ", mapped " +
-               std::to_string(count) + " times";
-      }
-    } else if (count != 1) {
-      return "unshared mfn " + std::to_string(mfn) + " mapped " + std::to_string(count) +
-             " times";
-    }
-  }
-  return "";
+  return msg;
 }
 
 std::string Executor::CheckCounters() {

@@ -1,176 +1,104 @@
 #include "src/dst/shrinker.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/dst/ddmin.h"
 
 namespace nephele {
 
 namespace {
 
-class Shrinker {
- public:
-  Shrinker(const Scenario& failing, const RunResult& failure, const RunOptions& options)
-      : options_(options), best_(failing), best_result_(failure) {}
-
-  ShrinkOutcome Run() {
-    Truncate();
-    while (DeletionPass() || SimplifyPass()) {
-      // Either pass shrinking re-opens opportunities for the other; iterate
-      // to a combined fixpoint.
+std::vector<Op> SimplerVariants(const Op& op) {
+  std::vector<Op> variants;
+  auto push = [&](Op v) {
+    if (!(v == op)) {
+      variants.push_back(std::move(v));
     }
-    return ShrinkOutcome{std::move(best_), std::move(best_result_), runs_};
-  }
-
- private:
-  // A candidate is accepted when it still fails the same oracle check.
-  bool StillFails(const Scenario& candidate) {
-    ++runs_;
-    RunResult r = RunScenario(candidate, options_);
-    if (!r.ok() && r.fail_kind == best_result_.fail_kind) {
-      best_ = candidate;
-      best_result_ = std::move(r);
-      return true;
-    }
-    return false;
-  }
-
-  void Truncate() {
-    if (best_result_.fail_op + 1 < best_.ops.size()) {
-      Scenario candidate = best_;
-      candidate.ops.resize(best_result_.fail_op + 1);
-      (void)StillFails(candidate);
-    }
-  }
-
-  // ddmin: chunked deletion with halving granularity. Returns true when any
-  // deletion stuck.
-  bool DeletionPass() {
-    bool shrunk = false;
-    std::size_t chunk = std::max<std::size_t>(best_.ops.size() / 2, 1);
-    while (chunk >= 1) {
-      bool progress = false;
-      for (std::size_t start = 0; start < best_.ops.size();) {
-        Scenario candidate = best_;
-        const std::size_t end = std::min(start + chunk, candidate.ops.size());
-        candidate.ops.erase(candidate.ops.begin() + static_cast<std::ptrdiff_t>(start),
-                            candidate.ops.begin() + static_cast<std::ptrdiff_t>(end));
-        if (!candidate.ops.empty() && StillFails(candidate)) {
-          progress = true;
-          shrunk = true;
-          // best_ changed; retry the same start against the shorter list.
-        } else {
-          start += chunk;
-        }
+  };
+  Op v = op;
+  switch (op.kind) {
+    case OpKind::kCloneBatch:
+      v.n = 1;
+      push(v);
+      v = op;
+      v.workers = 0;
+      push(v);
+      v = op;
+      v.dom = 0;
+      push(v);
+      break;
+    case OpKind::kCowWrite:
+      v.value = 1;
+      push(v);
+      v = op;
+      v.slot = 0;
+      push(v);
+      v = op;
+      v.dom = 0;
+      push(v);
+      break;
+    case OpKind::kCloneReset:
+    case OpKind::kDestroy:
+    case OpKind::kMigrateOut:
+      v.dom = 0;
+      push(v);
+      break;
+    case OpKind::kMigrateIn:
+    case OpKind::kDeviceIo:
+      v.slot = 0;
+      push(v);
+      v = op;
+      v.value = std::min<std::uint32_t>(op.value, 1);
+      push(v);
+      break;
+    case OpKind::kArmFault:
+      if (op.spec.policy == FaultSpec::Policy::kNthHit && op.spec.nth > 1) {
+        v.spec = FaultSpec::NthHit(1);
+        push(v);
       }
-      if (chunk == 1 && !progress) {
-        break;
-      }
-      if (!progress) {
-        chunk /= 2;
-      }
-    }
-    return shrunk;
+      break;
+    case OpKind::kAdvanceTime:
+      v.amount = 1;
+      push(v);
+      break;
+    case OpKind::kSchedAcquire:
+      v.n = 1;
+      push(v);
+      v = op;
+      v.dom = 0;
+      push(v);
+      break;
+    case OpKind::kSchedRelease:
+      v.slot = 0;
+      push(v);
+      break;
+    case OpKind::kLaunchGuest:
+    case OpKind::kDisarmFaults:
+      break;
   }
-
-  // Operand reduction: each accepted simplification makes the reproducer
-  // easier to read and often unlocks further deletions.
-  bool SimplifyPass() {
-    bool shrunk = false;
-    for (std::size_t i = 0; i < best_.ops.size(); ++i) {
-      for (const Op& simpler : SimplerVariants(best_.ops[i])) {
-        Scenario candidate = best_;
-        candidate.ops[i] = simpler;
-        if (StillFails(candidate)) {
-          shrunk = true;
-          break;  // re-derive variants from the new op on the next pass
-        }
-      }
-    }
-    return shrunk;
-  }
-
-  static std::vector<Op> SimplerVariants(const Op& op) {
-    std::vector<Op> variants;
-    auto push = [&](Op v) {
-      if (!(v == op)) {
-        variants.push_back(std::move(v));
-      }
-    };
-    Op v = op;
-    switch (op.kind) {
-      case OpKind::kCloneBatch:
-        v.n = 1;
-        push(v);
-        v = op;
-        v.workers = 0;
-        push(v);
-        v = op;
-        v.dom = 0;
-        push(v);
-        break;
-      case OpKind::kCowWrite:
-        v.value = 1;
-        push(v);
-        v = op;
-        v.slot = 0;
-        push(v);
-        v = op;
-        v.dom = 0;
-        push(v);
-        break;
-      case OpKind::kCloneReset:
-      case OpKind::kDestroy:
-      case OpKind::kMigrateOut:
-        v.dom = 0;
-        push(v);
-        break;
-      case OpKind::kMigrateIn:
-      case OpKind::kDeviceIo:
-        v.slot = 0;
-        push(v);
-        v = op;
-        v.value = std::min<std::uint32_t>(op.value, 1);
-        push(v);
-        break;
-      case OpKind::kArmFault:
-        if (op.spec.policy == FaultSpec::Policy::kNthHit && op.spec.nth > 1) {
-          v.spec = FaultSpec::NthHit(1);
-          push(v);
-        }
-        break;
-      case OpKind::kAdvanceTime:
-        v.amount = 1;
-        push(v);
-        break;
-      case OpKind::kSchedAcquire:
-        v.n = 1;
-        push(v);
-        v = op;
-        v.dom = 0;
-        push(v);
-        break;
-      case OpKind::kSchedRelease:
-        v.slot = 0;
-        push(v);
-        break;
-      case OpKind::kLaunchGuest:
-      case OpKind::kDisarmFaults:
-        break;
-    }
-    return variants;
-  }
-
-  const RunOptions& options_;
-  Scenario best_;
-  RunResult best_result_;
-  std::size_t runs_ = 0;
-};
+  return variants;
+}
 
 }  // namespace
 
 ShrinkOutcome ShrinkScenario(const Scenario& failing, const RunResult& failure,
                              const RunOptions& options) {
-  Shrinker shrinker(failing, failure, options);
-  return shrinker.Run();
+  // Every candidate is re-executed with the caller's RunOptions, so
+  // seeded-bug hooks travel with the reruns.
+  Scenario shell = failing;  // carries seed/pool_frames for every candidate
+  const std::string want_kind = failure.fail_kind;
+  auto outcome = DdminShrink<Op, RunResult>(
+      failing.ops, failure, failure.fail_op,
+      [&](const std::vector<Op>& ops) {
+        shell.ops = ops;
+        return RunScenario(shell, options);
+      },
+      [&](const RunResult& r) { return !r.ok() && r.fail_kind == want_kind; },
+      &SimplerVariants);
+  shell.ops = std::move(outcome.ops);
+  return ShrinkOutcome{std::move(shell), std::move(outcome.result), outcome.runs};
 }
 
 }  // namespace nephele

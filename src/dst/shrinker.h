@@ -1,4 +1,6 @@
-// Automatic scenario minimisation (delta debugging).
+// Automatic scenario minimisation (delta debugging), built on the generic
+// DdminShrink engine in src/dst/ddmin.h (also used by the hvfuzz tape
+// shrinker).
 //
 // Given a scenario whose run fails the oracle, ShrinkScenario searches for a
 // local minimum that still fails with the SAME fail kind:

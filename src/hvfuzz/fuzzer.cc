@@ -1,0 +1,75 @@
+#include "src/hvfuzz/fuzzer.h"
+
+#include <utility>
+
+#include "src/dst/ddmin.h"
+
+namespace nephele {
+
+HvFuzzer::HvFuzzer(std::uint64_t seed) : seed_(seed), engine_(seed) {
+  // Graded seeds: the empty input exercises the pure fallback stream, the
+  // ramps give the mutator structure to splice and flip.
+  engine_.AddSeed({});
+  std::vector<std::uint8_t> ramp;
+  for (std::uint8_t len : {4, 12, 32}) {
+    ramp.clear();
+    for (std::uint8_t i = 0; i < len; ++i) {
+      ramp.push_back(static_cast<std::uint8_t>(i * 7 + len));
+    }
+    engine_.AddSeed(ramp);
+  }
+}
+
+HvTape HvFuzzer::Next() {
+  last_bytes_ = engine_.NextInput();
+  return TapeFromBytes(seed_, last_bytes_);
+}
+
+void HvFuzzer::Report(const HvRunResult& result) {
+  engine_.ReportResult(last_bytes_, result.edges, !result.ok());
+}
+
+namespace {
+
+// Operand reductions tried per op once deletion bottoms out. Selectors all
+// pull toward 0 (the first, least hostile menu entry); structural knobs
+// toward their minimum.
+std::vector<HvOp> SimplerTapeVariants(const HvOp& op) {
+  std::vector<HvOp> out;
+  auto add = [&out, &op](auto mutate) {
+    HvOp v = op;
+    mutate(v);
+    if (!(v == op)) {
+      out.push_back(std::move(v));
+    }
+  };
+  add([](HvOp& v) { v.a = 0; });
+  add([](HvOp& v) { v.b = 0; });
+  add([](HvOp& v) { v.c = 0; });
+  add([](HvOp& v) { v.n = v.kind == HvOpKind::kClone ? 1 : 0; });
+  add([](HvOp& v) { v.v = v.v > 1 ? 1 : v.v; });
+  add([](HvOp& v) { v.flags = 0; });
+  add([](HvOp& v) { v.amount = v.amount > 1 ? 1 : v.amount; });
+  add([](HvOp& v) { v.nth = 1; });
+  return out;
+}
+
+}  // namespace
+
+HvShrinkOutcome ShrinkHvTape(const HvTape& failing, const HvRunResult& failure,
+                             const HvRunOptions& options) {
+  HvTape shell = failing;
+  const std::string want_kind = failure.fail_kind;
+  auto outcome = DdminShrink<HvOp, HvRunResult>(
+      failing.ops, failure, failure.fail_op,
+      [&shell, &options](const std::vector<HvOp>& ops) {
+        shell.ops = ops;
+        return RunTape(shell, options);
+      },
+      [&want_kind](const HvRunResult& r) { return !r.ok() && r.fail_kind == want_kind; },
+      &SimplerTapeVariants);
+  shell.ops = std::move(outcome.ops);
+  return HvShrinkOutcome{std::move(shell), std::move(outcome.result), outcome.runs};
+}
+
+}  // namespace nephele

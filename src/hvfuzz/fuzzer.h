@@ -1,0 +1,53 @@
+// Coverage-guided driver for the hostile-guest harness: wraps the existing
+// AflEngine so hvfuzz runs ride its queue/mutation machinery, with the
+// harness's executor state-edges as the coverage signal. Failing tapes go
+// through the generic ddmin engine (src/dst/ddmin.h) to a 1-minimal tape
+// with the same failing oracle kind, ready to be written into
+// tests/hvfuzz_corpus/.
+
+#ifndef SRC_HVFUZZ_FUZZER_H_
+#define SRC_HVFUZZ_FUZZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fuzz/afl.h"
+#include "src/hvfuzz/harness.h"
+#include "src/hvfuzz/tape.h"
+
+namespace nephele {
+
+class HvFuzzer {
+ public:
+  explicit HvFuzzer(std::uint64_t seed);
+
+  // Pulls the next mutated input from the AFL queue and decodes it.
+  HvTape Next();
+  // Feeds the run's coverage (and crash bit) back for the tape from the
+  // most recent Next().
+  void Report(const HvRunResult& result);
+
+  const AflEngine& engine() const { return engine_; }
+
+ private:
+  std::uint64_t seed_;
+  AflEngine engine_;
+  std::vector<std::uint8_t> last_bytes_;
+};
+
+struct HvShrinkOutcome {
+  HvTape tape;          // the minimised failing tape
+  HvRunResult result;   // its failing run
+  std::size_t runs = 0;  // executions spent shrinking
+};
+
+// Minimises a failing tape: truncate after the failing op, ddmin-delete ops,
+// then reduce operands — accepting a candidate only when it still fails with
+// the same oracle kind. `options` travels with every rerun so seeded-bug
+// hooks stay active while shrinking.
+HvShrinkOutcome ShrinkHvTape(const HvTape& failing, const HvRunResult& failure,
+                             const HvRunOptions& options = {});
+
+}  // namespace nephele
+
+#endif  // SRC_HVFUZZ_FUZZER_H_

@@ -1,0 +1,74 @@
+// Hostile-guest harness: replays an HvTape against a live NepheleSystem,
+// resolving each op's selectors into concrete (often deliberately invalid)
+// hypercall arguments, and evaluates a hypervisor state-invariant oracle
+// after every op — the bug signal is a violated invariant or an internal
+// error escaping the API, not just a crash.
+//
+// Oracle layers, in order:
+//   op-status   no operation may surface StatusCode::kInternal — hostile
+//               arguments get typed errors, never invariant breakage;
+//   frames      frame conservation and refcount-vs-mapping agreement;
+//   p2m         every mapping names an allocated frame with a consistent
+//               owner; writable-over-shared only for IDC pages;
+//   grants      granter-side and mapper-side bookkeeping agree, no mapping
+//               held by or into a dead domain;
+//   evtchns     no dangling connections after closes and destroys;
+//   cells       tracked heap cells of every guest read exactly the model's
+//               value — COW isolation and clone_reset correctness;
+//   teardown    after destroying everything, the pool returns to boot level.
+//
+// State checks run at quiesced points: an op that deliberately skips the
+// post-op Settle (clone flags bit1 — the clone-during-clone window) defers
+// frames/p2m/grants/evtchns/cells until the next settled op. A run is
+// deterministic: the same tape yields a byte-identical digest at any clone
+// worker-thread count.
+
+#ifndef SRC_HVFUZZ_HARNESS_H_
+#define SRC_HVFUZZ_HARNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/hvfuzz/tape.h"
+#include "src/toolstack/domain_config.h"
+
+namespace nephele {
+
+class NepheleSystem;
+
+// The fixed configuration every hvfuzz guest boots with.
+DomainConfig HvGuestConfig();
+
+struct HvRunOptions {
+  // Non-zero: stage every clone batch with this many worker threads. The
+  // determinism test replays tapes at 1 and 4 and compares digests.
+  unsigned force_workers = 0;
+  // Test-only hook, invoked after each op executes (before the oracle) —
+  // used to seed deliberate invariant bugs behind the model's back.
+  std::function<void(NepheleSystem&, const HvOp&, std::size_t op_index)> after_op;
+};
+
+struct HvRunResult {
+  // Empty when the run passed; otherwise the failing oracle layer
+  // ("op-status", "frames", "p2m", "grants", "evtchns", "cells", "teardown").
+  std::string fail_kind;
+  std::size_t fail_op = static_cast<std::size_t>(-1);
+  std::string message;
+
+  // Deterministic fingerprint: per-op outcome log plus hashes of the final
+  // metrics JSON, trace JSON and virtual time.
+  std::string digest;
+  // Coverage edges for the AFL feedback loop.
+  std::vector<std::uint32_t> edges;
+  std::size_t ops_executed = 0;
+
+  bool ok() const { return fail_kind.empty(); }
+};
+
+HvRunResult RunTape(const HvTape& tape, const HvRunOptions& options = {});
+
+}  // namespace nephele
+
+#endif  // SRC_HVFUZZ_HARNESS_H_

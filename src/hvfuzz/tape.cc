@@ -1,0 +1,308 @@
+#include "src/hvfuzz/tape.h"
+
+#include <cstddef>
+#include <sstream>
+
+#include "src/sim/rng.h"
+
+namespace nephele {
+
+namespace {
+
+constexpr const char* kKindNames[kNumHvOpKinds] = {
+    "launch", "clone",   "reset",   "cow",     "destroy", "grant",  "map",   "unmap",
+    "endgrant", "evalloc", "evbind",  "evsend",  "evclose", "xswrite", "p9",   "write",
+    "rawwrite", "read",    "touch",   "arm",     "disarm",  "advance", "settle",
+};
+
+// Fault points worth arming in fuzz tapes: the allocation, COW, grant,
+// evtchn, clone-stage and xenstore paths, so fault-point interleavings hit
+// every rollback the oracle guards. All NthHit — a shrunk tape still fires
+// the same injection.
+constexpr const char* kFaultMenu[] = {
+    "hypervisor/frame_alloc", "hypervisor/cow_resolve", "hypervisor/grant_access",
+    "hypervisor/evtchn_alloc", "clone/stage1/memory",    "clone/stage1/share",
+    "clone/stage1/grants",     "clone/stage1/evtchns",   "clone/reset",
+    "xencloned/stage2",        "xenstore/request",
+};
+constexpr std::size_t kFaultMenuSize = sizeof(kFaultMenu) / sizeof(kFaultMenu[0]);
+
+// Byte reader backed by the mutation input, falling back to a deterministic
+// stream once the bytes run out (same pattern as the DST generator's tape).
+class ByteTape {
+ public:
+  ByteTape(std::uint64_t seed, const std::vector<std::uint8_t>& bytes)
+      : bytes_(bytes), fallback_(Mix(seed, bytes)) {}
+
+  std::uint8_t Byte() {
+    if (pos_ < bytes_.size()) {
+      return bytes_[pos_++];
+    }
+    return static_cast<std::uint8_t>(fallback_.NextU64());
+  }
+
+  std::uint32_t Below(std::uint32_t bound) { return bound == 0 ? 0 : Byte() % bound; }
+
+ private:
+  static std::uint64_t Mix(std::uint64_t seed, const std::vector<std::uint8_t>& bytes) {
+    std::uint64_t h = seed ^ 0x687666757a7aULL;  // "hvfuzz"
+    for (std::uint8_t b : bytes) {
+      h = (h ^ b) * 0x100000001b3ULL;
+    }
+    return h;
+  }
+
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+  Rng fallback_;
+};
+
+struct Weighted {
+  HvOpKind kind;
+  std::uint32_t weight;
+};
+
+// Hostile structural ops (grants, event channels, raw guest access) dominate;
+// launches are frequent enough that most tapes have several live targets.
+constexpr Weighted kWeights[] = {
+    {HvOpKind::kLaunch, 4},   {HvOpKind::kClone, 5},   {HvOpKind::kReset, 3},
+    {HvOpKind::kCow, 3},      {HvOpKind::kDestroy, 3}, {HvOpKind::kGrant, 5},
+    {HvOpKind::kMap, 5},      {HvOpKind::kUnmap, 4},   {HvOpKind::kEndGrant, 3},
+    {HvOpKind::kEvAlloc, 4},  {HvOpKind::kEvBind, 4},  {HvOpKind::kEvSend, 4},
+    {HvOpKind::kEvClose, 4},  {HvOpKind::kXsWrite, 4}, {HvOpKind::kP9, 4},
+    {HvOpKind::kWrite, 6},    {HvOpKind::kRawWrite, 5}, {HvOpKind::kRead, 3},
+    {HvOpKind::kTouch, 4},    {HvOpKind::kArm, 2},     {HvOpKind::kDisarm, 2},
+    {HvOpKind::kAdvance, 3},  {HvOpKind::kSettle, 1},
+};
+
+}  // namespace
+
+const char* HvOpKindName(HvOpKind kind) {
+  return kKindNames[static_cast<std::size_t>(kind)];
+}
+
+HvTape TapeFromBytes(std::uint64_t seed, const std::vector<std::uint8_t>& bytes) {
+  ByteTape t(seed, bytes);
+  HvTape tape;
+  tape.seed = seed;
+
+  constexpr std::uint32_t kTotalWeight = [] {
+    std::uint32_t sum = 0;
+    for (const Weighted& w : kWeights) {
+      sum += w.weight;
+    }
+    return sum;
+  }();
+
+  const std::size_t num_ops = 6 + t.Below(26);
+
+  // Every tape opens with a root guest so early ops have a live target.
+  HvOp boot;
+  boot.kind = HvOpKind::kLaunch;
+  tape.ops.push_back(boot);
+
+  while (tape.ops.size() < num_ops) {
+    std::uint32_t roll = t.Below(kTotalWeight);
+    HvOpKind kind = HvOpKind::kLaunch;
+    for (const Weighted& w : kWeights) {
+      if (roll < w.weight) {
+        kind = w.kind;
+        break;
+      }
+      roll -= w.weight;
+    }
+
+    HvOp op;
+    op.kind = kind;
+    switch (kind) {
+      case HvOpKind::kLaunch:
+      case HvOpKind::kDisarm:
+      case HvOpKind::kSettle:
+        break;
+      case HvOpKind::kClone:
+        op.a = t.Byte();
+        op.b = t.Byte();
+        op.n = 1 + t.Below(4);
+        op.flags = t.Below(4);
+        break;
+      case HvOpKind::kReset:
+        op.a = t.Byte();
+        op.b = t.Byte();
+        break;
+      case HvOpKind::kCow:
+      case HvOpKind::kTouch:
+        op.a = t.Byte();
+        op.c = t.Byte();
+        op.n = t.Byte();
+        break;
+      case HvOpKind::kDestroy:
+        op.a = t.Byte();
+        break;
+      case HvOpKind::kGrant:
+        op.a = t.Byte();
+        op.b = t.Byte();
+        op.c = t.Byte();
+        op.flags = t.Below(2);
+        break;
+      case HvOpKind::kMap:
+      case HvOpKind::kUnmap:
+      case HvOpKind::kEndGrant:
+      case HvOpKind::kEvBind:
+      case HvOpKind::kEvSend:
+      case HvOpKind::kEvClose:
+        op.a = t.Byte();
+        op.c = t.Byte();
+        break;
+      case HvOpKind::kEvAlloc:
+        op.a = t.Byte();
+        op.b = t.Byte();
+        break;
+      case HvOpKind::kXsWrite:
+        op.a = t.Byte();
+        op.b = t.Byte();
+        op.c = t.Byte();
+        break;
+      case HvOpKind::kP9:
+        op.a = t.Byte();
+        op.b = t.Byte();
+        op.c = t.Byte();
+        break;
+      case HvOpKind::kWrite:
+        op.a = t.Byte();
+        op.c = t.Byte();
+        op.v = t.Byte();
+        break;
+      case HvOpKind::kRawWrite:
+      case HvOpKind::kRead:
+        op.a = t.Byte();
+        op.c = t.Byte();
+        op.n = t.Byte();
+        op.v = t.Byte();
+        break;
+      case HvOpKind::kArm:
+        op.point = kFaultMenu[t.Below(kFaultMenuSize)];
+        op.nth = 1 + t.Below(3);
+        break;
+      case HvOpKind::kAdvance:
+        op.amount = (1ull + t.Byte()) * 250'000ull;  // 0.25 .. 64 ms
+        break;
+    }
+    tape.ops.push_back(op);
+  }
+  return tape;
+}
+
+std::string TapeToText(const HvTape& tape) {
+  std::ostringstream out;
+  out << "# nephele hvfuzz tape v1\n";
+  out << "seed " << tape.seed << '\n';
+  for (const HvOp& op : tape.ops) {
+    out << HvOpKindName(op.kind);
+    if (op.a != 0) out << " a=" << op.a;
+    if (op.b != 0) out << " b=" << op.b;
+    if (op.c != 0) out << " c=" << op.c;
+    if (op.n != 0) out << " n=" << op.n;
+    if (op.v != 0) out << " v=" << op.v;
+    if (op.flags != 0) out << " flags=" << op.flags;
+    if (op.amount != 0) out << " amount=" << op.amount;
+    if (op.nth != 1) out << " nth=" << op.nth;
+    if (!op.point.empty()) out << " point=" << op.point;
+    out << '\n';
+  }
+  return out.str();
+}
+
+namespace {
+
+Result<std::uint64_t> ParseU64(const std::string& token) {
+  if (token.empty()) {
+    return ErrInvalidArgument("empty numeric field");
+  }
+  std::uint64_t value = 0;
+  for (char ch : token) {
+    if (ch < '0' || ch > '9') {
+      return ErrInvalidArgument("bad numeric field: " + token);
+    }
+    value = value * 10 + static_cast<std::uint64_t>(ch - '0');
+  }
+  return value;
+}
+
+Result<HvOpKind> KindFromName(const std::string& name) {
+  for (std::size_t i = 0; i < kNumHvOpKinds; ++i) {
+    if (name == kKindNames[i]) {
+      return static_cast<HvOpKind>(i);
+    }
+  }
+  return ErrInvalidArgument("unknown op: " + name);
+}
+
+}  // namespace
+
+Result<HvTape> ParseTape(const std::string& text) {
+  HvTape tape;
+  bool saw_seed = false;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream tokens(line);
+    std::string head;
+    tokens >> head;
+    if (!saw_seed) {
+      if (head != "seed") {
+        return ErrInvalidArgument("tape must start with a seed line");
+      }
+      std::string value;
+      tokens >> value;
+      NEPHELE_ASSIGN_OR_RETURN(tape.seed, ParseU64(value));
+      saw_seed = true;
+      continue;
+    }
+    NEPHELE_ASSIGN_OR_RETURN(HvOpKind kind, KindFromName(head));
+    HvOp op;
+    op.kind = kind;
+    std::string field;
+    while (tokens >> field) {
+      const std::size_t eq = field.find('=');
+      if (eq == std::string::npos) {
+        return ErrInvalidArgument("bad field (want key=value): " + field);
+      }
+      const std::string key = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      if (key == "point") {
+        op.point = value;
+        continue;
+      }
+      NEPHELE_ASSIGN_OR_RETURN(std::uint64_t num, ParseU64(value));
+      if (key == "a") {
+        op.a = static_cast<std::uint32_t>(num);
+      } else if (key == "b") {
+        op.b = static_cast<std::uint32_t>(num);
+      } else if (key == "c") {
+        op.c = static_cast<std::uint32_t>(num);
+      } else if (key == "n") {
+        op.n = static_cast<std::uint32_t>(num);
+      } else if (key == "v") {
+        op.v = static_cast<std::uint32_t>(num);
+      } else if (key == "flags") {
+        op.flags = static_cast<std::uint32_t>(num);
+      } else if (key == "amount") {
+        op.amount = num;
+      } else if (key == "nth") {
+        op.nth = num;
+      } else {
+        return ErrInvalidArgument("unknown field: " + key);
+      }
+    }
+    tape.ops.push_back(std::move(op));
+  }
+  if (!saw_seed) {
+    return ErrInvalidArgument("tape must start with a seed line");
+  }
+  return tape;
+}
+
+}  // namespace nephele

@@ -1,0 +1,99 @@
+// Hostile-guest operation tapes: the hvfuzz input format.
+//
+// A tape is a seed plus a list of HvOps — guest-issued operations against a
+// live NepheleSystem, with operand *selectors* rather than concrete ids:
+// `a`/`b`/`c` index menus of targets (live domain / dead domain / Dom0 /
+// kDomChild / out-of-range gfn / stale handle / oversized length ...) that
+// the harness resolves against its current state. Selectors keep tapes
+// replayable after shrinking: deleting an op never invalidates the ones
+// after it, it only changes which menu entry they land on.
+//
+// Tapes exist in three forms:
+//   * bytes   — AFL mutation input; TapeFromBytes is a total decoder (any
+//               byte string is a valid tape, same bytes => same tape);
+//   * structs — what the harness executes and the ddmin shrinker edits;
+//   * text    — the corpus format (tests/hvfuzz_corpus/*.tape), a strict
+//               line-oriented round-trippable encoding for humans and git.
+
+#ifndef SRC_HVFUZZ_TAPE_H_
+#define SRC_HVFUZZ_TAPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+
+namespace nephele {
+
+enum class HvOpKind : std::uint8_t {
+  kLaunch = 0,   // boot a fresh root guest via the toolstack
+  kClone,        // clone_op: a=parent sel, b=caller sel, n=children,
+                 // flags bit0=bogus start_info mfn, bit1=skip settle
+  kReset,        // clone_reset: a=target sel, b=caller sel
+  kCow,          // clone_cow: a=target sel, c=gfn menu, n=count menu
+  kDestroy,      // a=target sel
+  kGrant,        // grant_access: a=granter sel, b=grantee menu, c=gfn menu,
+                 // flags bit0=readonly
+  kMap,          // map_grant: a=mapper sel, c=grant-handle menu
+  kUnmap,        // unmap_grant: a=caller sel, c=grant-handle menu
+  kEndGrant,     // end_access: c=grant-handle menu
+  kEvAlloc,      // evtchn_alloc_unbound: a=owner sel, b=remote menu
+  kEvBind,       // evtchn_bind_interdomain: a=binder sel, c=port-handle menu
+  kEvSend,       // a=sender sel, c=port-handle menu
+  kEvClose,      // a=closer sel, c=port-handle menu
+  kXsWrite,      // hostile xenstore write: b=key menu, c=value menu
+  kP9,           // 9p request: b=sub-op menu, c=path/fid menu
+  kWrite,        // tracked heap-cell write: a=dom sel, c=slot, v=value
+  kRawWrite,     // WriteGuestPage: a=dom sel, c=gfn menu, n=offset menu,
+                 // v=len menu
+  kRead,         // ReadGuestPage, same menus as kRawWrite
+  kTouch,        // TouchGuestPages: a=dom sel, c=gfn menu, n=count menu
+  kArm,          // arm fault point `point` with NthHit(nth)
+  kDisarm,       // disarm all fault points
+  kAdvance,      // advance virtual time by `amount` ns (capped)
+  kSettle,       // drain the event loop
+};
+inline constexpr std::size_t kNumHvOpKinds = 23;
+
+const char* HvOpKindName(HvOpKind kind);
+
+struct HvOp {
+  HvOpKind kind = HvOpKind::kLaunch;
+  std::uint32_t a = 0;      // primary target selector
+  std::uint32_t b = 0;      // secondary selector (caller / peer / key)
+  std::uint32_t c = 0;      // tertiary selector (gfn / handle / value menu)
+  std::uint32_t n = 0;      // count / offset selector
+  std::uint32_t v = 0;      // value / length selector
+  std::uint32_t flags = 0;  // per-kind behaviour bits
+  std::uint64_t amount = 0; // time advance (ns)
+  std::uint64_t nth = 1;    // kArm: NthHit trigger
+  std::string point;        // kArm: fault point name
+
+  bool operator==(const HvOp& o) const = default;
+};
+
+struct HvTape {
+  std::uint64_t seed = 1;
+  std::vector<HvOp> ops;
+
+  bool operator==(const HvTape& o) const = default;
+};
+
+// Total decoder: every byte string decodes to a tape; the same (seed, bytes)
+// pair always decodes to the same tape. Bytes drive the choices first, then
+// a deterministic fallback stream derived from everything consumed so far.
+HvTape TapeFromBytes(std::uint64_t seed, const std::vector<std::uint8_t>& bytes);
+
+// Corpus text format:
+//   # nephele hvfuzz tape v1
+//   seed <n>
+//   <op-name> [a=<n>] [b=<n>] [c=<n>] [n=<n>] [v=<n>] [flags=<n>]
+//             [amount=<n>] [nth=<n>] [point=<name>]
+// Zero-valued fields (nth: 1) are omitted on write and defaulted on parse.
+std::string TapeToText(const HvTape& tape);
+Result<HvTape> ParseTape(const std::string& text);
+
+}  // namespace nephele
+
+#endif  // SRC_HVFUZZ_TAPE_H_

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/hypervisor/event_channel.h"
@@ -73,6 +74,11 @@ struct Domain {
 
   GrantTable grants;
   EvtchnTable evtchns;
+  // Mapper-side record of grant mappings this domain holds into other
+  // domains' tables, one (granter, ref) pair per mapping. The granter-side
+  // GrantEntry::mappers list is the mirror; Hypervisor::MapGrant/UnmapGrant
+  // keep the two in lock step and DestroyDomain force-revokes both ways.
+  std::vector<std::pair<DomId, GrantRef>> grant_maps;
 
   // --- Cloning configuration (toolstack-controlled; Sec. 5.1 domctl). ---
   bool cloning_enabled = false;

@@ -1,11 +1,14 @@
 #include "src/hypervisor/event_channel.h"
 
+#include <algorithm>
+
 namespace nephele {
 
 Result<EvtchnPort> EvtchnTable::AllocPort() {
   // Port 0 is reserved, as on Xen.
   for (std::size_t i = 1; i < ports_.size(); ++i) {
     if (ports_[i].state == EvtchnState::kFree) {
+      used_limit_ = std::max(used_limit_, i + 1);
       return static_cast<EvtchnPort>(i);
     }
   }
@@ -85,6 +88,7 @@ EvtchnTable EvtchnTable::CloneForChild() const {
     child.ports_[i] = ports_[i];
     child.ports_[i].pending = false;
   }
+  child.used_limit_ = used_limit_;
   return child;
 }
 

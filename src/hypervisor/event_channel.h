@@ -60,6 +60,12 @@ class EvtchnTable {
 
   std::size_t active_ports() const;
 
+  // One past the highest port ever allocated (monotone). Ports at or above
+  // this are guaranteed kFree, so table sweeps (peer scrubbing on close and
+  // domain destruction, the invariant checks) can stop early instead of
+  // walking all max_ports() entries.
+  std::size_t used_port_limit() const { return used_limit_; }
+
   // Clone first stage: duplicate the table for a child.
   EvtchnTable CloneForChild() const;
 
@@ -67,6 +73,7 @@ class EvtchnTable {
   Result<EvtchnPort> AllocPort();
 
   std::vector<EvtchnEntry> ports_;
+  std::size_t used_limit_ = 1;  // port 0 is reserved
 };
 
 }  // namespace nephele

@@ -1,5 +1,7 @@
 #include "src/hypervisor/grant_table.h"
 
+#include <algorithm>
+
 namespace nephele {
 
 Result<GrantRef> GrantTable::GrantAccess(DomId grantee, Gfn gfn, bool readonly) {
@@ -36,17 +38,24 @@ Result<Gfn> GrantTable::Map(GrantRef ref, DomId mapper, bool mapper_is_child_of_
     return ErrPermissionDenied("domain not granted access");
   }
   ++e.map_count;
+  e.mappers.push_back(mapper);
   return e.gfn;
 }
 
-Status GrantTable::Unmap(GrantRef ref) {
+Status GrantTable::Unmap(GrantRef ref, DomId mapper) {
   if (ref >= entries_.size() || !entries_[ref].in_use) {
     return ErrNotFound("grant ref not in use");
   }
-  if (entries_[ref].map_count == 0) {
+  GrantEntry& e = entries_[ref];
+  if (e.map_count == 0) {
     return ErrFailedPrecondition("grant not mapped");
   }
-  --entries_[ref].map_count;
+  auto it = std::find(e.mappers.begin(), e.mappers.end(), mapper);
+  if (it == e.mappers.end()) {
+    return ErrPermissionDenied("mapping not held by caller");
+  }
+  e.mappers.erase(it);
+  --e.map_count;
   return Status::Ok();
 }
 
@@ -56,6 +65,7 @@ GrantTable GrantTable::CloneForChild() const {
     if (entries_[i].in_use) {
       child.entries_[i] = entries_[i];
       child.entries_[i].map_count = 0;
+      child.entries_[i].mappers.clear();
       ++child.active_;
     }
   }

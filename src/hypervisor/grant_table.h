@@ -23,6 +23,11 @@ struct GrantEntry {
   bool readonly = false;
   // Count of active mappings; the entry cannot be revoked while nonzero.
   std::uint32_t map_count = 0;
+  // Who holds those mappings, one element per mapping (a domain mapping the
+  // same ref twice appears twice). Always map_count elements; kept so unmap
+  // can reject foreign callers and domain destruction can revoke exactly the
+  // dying domain's mappings.
+  std::vector<DomId> mappers;
 };
 
 class GrantTable {
@@ -43,7 +48,10 @@ class GrantTable {
   // domain, which validates kDomChild wildcard entries.
   Result<Gfn> Map(GrantRef ref, DomId mapper, bool mapper_is_child_of_granter);
 
-  Status Unmap(GrantRef ref);
+  // Drops one of `mapper`'s mappings of `ref`. A caller holding no mapping
+  // cannot decrement someone else's: kFailedPrecondition when the entry is
+  // unmapped, kPermissionDenied when it is mapped but not by `mapper`.
+  Status Unmap(GrantRef ref, DomId mapper);
 
   const GrantEntry& entry(GrantRef ref) const { return entries_[ref]; }
   GrantEntry& mutable_entry(GrantRef ref) { return entries_[ref]; }

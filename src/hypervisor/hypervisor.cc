@@ -1,5 +1,6 @@
 #include "src/hypervisor/hypervisor.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/base/log.h"
@@ -99,6 +100,86 @@ void Hypervisor::ReleaseDomainFrames(Domain& d) {
   d.p2m.clear();
 }
 
+void Hypervisor::ScrubGrantMappings(Domain& d) {
+  // Force-revoke the mappings the dying domain holds into other tables (the
+  // granter's map_count must not stay pinned by a dead mapper) ...
+  for (const auto& [granter_id, ref] : d.grant_maps) {
+    if (Domain* g = FindDomain(granter_id); g != nullptr) {
+      (void)g->grants.Unmap(ref, d.id);
+    }
+  }
+  d.grant_maps.clear();
+  // ... and the mappings others hold into the dying domain's table (their
+  // mapper-side records would otherwise dangle).
+  for (GrantRef ref = 0; ref < d.grants.max_entries(); ++ref) {
+    GrantEntry& e = d.grants.mutable_entry(ref);
+    if (!e.in_use) {
+      continue;
+    }
+    for (DomId mapper_id : e.mappers) {
+      if (Domain* m = FindDomain(mapper_id); m != nullptr) {
+        auto it = std::find(m->grant_maps.begin(), m->grant_maps.end(),
+                            std::make_pair(d.id, ref));
+        if (it != m->grant_maps.end()) {
+          m->grant_maps.erase(it);
+        }
+      }
+    }
+    e.mappers.clear();
+    e.map_count = 0;
+  }
+}
+
+void Hypervisor::ScrubEvtchnPeers(DomId dom) {
+  // Reset every connected channel still pointing at `dom` back to kUnbound
+  // (Xen's __evtchn_close semantics: the surviving end keeps its reservation
+  // but is no longer connected). This covers back-pointered peers as well as
+  // the fan-in entries IDC rebinding and table cloning create, which carry no
+  // back-pointer by design.
+  std::vector<std::pair<DomId, EvtchnPort>> scrubbed;
+  for (auto& [id, other] : domains_) {
+    if (id == dom) {
+      continue;
+    }
+    EvtchnTable& t = other->evtchns;
+    for (EvtchnPort p = 1; p < t.used_port_limit(); ++p) {
+      EvtchnEntry& e = t.mutable_entry(p);
+      if (e.state == EvtchnState::kInterdomain && e.remote_dom == dom) {
+        e.state = EvtchnState::kUnbound;
+        e.remote_port = kInvalidPort;
+        e.pending = false;
+        scrubbed.emplace_back(id, p);
+      }
+    }
+  }
+  // A scrubbed entry may have been an IDC fan-in hub; disconnect the
+  // siblings that were bound to it too.
+  CascadeEvtchnUnbind(std::move(scrubbed));
+}
+
+void Hypervisor::CascadeEvtchnUnbind(
+    std::vector<std::pair<DomId, EvtchnPort>> work) {
+  // Each sweep transitions an entry out of kInterdomain exactly once, so the
+  // worklist terminates even on cyclic connection graphs.
+  while (!work.empty()) {
+    auto [wd, wp] = work.back();
+    work.pop_back();
+    for (auto& [id, other] : domains_) {
+      EvtchnTable& t = other->evtchns;
+      for (EvtchnPort p = 1; p < t.used_port_limit(); ++p) {
+        EvtchnEntry& e = t.mutable_entry(p);
+        if (e.state == EvtchnState::kInterdomain && e.remote_dom == wd &&
+            e.remote_port == wp) {
+          e.state = EvtchnState::kUnbound;
+          e.remote_port = kInvalidPort;
+          e.pending = false;
+          work.emplace_back(id, p);
+        }
+      }
+    }
+  }
+}
+
 Status Hypervisor::DestroyDomain(DomId dom) {
   auto it = domains_.find(dom);
   if (it == domains_.end()) {
@@ -110,6 +191,8 @@ Status Hypervisor::DestroyDomain(DomId dom) {
   Domain& d = *it->second;
   d.state = DomainState::kDying;
   ReleaseDomainFrames(d);
+  ScrubGrantMappings(d);
+  ScrubEvtchnPeers(dom);
   // Unlink from the family tree but keep ancestry queries working for
   // remaining members: children are re-parented to the grandparent.
   if (d.parent != kDomInvalid) {
@@ -371,7 +454,8 @@ Status Hypervisor::WriteGuestPage(DomId dom, Gfn gfn, std::size_t offset, const 
   if (d == nullptr) {
     return ErrNotFound("no such domain");
   }
-  if (gfn >= d->p2m.size() || offset + len > kPageSize) {
+  // Checked as two comparisons: `offset + len` may wrap for hostile inputs.
+  if (gfn >= d->p2m.size() || offset >= kPageSize || len > kPageSize - offset) {
     return ErrOutOfRange("guest write outside page");
   }
   NEPHELE_RETURN_IF_ERROR(ResolveCowForWrite(*d, gfn));
@@ -388,7 +472,8 @@ Status Hypervisor::ReadGuestPage(DomId dom, Gfn gfn, std::size_t offset, void* o
   if (d == nullptr) {
     return ErrNotFound("no such domain");
   }
-  if (gfn >= d->p2m.size() || offset + len > kPageSize) {
+  // Checked as two comparisons: `offset + len` may wrap for hostile inputs.
+  if (gfn >= d->p2m.size() || offset >= kPageSize || len > kPageSize - offset) {
     return ErrOutOfRange("guest read outside page");
   }
   frames_.ReadBytes(d->p2m[gfn].mfn, offset, static_cast<std::uint8_t*>(out), len);
@@ -400,7 +485,8 @@ Status Hypervisor::TouchGuestPages(DomId dom, Gfn gfn, std::size_t count) {
   if (d == nullptr) {
     return ErrNotFound("no such domain");
   }
-  if (gfn + count > d->p2m.size()) {
+  // Checked as two comparisons: `gfn + count` may wrap for hostile inputs.
+  if (gfn > d->p2m.size() || count > d->p2m.size() - gfn) {
     return ErrOutOfRange("touch outside p2m");
   }
   for (std::size_t i = 0; i < count; ++i) {
@@ -459,21 +545,35 @@ Result<Gfn> Hypervisor::MapGrant(DomId mapper, DomId granter, GrantRef ref) {
   if (g == nullptr) {
     return ErrNotFound("no such granter");
   }
+  Domain* m = FindDomain(mapper);
+  if (m == nullptr) {
+    return ErrNotFound("no such mapper");
+  }
   bool is_child = IsDescendantOf(mapper, granter);
   auto gfn = g->grants.Map(ref, mapper, is_child);
   if (gfn.ok()) {
+    m->grant_maps.emplace_back(granter, ref);
     m_grant_maps_.Increment();
   }
   return gfn;
 }
 
-Status Hypervisor::UnmapGrant(DomId /*mapper*/, DomId granter, GrantRef ref) {
+Status Hypervisor::UnmapGrant(DomId mapper, DomId granter, GrantRef ref) {
   Domain* g = FindDomain(granter);
   if (g == nullptr) {
     return ErrNotFound("no such granter");
   }
-  Status s = g->grants.Unmap(ref);
+  Domain* m = FindDomain(mapper);
+  if (m == nullptr) {
+    return ErrNotFound("no such mapper");
+  }
+  Status s = g->grants.Unmap(ref, mapper);
   if (s.ok()) {
+    auto it = std::find(m->grant_maps.begin(), m->grant_maps.end(),
+                        std::make_pair(granter, ref));
+    if (it != m->grant_maps.end()) {
+      m->grant_maps.erase(it);
+    }
     m_grant_unmaps_.Increment();
   }
   return s;
@@ -551,7 +651,17 @@ Status Hypervisor::EvtchnSend(DomId dom, EvtchnPort port) {
   if (remote == nullptr) {
     return ErrNotFound("remote domain gone");
   }
+  // The remote entry must itself still be a connected channel; a stale or
+  // out-of-range remote_port (peer closed, rebound, or a corrupted handle)
+  // must not have its pending bit forced. Note the remote entry need not
+  // point back at (dom, port): IDC fan-in entries are many-to-one by design.
+  if (e.remote_port >= remote->evtchns.max_ports()) {
+    return ErrFailedPrecondition("remote port out of range");
+  }
   EvtchnEntry& re = remote->evtchns.mutable_entry(e.remote_port);
+  if (re.state != EvtchnState::kInterdomain) {
+    return ErrFailedPrecondition("remote port not connected");
+  }
   re.pending = true;
   DomId remote_id = remote->id;
   EvtchnPort remote_port = e.remote_port;
@@ -575,7 +685,16 @@ Status Hypervisor::EvtchnClose(DomId dom, EvtchnPort port) {
   if (d == nullptr) {
     return ErrNotFound("no such domain");
   }
-  return d->evtchns.Close(port);
+  NEPHELE_RETURN_IF_ERROR(d->evtchns.Close(port));
+  // Unbind every connected channel that still pointed at the closed port —
+  // the back-pointered peer of a mutual binding, plus any fan-in entries
+  // (IDC rebinding, cloned tables) that reference it without one. Leaving
+  // them connected would let a later send set a pending bit on whatever
+  // reuses the port. The sweep cascades: if the scrubbed peer was itself an
+  // IDC fan-in hub (the first child of a multi-way clone), the siblings
+  // bound to it must be disconnected as well, or they dangle.
+  CascadeEvtchnUnbind({{dom, port}});
+  return Status::Ok();
 }
 
 void Hypervisor::SetEvtchnHandler(DomId dom, EvtchnHandler handler) {

@@ -12,6 +12,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/base/result.h"
@@ -191,6 +192,18 @@ class Hypervisor {
   Result<Mfn> AllocFrameFor(DomId dom);
   Status ResolveCowForWrite(Domain& d, Gfn gfn);
   void ReleaseDomainFrames(Domain& d);
+  // Destroy-time revocation of grant mappings held by and into `d`, keeping
+  // the granter-side mappers lists and mapper-side grant_maps records in
+  // sync (no dangling handles on either side of a dead domain).
+  void ScrubGrantMappings(Domain& d);
+  // Resets every surviving domain's connected channels that still point at
+  // `dom` back to kUnbound, so no event can be delivered through a dead peer.
+  void ScrubEvtchnPeers(DomId dom);
+  // Unbinds every connected channel pointing at a (dom, port) on the
+  // worklist, transitively: an entry unbound by the sweep may itself be the
+  // hub of an IDC fan-in (later clone siblings all bind to the first child's
+  // port), so entries pointing at *it* must be unbound as well.
+  void CascadeEvtchnUnbind(std::vector<std::pair<DomId, EvtchnPort>> work);
 
   EventLoop& loop_;
   const CostModel& costs_;

@@ -10,6 +10,35 @@ namespace nephele {
 namespace {
 // Approximate oxenstored per-node overhead (tree node, perms, strings).
 constexpr std::size_t kPerNodeBytes = 320;
+
+// Hostile-input limits, modelled on xenstored's quota knobs: a guest must
+// not be able to balloon dom0 memory with one oversized key or value, nor
+// smuggle relative components ("..") past path-prefix permission checks.
+constexpr std::size_t kMaxPathBytes = 1024;
+constexpr std::size_t kMaxComponentBytes = 256;
+constexpr std::size_t kMaxValueBytes = 4096;
+
+Status ValidateXsPath(const std::string& path) {
+  if (path.size() > kMaxPathBytes) {
+    return ErrInvalidArgument("xenstore path too long");
+  }
+  for (const auto& comp : SplitXsPath(path)) {
+    if (comp.size() > kMaxComponentBytes) {
+      return ErrInvalidArgument("xenstore path component too long");
+    }
+    if (comp == "." || comp == "..") {
+      return ErrInvalidArgument("xenstore path components '.'/'..' not allowed");
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateXsValue(const std::string& value) {
+  if (value.size() > kMaxValueBytes) {
+    return ErrInvalidArgument("xenstore value too large");
+  }
+  return Status::Ok();
+}
 }  // namespace
 
 XenstoreDaemon::XenstoreDaemon(EventLoop& loop, const CostModel& costs,
@@ -122,6 +151,8 @@ void XenstoreDaemon::InternalWrite(const std::string& path, const std::string& v
 }
 
 Status XenstoreDaemon::Write(const std::string& path, const std::string& value) {
+  NEPHELE_RETURN_IF_ERROR(ValidateXsPath(path));
+  NEPHELE_RETURN_IF_ERROR(ValidateXsValue(value));
   NEPHELE_RETURN_IF_ERROR(ChargeRequest(m_req_write_));
   ++stats_.writes;
   InternalWrite(path, value, /*fire_watches=*/true);
@@ -148,6 +179,7 @@ Result<std::string> XenstoreDaemon::Read(const std::string& path) {
 }
 
 Status XenstoreDaemon::Mkdir(const std::string& path) {
+  NEPHELE_RETURN_IF_ERROR(ValidateXsPath(path));
   NEPHELE_RETURN_IF_ERROR(ChargeRequest(m_req_mkdir_));
   ++stats_.writes;
   LookupOrCreate(path);
@@ -167,6 +199,7 @@ void XenstoreDaemon::CountRemovedSubtree(const Node& node) {
 }
 
 Status XenstoreDaemon::Rm(const std::string& path) {
+  NEPHELE_RETURN_IF_ERROR(ValidateXsPath(path));
   NEPHELE_RETURN_IF_ERROR(ChargeRequest(m_req_rm_));
   ++stats_.writes;
   auto comps = SplitXsPath(path);
@@ -217,6 +250,8 @@ Result<XsTransactionId> XenstoreDaemon::TransactionStart() {
 
 Status XenstoreDaemon::TxnWrite(XsTransactionId txn, const std::string& path,
                                 const std::string& value) {
+  NEPHELE_RETURN_IF_ERROR(ValidateXsPath(path));
+  NEPHELE_RETURN_IF_ERROR(ValidateXsValue(value));
   NEPHELE_RETURN_IF_ERROR(ChargeRequest(m_req_write_));
   ++stats_.writes;
   auto it = transactions_.find(txn);

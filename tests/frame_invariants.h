@@ -1,56 +1,23 @@
-// Shared frame-accounting invariants, asserted by the fault sweep and the
-// concurrency stress suite after every perturbation of a system:
-//
-//  * frame conservation: free + allocated == total;
-//  * every allocated frame is mapped by exactly the references the frame
-//    table thinks it has (shared refcount == number of p2m references,
-//    unshared frames mapped exactly once);
-//  * no freed frame is still mapped anywhere.
+// Gtest shim over the reusable hypervisor invariant oracle
+// (src/hypervisor/invariants.h), asserted by the fault sweep and the
+// concurrency stress suite after every perturbation of a system. The real
+// checks — frame conservation and refcount-vs-mapping agreement, p2m
+// ownership, grant bookkeeping, evtchn connectivity — live in the library so
+// the DST executor and the hvfuzz harness run the identical oracle.
 
 #ifndef TESTS_FRAME_INVARIANTS_H_
 #define TESTS_FRAME_INVARIANTS_H_
 
 #include <gtest/gtest.h>
 
-#include <map>
-
 #include "src/core/system.h"
+#include "src/hypervisor/invariants.h"
 
 namespace nephele {
 
-// Frame-table consistency against every live domain's mappings.
+// Full hypervisor state consistency against every live domain's mappings.
 inline void ExpectFrameConsistency(NepheleSystem& sys) {
-  Hypervisor& hv = sys.hypervisor();
-  const FrameTable& ft = hv.frames();
-  EXPECT_EQ(ft.free_frames() + ft.allocated_frames(), ft.total_frames());
-
-  std::map<Mfn, std::uint64_t> refs;
-  for (DomId id : hv.DomainIds()) {
-    const Domain* d = hv.FindDomain(id);
-    ASSERT_NE(d, nullptr);
-    for (const P2mEntry& e : d->p2m) {
-      if (e.mfn != kInvalidMfn) {
-        ++refs[e.mfn];
-      }
-    }
-    for (Mfn m : d->page_table_frames) {
-      ++refs[m];
-    }
-    for (Mfn m : d->p2m_frames) {
-      ++refs[m];
-    }
-  }
-  EXPECT_EQ(ft.allocated_frames(), refs.size()) << "allocated frames not all mapped (leak)";
-  for (const auto& [mfn, count] : refs) {
-    const FrameInfo& fi = ft.info(mfn);
-    EXPECT_TRUE(fi.allocated) << "freed frame still mapped: mfn " << mfn;
-    if (fi.shared) {
-      EXPECT_EQ(fi.refcount.load(std::memory_order_relaxed), count)
-          << "refcount mismatch on shared mfn " << mfn;
-    } else {
-      EXPECT_EQ(count, 1u) << "unshared mfn mapped more than once: " << mfn;
-    }
-  }
+  EXPECT_EQ(CheckHypervisorInvariants(sys.hypervisor()), "");
 }
 
 }  // namespace nephele

@@ -1,0 +1,282 @@
+// Hostile-guest fuzzing suite (scripts/check.sh leg 7: `ctest -L hvfuzz`).
+//
+// Three jobs: (1) replay the shrunk crash corpus (tests/hvfuzz_corpus) and
+// require every tape oracle-clean and byte-deterministic across clone worker
+// counts; (2) run fresh coverage-guided rounds through the AflEngine —
+// NEPHELE_HVFUZZ_ROUNDS overrides the default 200 (0 skips, CI sanitizer
+// legs use a short round); (3) prove the oracle + shrinker pipeline works by
+// seeding deliberate invariant bugs behind the model's back and requiring
+// each to be caught and auto-shrunk to a minimal tape.
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/system.h"
+#include "src/dst/ddmin.h"
+#include "src/hvfuzz/fuzzer.h"
+#include "src/hvfuzz/harness.h"
+#include "src/hvfuzz/tape.h"
+
+namespace nephele {
+namespace {
+
+// --- Tape format. ---
+
+TEST(HvTapeTest, TextRoundTripsEveryOpKind) {
+  HvTape tape;
+  tape.seed = 42;
+  for (std::size_t i = 0; i < kNumHvOpKinds; ++i) {
+    HvOp op;
+    op.kind = static_cast<HvOpKind>(i);
+    op.a = static_cast<std::uint32_t>(i * 3 + 1);
+    op.b = static_cast<std::uint32_t>(i * 5 + 2);
+    op.c = static_cast<std::uint32_t>(i * 7 + 3);
+    op.n = static_cast<std::uint32_t>(i + 1);
+    op.v = static_cast<std::uint32_t>(i * 2);
+    op.flags = static_cast<std::uint32_t>(i % 4);
+    op.amount = i * 1000;
+    op.nth = 1 + i % 3;
+    if (op.kind == HvOpKind::kArm) {
+      op.point = "hypervisor/frame_alloc";
+    }
+    tape.ops.push_back(op);
+  }
+  auto parsed = ParseTape(TapeToText(tape));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, tape);
+}
+
+TEST(HvTapeTest, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(ParseTape("").ok());                          // no seed line
+  EXPECT_FALSE(ParseTape("launch\n").ok());                  // op before seed
+  EXPECT_FALSE(ParseTape("seed 1\nwarp a=1\n").ok());        // unknown op
+  EXPECT_FALSE(ParseTape("seed 1\nclone a\n").ok());         // not key=value
+  EXPECT_FALSE(ParseTape("seed 1\nclone q=1\n").ok());       // unknown field
+  EXPECT_FALSE(ParseTape("seed 1\nclone a=beef\n").ok());    // non-numeric
+  EXPECT_FALSE(ParseTape("seed x\n").ok());                  // bad seed
+}
+
+TEST(HvTapeTest, DecoderIsTotalAndPure) {
+  std::vector<std::uint8_t> bytes = {0x00, 0xFF, 0x13, 0x7A, 0x42};
+  HvTape a = TapeFromBytes(7, bytes);
+  HvTape b = TapeFromBytes(7, bytes);
+  EXPECT_EQ(a, b);
+  ASSERT_FALSE(a.ops.empty());
+  EXPECT_EQ(a.ops[0].kind, HvOpKind::kLaunch);
+
+  // Any byte string decodes; empty relies purely on the fallback stream.
+  HvTape empty1 = TapeFromBytes(3, {});
+  HvTape empty2 = TapeFromBytes(3, {});
+  EXPECT_EQ(empty1, empty2);
+  EXPECT_GE(empty1.ops.size(), 6u);
+}
+
+// --- Corpus replay. ---
+
+std::vector<std::pair<std::string, HvTape>> LoadCorpus() {
+  std::vector<std::pair<std::string, HvTape>> corpus;
+  const std::filesystem::path dir(NEPHELE_HVFUZZ_CORPUS_DIR);
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".tape") {
+      continue;
+    }
+    std::ifstream in(entry.path());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    auto tape = ParseTape(buf.str());
+    EXPECT_TRUE(tape.ok()) << entry.path() << ": " << tape.status().ToString();
+    if (tape.ok()) {
+      corpus.emplace_back(entry.path().filename().string(), *std::move(tape));
+    }
+  }
+  std::sort(corpus.begin(), corpus.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return corpus;
+}
+
+TEST(HvFuzzCorpusTest, EveryTapeReplaysOracleClean) {
+  auto corpus = LoadCorpus();
+  EXPECT_GE(corpus.size(), 8u) << "shrunk crash corpus went missing";
+  for (const auto& [name, tape] : corpus) {
+    HvRunResult r = RunTape(tape);
+    EXPECT_TRUE(r.ok()) << name << " failed oracle '" << r.fail_kind << "' at op "
+                        << r.fail_op << ": " << r.message << "\ndigest:\n"
+                        << r.digest;
+    EXPECT_EQ(r.ops_executed, tape.ops.size()) << name;
+  }
+}
+
+TEST(HvFuzzCorpusTest, DigestsAreByteIdenticalAcrossRerunsAndWorkers) {
+  for (const auto& [name, tape] : LoadCorpus()) {
+    HvRunOptions one;
+    one.force_workers = 1;
+    HvRunOptions four;
+    four.force_workers = 4;
+    const std::string d1 = RunTape(tape, one).digest;
+    const std::string d1_again = RunTape(tape, one).digest;
+    const std::string d4 = RunTape(tape, four).digest;
+    EXPECT_EQ(d1, d1_again) << name << ": rerun diverged";
+    EXPECT_EQ(d1, d4) << name << ": worker count leaked into the digest";
+  }
+}
+
+// --- Fresh coverage-guided rounds. ---
+
+int FuzzRounds() {
+  const char* env = std::getenv("NEPHELE_HVFUZZ_ROUNDS");
+  if (env == nullptr || *env == '\0') {
+    return 200;
+  }
+  return std::atoi(env);
+}
+
+TEST(HvFuzzRoundsTest, SeededRoundsStayOracleClean) {
+  const int rounds = FuzzRounds();
+  if (rounds <= 0) {
+    GTEST_SKIP() << "NEPHELE_HVFUZZ_ROUNDS=0";
+  }
+  constexpr std::uint64_t kSeeds[] = {1, 2, 3, 5, 8, 13, 21, 34};
+  const int per_seed = (rounds + 7) / 8;
+  std::size_t executed = 0;
+  for (std::uint64_t seed : kSeeds) {
+    HvFuzzer fuzzer(seed);
+    for (int i = 0; i < per_seed; ++i) {
+      HvTape tape = fuzzer.Next();
+      HvRunResult r = RunTape(tape);
+      fuzzer.Report(r);
+      ++executed;
+      if (!r.ok()) {
+        // A real finding: shrink it and print the minimal tape so it can be
+        // fixed and pinned into tests/hvfuzz_corpus/.
+        HvShrinkOutcome shrunk = ShrinkHvTape(tape, r);
+        FAIL() << "seed " << seed << " round " << i << " violated oracle '"
+               << r.fail_kind << "' at op " << r.fail_op << ": " << r.message
+               << "\nminimal tape (" << shrunk.tape.ops.size() << " ops, "
+               << shrunk.runs << " shrink runs):\n"
+               << TapeToText(shrunk.tape) << "\ndigest:\n" << shrunk.result.digest;
+      }
+    }
+    EXPECT_GT(fuzzer.engine().edges_covered(), 0u);
+    EXPECT_EQ(fuzzer.engine().executions(), static_cast<std::uint64_t>(per_seed));
+    EXPECT_EQ(fuzzer.engine().crashes(), 0u);
+  }
+  EXPECT_GE(executed, static_cast<std::size_t>(rounds));
+}
+
+TEST(HvFuzzRoundsTest, GeneratedTapesAreWorkerCountInvariant) {
+  // A deeper spot-check than the corpus: freshly generated tapes (which hit
+  // multi-child clone batches more often) at 1 vs 4 staging workers.
+  for (std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    HvTape tape = TapeFromBytes(seed, {});
+    HvRunOptions one;
+    one.force_workers = 1;
+    HvRunOptions four;
+    four.force_workers = 4;
+    EXPECT_EQ(RunTape(tape, one).digest, RunTape(tape, four).digest) << "seed " << seed;
+  }
+}
+
+// --- Seeded invariant bugs: the oracle must catch, the shrinker minimise. ---
+
+HvTape ThreeOpTape() {
+  HvTape tape;
+  tape.ops.emplace_back();  // launch
+  HvOp grant;
+  grant.kind = HvOpKind::kGrant;
+  grant.c = 1;
+  tape.ops.push_back(grant);
+  HvOp ev;
+  ev.kind = HvOpKind::kEvAlloc;
+  tape.ops.push_back(ev);
+  return tape;
+}
+
+TEST(HvFuzzSeededBugTest, CowIsolationBugIsCaughtAndShrinksToMinimalTape) {
+  // Poison tracked cell 0 of every guest behind the model's back: the cells
+  // oracle must flag it on the first settled op with a live guest.
+  HvRunOptions opts;
+  opts.after_op = [](NepheleSystem& sys, const HvOp&, std::size_t) {
+    for (DomId id : sys.hypervisor().DomainIds()) {
+      if (id == kDom0) {
+        continue;
+      }
+      const std::size_t heap0 =
+          ComputeGuestLayout(HvGuestConfig(), sys.hypervisor().config().min_domain_pages)
+              .heap_first_gfn;
+      const std::uint8_t evil = 0x5A;
+      // Cell 0 lives at (heap_first_gfn, offset 17) — see harness.cc.
+      (void)sys.hypervisor().WriteGuestPage(id, static_cast<Gfn>(heap0), 17, &evil, 1);
+      break;
+    }
+  };
+  HvTape tape = ThreeOpTape();
+  HvRunResult r = RunTape(tape, opts);
+  ASSERT_EQ(r.fail_kind, "cells") << r.message;
+
+  HvShrinkOutcome shrunk = ShrinkHvTape(tape, r, opts);
+  EXPECT_LE(shrunk.tape.ops.size(), 3u);
+  EXPECT_EQ(shrunk.result.fail_kind, "cells");
+  // The failure needs nothing beyond booting one guest.
+  ASSERT_EQ(shrunk.tape.ops.size(), 1u);
+  EXPECT_EQ(shrunk.tape.ops[0].kind, HvOpKind::kLaunch);
+}
+
+TEST(HvFuzzSeededBugTest, FrameRefcountBugIsCaughtAndShrinks) {
+  // Drop a reference the p2m still holds: frame conservation must fail.
+  HvRunOptions opts;
+  opts.after_op = [](NepheleSystem& sys, const HvOp&, std::size_t) {
+    for (DomId id : sys.hypervisor().DomainIds()) {
+      if (id == kDom0) {
+        continue;
+      }
+      const Domain* d = sys.hypervisor().FindDomain(id);
+      if (d == nullptr || d->p2m.empty()) {
+        continue;
+      }
+      (void)sys.hypervisor().frames().Release(d->p2m[0].mfn);
+      break;
+    }
+  };
+  HvTape tape = ThreeOpTape();
+  HvRunResult r = RunTape(tape, opts);
+  ASSERT_EQ(r.fail_kind, "frames") << r.message;
+
+  HvShrinkOutcome shrunk = ShrinkHvTape(tape, r, opts);
+  EXPECT_LE(shrunk.tape.ops.size(), 3u);
+  EXPECT_EQ(shrunk.result.fail_kind, "frames");
+}
+
+// --- The shared ddmin engine (also exercised end-to-end above). ---
+
+TEST(DdminEngineTest, FindsTheMinimalFailingSubsequence) {
+  std::vector<int> ops = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::size_t runs_seen = 0;
+  auto outcome = DdminShrink<int, bool>(
+      ops, true, ops.size() - 1,
+      [&runs_seen](const std::vector<int>& candidate) {
+        ++runs_seen;
+        bool has3 = false;
+        bool has7 = false;
+        for (int v : candidate) {
+          has3 |= v == 3;
+          has7 |= v == 7;
+        }
+        return has3 && has7;
+      },
+      [](const bool& failed) { return failed; },
+      [](const int&) { return std::vector<int>{}; });
+  EXPECT_EQ(outcome.ops, (std::vector<int>{3, 7}));
+  EXPECT_TRUE(outcome.result);
+  EXPECT_EQ(outcome.runs, runs_seen);
+}
+
+}  // namespace
+}  // namespace nephele
