@@ -4,8 +4,9 @@
 # forces a reconfigure of your main build), a fourth leg running the
 # deterministic-simulation suite (ctest label `dst`), a fifth running the
 # clone-scheduler suite (ctest label `sched`), a sixth running the
-# perf-regression gate, and a seventh running the hostile-guest fuzzing
-# suite (ctest label `hvfuzz`) on the plain tree.
+# perf-regression gate, a seventh running the hostile-guest fuzzing
+# suite (ctest label `hvfuzz`), and an eighth running the post-copy
+# lazy-cloning suite (ctest label `lazy`) on the plain tree.
 #
 # The sanitizer legs also get a short hostile-guest fuzz round
 # (NEPHELE_HVFUZZ_ROUNDS=40): the fuzzer's malformed-argument storms are
@@ -62,4 +63,11 @@ scripts/bench_gate.sh --build-dir=build
 echo "==== [hvfuzz] ctest -L hvfuzz ===="
 (cd build && ctest --output-on-failure -j "${JOBS}" -L hvfuzz "${CTEST_ARGS[@]}")
 
-echo "==== all seven legs passed ===="
+# Leg 8: the post-copy lazy-cloning suite by label on the plain tree —
+# eager-equivalence digests at every worker count, exact stream/demand-fault
+# accounting, half-streamed teardown conservation, the oracle negative
+# tests, the scheduler's finish-before-park rule and the stream_stall alarm.
+echo "==== [lazy] ctest -L lazy ===="
+(cd build && ctest --output-on-failure -j "${JOBS}" -L lazy "${CTEST_ARGS[@]}")
+
+echo "==== all eight legs passed ===="

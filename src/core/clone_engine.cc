@@ -26,6 +26,13 @@ CloneEngine::CloneEngine(Hypervisor& hv, const SystemServices& services)
       m_explicit_cow_pages_(metrics_->GetCounter("clone/cow/explicit_pages")),
       m_ring_backpressure_(metrics_->GetCounter("clone/ring/backpressure")),
       m_rolled_back_(metrics_->GetCounter("clone/rolled_back")),
+      m_lazy_clones_(metrics_->GetCounter("clone/lazy/clones")),
+      m_lazy_deferred_pages_(metrics_->GetCounter("clone/lazy/deferred_pages")),
+      m_streamed_pages_(metrics_->GetCounter("clone/streamed_pages")),
+      m_lazy_stream_batches_(metrics_->GetCounter("clone/lazy/stream_batches")),
+      m_lazy_stream_stalls_(metrics_->GetCounter("clone/lazy/stream_stalls")),
+      m_lazy_demand_faults_(metrics_->GetCounter("clone/lazy/demand_faults")),
+      g_lazy_pending_pages_(metrics_->GetGauge("clone/lazy_pending_pages")),
       m_stage1_ns_(metrics_->GetHistogram("clone/stage1/duration_ns")),
       m_stage2_ns_(metrics_->GetHistogram("clone/stage2/duration_ns")) {
   if (services.faults != nullptr) {
@@ -36,7 +43,23 @@ CloneEngine::CloneEngine(Hypervisor& hv, const SystemServices& services)
     f_stage1_grants_ = services.faults->GetPoint("clone/stage1/grants");
     f_stage1_evtchns_ = services.faults->GetPoint("clone/stage1/evtchns");
     f_reset_ = services.faults->GetPoint("clone/reset");
+    f_lazy_stream_ = services.faults->GetPoint("lazy/stream");
+    f_lazy_demand_ = services.faults->GetPoint("lazy/demand_fault");
   }
+  // Sampled at export time: the sum of every streaming child's deferred
+  // ledger. Reaching 0 is how dashboards (and the stream-stall alarm rule)
+  // see a batch finish arriving.
+  g_lazy_pending_pages_.SetProvider([this] {
+    std::int64_t pending = 0;
+    for (const auto& [child, st] : streaming_) {
+      (void)st;
+      const Domain* d = hv_.FindDomain(child);
+      if (d != nullptr) {
+        pending += static_cast<std::int64_t>(d->lazy_deferred_pages);
+      }
+    }
+    return pending;
+  });
   // COW faults are resolved inside the hypervisor; surface them to clone
   // observers (metrics, fuzzing harnesses) through the engine.
   hv_.SetCowFaultHook([this](DomId dom, Gfn gfn, bool copied) {
@@ -44,6 +67,11 @@ CloneEngine::CloneEngine(Hypervisor& hv, const SystemServices& services)
       obs->OnCowFault(dom, gfn, copied);
     }
   });
+  // Demand path of post-copy cloning: any touch of a not-present entry (and
+  // any parent write that would outrun its children's streams) lands here
+  // before the regular COW machinery looks at the entry.
+  hv_.SetLazyTouchHook([this](DomId dom, Gfn gfn) { return OnLazyTouch(dom, gfn); });
+  hv_.SetDomainDestroyHook([this](DomId dom) { OnDomainDestroy(dom); });
 }
 
 void CloneEngine::AddObserver(CloneObserver* observer) { observers_.push_back(observer); }
@@ -64,6 +92,244 @@ void CloneEngine::SetWorkerThreads(unsigned n) {
   // Recreated lazily on the next multi-threaded batch. Tearing down eagerly
   // keeps systems that only ever clone serially free of threads.
   pool_.reset();
+}
+
+std::size_t CloneEngine::PendingStreamPages(DomId child) const {
+  if (streaming_.count(child) == 0) {
+    return 0;
+  }
+  const Domain* d = hv_.FindDomain(child);
+  return d == nullptr ? 0 : d->lazy_deferred_pages;
+}
+
+void CloneEngine::ComputeHotSet(const Domain& parent, const CloneRequest& req,
+                                BatchPlan& batch) {
+  batch.lazy = true;
+  for (Gfn gfn : req.hot_pages) {
+    if (gfn < parent.p2m.size()) {
+      batch.hot.insert(gfn);
+    }
+  }
+  // Seed up to max_hot_pages recently-touched pages beyond the explicit
+  // hint: the dirty-since-clone list first (clone-of-clone parents track
+  // it), then still-writable kData pages — a page is writable exactly when
+  // it saw a write since it last entered COW sharing, which makes
+  // writability the touch signal for root parents and re-cloned parents
+  // alike.
+  std::size_t seeded = 0;
+  const std::size_t cap = lazy_cfg_.max_hot_pages;
+  for (Gfn gfn : parent.dirty_since_clone) {
+    if (seeded >= cap) {
+      break;
+    }
+    if (gfn < parent.p2m.size() && batch.hot.insert(gfn).second) {
+      ++seeded;
+    }
+  }
+  for (Gfn gfn = 0; gfn < parent.p2m.size() && seeded < cap; ++gfn) {
+    const P2mEntry& pe = parent.p2m[gfn];
+    if (pe.role == PageRole::kData && pe.writable && batch.hot.insert(gfn).second) {
+      ++seeded;
+    }
+  }
+}
+
+void CloneEngine::MaterializePage(Domain& parent, Domain& child, Gfn gfn) {
+  FrameTable& frames = hv_.frames();
+  const CostModel& costs = hv_.costs();
+  P2mEntry& pe = parent.p2m[gfn];
+  // The plan flipped the parent pte read-only when it deferred the page, so
+  // the frame still holds the clone-time snapshot. Sharing it now is exactly
+  // the share stage 1 skipped, at the same per-page cost.
+  if (frames.IsShared(pe.mfn)) {
+    (void)frames.ShareAgain(pe.mfn);
+    hv_.loop().AdvanceBy(costs.page_share_again);
+    ++stats_.pages_shared_again;
+    m_pages_shared_again_.Increment();
+  } else {
+    (void)frames.ShareFirst(pe.mfn);
+    hv_.loop().AdvanceBy(costs.page_share_first);
+    ++stats_.pages_shared_first;
+    m_pages_shared_first_.Increment();
+  }
+  m_pages_shared_.Increment();
+  child.p2m[gfn].mfn = pe.mfn;
+  // writable stays false: from here on the entry COWs like any shared page.
+  if (child.lazy_deferred_pages > 0) {
+    --child.lazy_deferred_pages;
+  }
+}
+
+Status CloneEngine::RunStreamBatch(DomId child_id, std::size_t* out_pages) {
+  if (out_pages != nullptr) {
+    *out_pages = 0;
+  }
+  auto it = streaming_.find(child_id);
+  if (it == streaming_.end()) {
+    return Status::Ok();
+  }
+  StreamState& st = it->second;
+  Domain* child = hv_.FindDomain(child_id);
+  Domain* parent = hv_.FindDomain(st.parent);
+  if (child == nullptr || parent == nullptr) {
+    // Defensive only: the destroy hook retires streams before either side
+    // of one can vanish.
+    streaming_.erase(it);
+    return Status::Ok();
+  }
+  Status batch_status = PokeFault(f_lazy_stream_);
+  if (!batch_status.ok()) {
+    // A stall, not a death: nothing was streamed, the child stays streaming
+    // and the next batch (tick, pump or FinishStreaming retry) resumes.
+    m_lazy_stream_stalls_.Increment();
+    return batch_status;
+  }
+  hv_.loop().AdvanceBy(hv_.costs().lazy_stream_batch_fixed);
+  m_lazy_stream_batches_.Increment();
+  const std::size_t batch_pages =
+      lazy_cfg_.stream_batch_pages == 0 ? 1 : lazy_cfg_.stream_batch_pages;
+  std::size_t done = 0;
+  while (done < batch_pages && st.cursor < st.deferred.size()) {
+    Gfn gfn = st.deferred[st.cursor++];
+    if (child->p2m[gfn].mfn != kInvalidMfn) {
+      continue;  // a demand fault got here first
+    }
+    MaterializePage(*parent, *child, gfn);
+    ++done;
+    ++stats_.pages_streamed;
+    m_streamed_pages_.Increment();
+  }
+  if (out_pages != nullptr) {
+    *out_pages = done;
+  }
+  if (child->lazy_deferred_pages == 0) {
+    streaming_.erase(it);
+  }
+  return Status::Ok();
+}
+
+Status CloneEngine::FinishStreaming(DomId child) {
+  while (streaming_.count(child) > 0) {
+    NEPHELE_RETURN_IF_ERROR(RunStreamBatch(child, nullptr));
+  }
+  return Status::Ok();
+}
+
+std::size_t CloneEngine::StreamPump(std::size_t batches) {
+  std::size_t total = 0;
+  DomId next = 0;
+  for (std::size_t b = 0; b < batches && !streaming_.empty(); ++b) {
+    auto it = streaming_.lower_bound(next);
+    if (it == streaming_.end()) {
+      it = streaming_.begin();
+    }
+    const DomId child = it->first;
+    next = static_cast<DomId>(child + 1);
+    std::size_t pages = 0;
+    (void)RunStreamBatch(child, &pages);  // a stall consumes the batch slot
+    total += pages;
+  }
+  return total;
+}
+
+void CloneEngine::ScheduleStreamTick(DomId child) {
+  hv_.loop().Post(lazy_cfg_.stream_interval, [this, child] {
+    if (streaming_.count(child) == 0) {
+      return;  // finished (or torn down) before the tick fired
+    }
+    (void)RunStreamBatch(child, nullptr);
+    if (streaming_.count(child) > 0) {
+      // Re-arm, including after a stall: injected stream faults model
+      // transient backend pressure, so the prefetcher retries.
+      ScheduleStreamTick(child);
+    }
+  });
+}
+
+Status CloneEngine::OnLazyTouch(DomId dom, Gfn gfn) {
+  // Case 1: a streaming child touches its own not-present entry — a demand
+  // fault. The page jumps the stream queue and materialises on the spot;
+  // the caller's COW machinery then treats it like any shared page.
+  auto it = streaming_.find(dom);
+  if (it != streaming_.end()) {
+    Domain* child = hv_.FindDomain(dom);
+    Domain* parent = hv_.FindDomain(it->second.parent);
+    if (child != nullptr && parent != nullptr && gfn < child->p2m.size() &&
+        child->p2m[gfn].mfn == kInvalidMfn) {
+      NEPHELE_RETURN_IF_ERROR(PokeFault(f_lazy_demand_));
+      hv_.loop().AdvanceBy(hv_.costs().lazy_demand_fault_fixed);
+      MaterializePage(*parent, *child, gfn);
+      ++stats_.lazy_demand_faults;
+      m_lazy_demand_faults_.Increment();
+      if (child->lazy_deferred_pages == 0) {
+        streaming_.erase(it);
+      }
+      return Status::Ok();
+    }
+  }
+  // Case 2: a parent is about to COW-write a page its streaming children
+  // still defer. The write would change the frame the children read through,
+  // so the clone-time snapshot is pushed to them first. A fault here fails
+  // the parent's write with everything still deferred; a retry resumes with
+  // whatever was already pushed.
+  Domain* parent = hv_.FindDomain(dom);
+  if (parent == nullptr) {
+    return Status::Ok();
+  }
+  for (auto sit = streaming_.begin(); sit != streaming_.end();) {
+    if (sit->second.parent != dom) {
+      ++sit;
+      continue;
+    }
+    Domain* child = hv_.FindDomain(sit->first);
+    if (child == nullptr || gfn >= child->p2m.size() ||
+        child->p2m[gfn].mfn != kInvalidMfn) {
+      ++sit;
+      continue;
+    }
+    NEPHELE_RETURN_IF_ERROR(PokeFault(f_lazy_demand_));
+    hv_.loop().AdvanceBy(hv_.costs().lazy_demand_fault_fixed);
+    MaterializePage(*parent, *child, gfn);
+    ++stats_.lazy_demand_faults;
+    m_lazy_demand_faults_.Increment();
+    if (child->lazy_deferred_pages == 0) {
+      sit = streaming_.erase(sit);
+    } else {
+      ++sit;
+    }
+  }
+  return Status::Ok();
+}
+
+void CloneEngine::OnDomainDestroy(DomId dom) {
+  // A dying child abandons its stream: its not-present entries hold no
+  // frames, so there is nothing to unwind.
+  streaming_.erase(dom);
+  // A dying parent is the stream source of its lazy children: everything
+  // they still defer materialises now, before the parent's frames go away.
+  // The destruction is already committed, so no fault pokes — this path
+  // cannot fail.
+  Domain* parent = hv_.FindDomain(dom);
+  for (auto it = streaming_.begin(); it != streaming_.end();) {
+    if (it->second.parent != dom) {
+      ++it;
+      continue;
+    }
+    Domain* child = hv_.FindDomain(it->first);
+    if (child != nullptr && parent != nullptr) {
+      StreamState& st = it->second;
+      while (st.cursor < st.deferred.size()) {
+        Gfn gfn = st.deferred[st.cursor++];
+        if (child->p2m[gfn].mfn != kInvalidMfn) {
+          continue;
+        }
+        MaterializePage(*parent, *child, gfn);
+        ++stats_.pages_streamed;
+        m_streamed_pages_.Increment();
+      }
+    }
+    it = streaming_.erase(it);
+  }
 }
 
 void CloneEngine::CloneVcpus(const Domain& parent, Domain& child) {
@@ -248,6 +514,91 @@ Status CloneEngine::PlanNextChild(Domain& parent, BatchPlan& batch, ChildPlan& c
   return PlanTables(parent, cp);
 }
 
+Status CloneEngine::PlanChildLazy(Domain& parent, BatchPlan& batch, ChildPlan& cp,
+                                  bool first) {
+  NEPHELE_RETURN_IF_ERROR(PlanChildCommon(parent, cp));
+  if (first) {
+    batch.first_child = cp.id;
+  }
+  NEPHELE_RETURN_IF_ERROR(PokeFault(f_stage1_memory_));
+  const CostModel& costs = hv_.costs();
+  FrameTable& frames = hv_.frames();
+
+  // Lazy plan: a full per-page walk for every child. Deferral already
+  // removed the bulk of the stage-1 work, so the O(private) fast path of
+  // PlanNextChild buys nothing here, and one uniform walk keeps the fault
+  // ordering identical for every child of the batch.
+  for (Gfn gfn = 0; gfn < parent.p2m.size(); ++gfn) {
+    P2mEntry& pe = parent.p2m[gfn];
+    if (IsPrivateRole(pe.role)) {
+      NEPHELE_ASSIGN_OR_RETURN(Mfn mfn, hv_.StageGuestFrame(cp.id));
+      cp.private_mfns.push_back(mfn);
+      SimDuration cost = costs.frame_alloc + (frames.info(pe.mfn).data != nullptr
+                                                  ? costs.page_copy
+                                                  : costs.private_page_rewrite);
+      if (first) {
+        batch.private_gfns.push_back(gfn);
+        batch.private_cost += cost;
+      }
+      cp.lane += cost;
+      ++stats_.pages_private_copied;
+      m_pages_private_copied_.Increment();
+      continue;
+    }
+    if (pe.role == PageRole::kData && batch.hot.count(gfn) == 0) {
+      // Deferred: the child's entry will be not-present — no share, no
+      // fault poke, no lane cost. That skipped cost is the entire
+      // time-to-first-request win. The parent pte still turns read-only
+      // NOW, so a parent write demand-pushes the page to the children
+      // before changing it (they must keep seeing the clone-time snapshot).
+      if (first) {
+        batch.deferred_gfns.push_back(gfn);
+      }
+      if (pe.writable) {
+        batch.writable_flips.push_back(gfn);
+        pe.writable = false;
+      }
+      ++stats_.pages_deferred;
+      m_lazy_deferred_pages_.Increment();
+      continue;
+    }
+    NEPHELE_RETURN_IF_ERROR(PokeFault(f_stage1_share_));
+    const bool already_shared =
+        frames.IsShared(pe.mfn) || batch.first_shared.count(pe.mfn) > 0;
+    if (pe.role == PageRole::kIdcShared) {
+      cp.lane += already_shared ? costs.page_share_again : costs.page_share_first;
+      if (!already_shared) {
+        batch.first_shared.insert(pe.mfn);
+      }
+      ++stats_.pages_idc_shared;
+      m_pages_idc_shared_.Increment();
+      if (first) {
+        ++batch.idc_pages;
+      }
+      continue;
+    }
+    if (already_shared) {
+      cp.lane += costs.page_share_again;
+      ++stats_.pages_shared_again;
+      m_pages_shared_again_.Increment();
+    } else {
+      cp.lane += costs.page_share_first;
+      batch.first_shared.insert(pe.mfn);
+      ++stats_.pages_shared_first;
+      m_pages_shared_first_.Increment();
+    }
+    m_pages_shared_.Increment();
+    if (first) {
+      ++batch.regular_pages;
+    }
+    if (pe.writable) {
+      batch.writable_flips.push_back(gfn);
+      pe.writable = false;
+    }
+  }
+  return PlanTables(parent, cp);
+}
+
 Status CloneEngine::PlanTables(Domain& parent, ChildPlan& cp) {
   const CostModel& costs = hv_.costs();
   Domain& child = *cp.child;
@@ -299,6 +650,12 @@ void CloneEngine::StageChild(const Domain& parent, const BatchPlan& batch, Child
         frames.CopyPage(pe.mfn, mfn);
       }
       child.p2m.push_back(P2mEntry{mfn, pe.role, /*writable=*/true});
+    } else if (batch.lazy && pe.role == PageRole::kData && batch.hot.count(gfn) == 0) {
+      // Deferred (the same predicate the plan used): not-present entry, no
+      // share ref. The ledger is child-local state, so bumping it here is
+      // safe from a pool worker.
+      child.p2m.push_back(P2mEntry{kInvalidMfn, pe.role, /*writable=*/false});
+      ++child.lazy_deferred_pages;
     } else {
       shares.push_back(pe.mfn);
       child.p2m.push_back(
@@ -345,6 +702,9 @@ void CloneEngine::RollbackBatch(Domain& parent, BatchPlan& batch,
       // Fully staged: derive the undo from the child's p2m, newest entry
       // first (a re-share presupposes the first share that precedes it).
       for (auto pit = child.p2m.rbegin(); pit != child.p2m.rend(); ++pit) {
+        if (pit->mfn == kInvalidMfn) {
+          continue;  // deferred lazy entry: no frame, no share ref to undo
+        }
         if (IsPrivateRole(pit->role)) {
           (void)frames.Release(pit->mfn);
           continue;
@@ -369,6 +729,7 @@ void CloneEngine::RollbackBatch(Domain& parent, BatchPlan& batch,
     // DestroyDomain only releases the page-table and p2m-map frames it
     // still tracks (a double release would corrupt the free list).
     child.p2m.clear();
+    child.lazy_deferred_pages = 0;
     (void)hv_.DestroyDomain(cp.id);
     if (parent.clones_created > 0) {
       --parent.clones_created;
@@ -420,6 +781,14 @@ Result<std::vector<DomId>> CloneEngine::Clone(const CloneRequest& req) {
     m_ring_backpressure_.Increment();
     return ErrUnavailable("clone notification ring full");
   }
+  // A streaming parent is itself only partially mapped — its deferred
+  // entries hold no frame to share or copy from yet. Its own stream must
+  // finish before it can serve as a clone source; a stall there fails the
+  // clone with the stream's error and no side effects.
+  if (IsStreaming(parent_id)) {
+    NEPHELE_RETURN_IF_ERROR(FinishStreaming(parent_id));
+  }
+  const bool lazy = req.lazy && lazy_cfg_.enabled;
 
   m_batches_.Increment();
   for (CloneObserver* obs : observers_) {
@@ -445,13 +814,18 @@ Result<std::vector<DomId>> CloneEngine::Clone(const CloneRequest& req) {
   // the next child is planned. Everything that can fail fails in the plan,
   // so a dispatched staging job always completes.
   BatchPlan batch;
+  if (lazy) {
+    ComputeHotSet(*parent, req, batch);
+  }
   std::vector<ChildPlan> plans;
   plans.reserve(num_clones);  // workers hold references; must not reallocate
   Status failure = Status::Ok();
   for (unsigned i = 0; i < num_clones; ++i) {
     plans.emplace_back();
     ChildPlan& cp = plans.back();
-    failure = i == 0 ? PlanFirstChild(*parent, batch, cp) : PlanNextChild(*parent, batch, cp);
+    failure = lazy ? PlanChildLazy(*parent, batch, cp, i == 0)
+                   : (i == 0 ? PlanFirstChild(*parent, batch, cp)
+                             : PlanNextChild(*parent, batch, cp));
     if (!failure.ok()) {
       break;
     }
@@ -513,6 +887,21 @@ Result<std::vector<DomId>> CloneEngine::Clone(const CloneRequest& req) {
     (void)hv_.RaiseVirq(kDom0, Virq::kCloned);
     ++stats_.clones;
     m_clones_.Increment();
+  }
+  // Register the lazy streams: each child owes batch.deferred_gfns, and the
+  // background prefetcher starts ticking (unless manual mode). A lazy batch
+  // with nothing deferred (tiny guest, everything hot) is already complete.
+  if (batch.lazy) {
+    for (const ChildPlan& cp : plans) {
+      ++stats_.lazy_clones;
+      m_lazy_clones_.Increment();
+      if (!batch.deferred_gfns.empty()) {
+        streaming_.emplace(cp.id, StreamState{parent_id, batch.deferred_gfns, 0});
+        if (lazy_cfg_.auto_stream) {
+          ScheduleStreamTick(cp.id);
+        }
+      }
+    }
   }
   outstanding_[parent_id] += num_clones;
   // Parent rax = 0: success, parent side.
@@ -638,6 +1027,21 @@ Result<std::size_t> CloneEngine::CloneReset(DomId caller, DomId child_id) {
   Domain* parent = hv_.FindDomain(child->parent);
   if (parent == nullptr) {
     return ErrFailedPrecondition("parent gone");
+  }
+  // Post-copy interaction: a half-streamed child resets to its post-clone
+  // state only once that state fully exists, and a target with streaming
+  // children must not swap out frames they still read through. Finish both
+  // directions first; a stream stall surfaces as the reset's error with the
+  // partial stream progress kept.
+  NEPHELE_RETURN_IF_ERROR(FinishStreaming(child_id));
+  std::vector<DomId> streaming_children;
+  for (const auto& [c, st] : streaming_) {
+    if (st.parent == child_id) {
+      streaming_children.push_back(c);
+    }
+  }
+  for (DomId c : streaming_children) {
+    NEPHELE_RETURN_IF_ERROR(FinishStreaming(c));
   }
   NEPHELE_RETURN_IF_ERROR(PokeFault(f_reset_));
   FrameTable& frames = hv_.frames();

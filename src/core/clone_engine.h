@@ -26,6 +26,7 @@
 #ifndef SRC_CORE_CLONE_ENGINE_H_
 #define SRC_CORE_CLONE_ENGINE_H_
 
+#include <cstddef>
 #include <map>
 #include <memory>
 #include <unordered_set>
@@ -85,6 +86,48 @@ class CloneEngine {
 
   // kEnableGlobal.
   Status EnableGlobal(DomId caller, bool enabled);
+
+  // ---------------------------------------------------------------------
+  // Lazy (post-copy) cloning.
+  // ---------------------------------------------------------------------
+  // A CloneRequest with `lazy` set (and LazyCloneConfig::enabled) maps only
+  // the hot working set in stage 1; every other kData page becomes a
+  // not-present p2m entry backed by the parent, recorded in the child's
+  // deferred ledger (Domain::lazy_deferred_pages). The remainder streams in
+  // through a background prefetcher on the event loop, with demand faults
+  // (guest writes, grants, clone_cow) materialising individual pages ahead
+  // of the stream. A fully-streamed lazy child is state-for-state identical
+  // to an eager clone of the same parent.
+
+  // Replaces the prefetcher knobs. Affects batches planned and stream
+  // batches run after the call; in-flight streams keep their page list but
+  // pick up the new batch size and interval.
+  void SetLazyConfig(const LazyCloneConfig& cfg) { lazy_cfg_ = cfg; }
+  const LazyCloneConfig& lazy_config() const { return lazy_cfg_; }
+
+  // True while `child` still has deferred pages to stream.
+  bool IsStreaming(DomId child) const { return streaming_.count(child) > 0; }
+  // Deferred pages `child` still owes (0 when not streaming).
+  std::size_t PendingStreamPages(DomId child) const;
+
+  // Synchronously streams every remaining deferred page of `child`, poking
+  // the "lazy/stream" fault point once per batch like the background
+  // prefetcher would. On an injected fault the stream stalls: the error is
+  // returned, progress so far is kept, and the child remains streaming.
+  // Not-streaming children succeed trivially. Clone() of a streaming
+  // parent, CloneReset() of a streaming child (or of a parent with
+  // streaming children) and the scheduler's park path all funnel through
+  // this, so no operation ever observes a half-mapped domain it would
+  // mis-handle.
+  Status FinishStreaming(DomId child);
+
+  // Manual-mode pump: runs up to `batches` prefetcher batches, round-robin
+  // over streaming children in ascending DomId order. Returns the number of
+  // pages materialised. Stalled batches (armed "lazy/stream" fault) count
+  // against `batches` but stream nothing. The DST executor and the hvfuzz
+  // harness drive streams exclusively through this (auto_stream=false) so
+  // mid-stream windows between ops are deterministic.
+  std::size_t StreamPump(std::size_t batches = 1);
 
   // ---------------------------------------------------------------------
   // Wiring.
@@ -147,6 +190,14 @@ class CloneEngine {
     // Cost of one child's private-page work (identical for every child).
     SimDuration private_cost;
     DomId first_child = kDomInvalid;
+    // --- Lazy mode (set once in Clone(), read-only afterwards). ---
+    bool lazy = false;
+    // The hot working set: gfns mapped eagerly. StageChild re-derives the
+    // defer decision from this set, so plan and stage agree by construction.
+    std::unordered_set<Gfn> hot;
+    // Parent gfns deferred for every child (kData, not hot), ascending —
+    // the initial stream list of each child.
+    std::vector<Gfn> deferred_gfns;
   };
 
   // Plan phase. PlanFirstChild walks every parent page (classifying,
@@ -159,6 +210,52 @@ class CloneEngine {
   Status PlanFirstChild(Domain& parent, BatchPlan& batch, ChildPlan& cp);
   Status PlanNextChild(Domain& parent, BatchPlan& batch, ChildPlan& cp);
   Status PlanTables(Domain& parent, ChildPlan& cp);
+
+  // Lazy-mode plan: a full per-page walk for EVERY child of the batch (no
+  // O(private) fast path — deferral already removed the bulk of the work),
+  // skipping shares for deferred pages. `first` fills the batch-wide facts.
+  Status PlanChildLazy(Domain& parent, BatchPlan& batch, ChildPlan& cp, bool first);
+
+  // Seeds BatchPlan::hot for a lazy batch: specials and private pages are
+  // implicitly hot (never deferred); this collects the explicit hint plus up
+  // to max_hot_pages recently-touched parent pages (dirty_since_clone, then
+  // still-writable kData pages — exactly the pages that saw a write since
+  // the previous clone).
+  void ComputeHotSet(const Domain& parent, const CloneRequest& req, BatchPlan& batch);
+
+  // Shares the parent's frame at `gfn` into `child` and clears the deferred
+  // ledger entry. The caller has checked the entry is not present and
+  // charges its own fixed cost (stream batch vs demand fault); this charges
+  // the per-page share cost. Infallible: streaming state guarantees a live,
+  // fully-mapped parent.
+  void MaterializePage(Domain& parent, Domain& child, Gfn gfn);
+
+  // One prefetcher batch for `child`: pokes "lazy/stream" (a fault stalls
+  // the batch — returned, nothing streamed), charges the batch cost and
+  // materialises up to stream_batch_pages deferred pages. `out_pages`
+  // (optional) reports pages materialised. Erases the stream state when the
+  // child finishes.
+  Status RunStreamBatch(DomId child, std::size_t* out_pages);
+
+  // Background tick: one batch, then re-posts itself while the child still
+  // streams (also after a stall — the injected fault is treated as a
+  // transient backend error, so the stream retries instead of dying).
+  void ScheduleStreamTick(DomId child);
+
+  // Demand path (Hypervisor::LazyTouchHook): a touch of (dom, gfn) that
+  // needs page materialisation before the regular COW machinery may look at
+  // the entry. Two cases — `dom` is a streaming child touching its own
+  // not-present entry (demand fault), or `dom` is a parent about to COW a
+  // page its streaming children still defer (the write would break the
+  // children's snapshot, so the page is pushed to them first). Pokes
+  // "lazy/demand_fault"; an injected fault surfaces as the touch's error
+  // and leaves every entry deferred.
+  Status OnLazyTouch(DomId dom, Gfn gfn);
+
+  // Hypervisor::DomainDestroyHook: tearing down a streaming parent first
+  // force-finishes its children's streams (no fault pokes — the destroy is
+  // already committed); tearing down a streaming child cancels its stream.
+  void OnDomainDestroy(DomId dom);
 
   // Stage phase: runs on a pool worker (or inline when worker_threads_==1).
   // Touches only the child's state, pre-allocated frames, read-only parent
@@ -183,6 +280,15 @@ class CloneEngine {
     SimTime pushed_at;
   };
 
+  // Stream of one lazy child. `deferred` is fixed at commit; `cursor` walks
+  // it — entries a demand fault materialised first are skipped when the
+  // stream reaches them. cursor == deferred.size() ⇔ ledger is 0 ⇔ done.
+  struct StreamState {
+    DomId parent = kDomInvalid;
+    std::vector<Gfn> deferred;
+    std::size_t cursor = 0;
+  };
+
   Hypervisor& hv_;
   CloneNotificationRing ring_;
   CloneStats stats_;
@@ -203,6 +309,13 @@ class CloneEngine {
   Counter& m_explicit_cow_pages_;
   Counter& m_ring_backpressure_;
   Counter& m_rolled_back_;
+  Counter& m_lazy_clones_;
+  Counter& m_lazy_deferred_pages_;
+  Counter& m_streamed_pages_;
+  Counter& m_lazy_stream_batches_;
+  Counter& m_lazy_stream_stalls_;
+  Counter& m_lazy_demand_faults_;
+  Gauge& g_lazy_pending_pages_;
   Histogram& m_stage1_ns_;
   Histogram& m_stage2_ns_;
 
@@ -214,6 +327,8 @@ class CloneEngine {
   FaultPoint* f_stage1_grants_ = nullptr;
   FaultPoint* f_stage1_evtchns_ = nullptr;
   FaultPoint* f_reset_ = nullptr;
+  FaultPoint* f_lazy_stream_ = nullptr;
+  FaultPoint* f_lazy_demand_ = nullptr;
 
   unsigned worker_threads_ = 1;
   std::unique_ptr<WorkerPool> pool_;  // created lazily; null while serial
@@ -222,6 +337,11 @@ class CloneEngine {
   // Outstanding second-stage completions per parent.
   std::map<DomId, unsigned> outstanding_;
   std::map<DomId, PendingChild> pending_children_;
+
+  LazyCloneConfig lazy_cfg_;
+  // Active streams, keyed by child. Ordered so StreamPump's round-robin and
+  // the pending-pages gauge are worker-count independent.
+  std::map<DomId, StreamState> streaming_;
 };
 
 }  // namespace nephele

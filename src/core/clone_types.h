@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <utility>
 #include <vector>
 
 #include "src/hypervisor/types.h"
@@ -26,10 +27,55 @@ enum class CloneOpCmd : int {
 // guest path, Dom0 when cloning is driven from outside the VM);
 // `start_info_mfn` must name the parent's start_info page (interface check).
 struct CloneRequest {
+  CloneRequest() = default;
+  // Positional convenience for the overwhelmingly common eager call shape
+  // Clone({caller, parent, start_info_mfn, n}); lazy callers append the
+  // mode flag and an optional hot-page hint.
+  CloneRequest(DomId caller_in, DomId parent_in, Mfn start_info_mfn_in,
+               unsigned num_children_in = 1, bool lazy_in = false,
+               std::vector<Gfn> hot_pages_in = {})
+      : caller(caller_in),
+        parent(parent_in),
+        start_info_mfn(start_info_mfn_in),
+        num_children(num_children_in),
+        lazy(lazy_in),
+        hot_pages(std::move(hot_pages_in)) {}
+
   DomId caller = kDomInvalid;
   DomId parent = kDomInvalid;
   Mfn start_info_mfn = kInvalidMfn;
   unsigned num_children = 1;
+  // Post-copy mode: stage 1 maps only the hot working set (specials, private
+  // pages, the parent's dirty/recently-touched pages and the explicit
+  // `hot_pages` hint below) and defers the remaining COW-shareable pages,
+  // which stream in afterwards (LazyCloneConfig) or demand-fault on touch.
+  bool lazy = false;
+  // Caller-supplied working-set hint: gfns to map eagerly in a lazy clone.
+  // Out-of-range entries are ignored. Unused for eager clones.
+  std::vector<Gfn> hot_pages;
+};
+
+// Knobs of the lazy-clone (post-copy) background prefetcher. Like
+// SchedulerConfig this lives here so SystemConfig carries the knob surface.
+struct LazyCloneConfig {
+  // Master gate: when false, requests with lazy=true degrade to eager
+  // full-copy clones (every page mapped in stage 1).
+  bool enabled = true;
+  // Pages materialised per prefetcher batch.
+  std::size_t stream_batch_pages = 64;
+  // Delay between consecutive prefetcher batches of one child (the stream's
+  // rate limit).
+  SimDuration stream_interval = SimDuration::Micros(250);
+  // When false the background prefetcher never runs on its own: pages
+  // materialise only via demand faults, explicit StreamPump() calls, or
+  // FinishStreaming(). The DST executor and the hvfuzz harness use manual
+  // mode to open deterministic mid-stream windows between ops.
+  bool auto_stream = true;
+  // Cap on the number of recently-touched parent pages seeded into the hot
+  // set (beyond specials, private pages and the explicit hint). On a parent
+  // whose pages are all still writable — never cloned before — this cap is
+  // what keeps a lazy clone from degrading to eager.
+  std::size_t max_hot_pages = 128;
 };
 
 // Knobs of the clone scheduler (src/sched). Lives here — not in src/sched —
@@ -62,6 +108,11 @@ struct SchedulerConfig {
   // eviction is frozen so the pool stops shedding children it is about to
   // need again. Must be >= 1.
   double thrash_window_multiplier = 4.0;
+  // Dispatch cold batches as lazy (post-copy) clones: children are granted
+  // as soon as their hot working set is mapped and stream the rest in the
+  // background. Release() finishes a child's stream before parking it, so
+  // warm hits always hand out fully-mapped domains.
+  bool lazy_dispatch = false;
 };
 
 // One entry of the hypervisor -> xencloned notification ring. "A
@@ -125,6 +176,11 @@ struct CloneStats {
   std::uint64_t resets = 0;
   std::uint64_t reset_pages_restored = 0;
   std::uint64_t explicit_cow_pages = 0;
+  // Lazy (post-copy) cloning.
+  std::uint64_t lazy_clones = 0;
+  std::uint64_t pages_deferred = 0;
+  std::uint64_t pages_streamed = 0;
+  std::uint64_t lazy_demand_faults = 0;
   // Rollback events: failed first-stage batches unwound plus second-stage
   // aborts reported by xencloned.
   std::uint64_t rollbacks = 0;

@@ -10,6 +10,7 @@ NepheleSystem::NepheleSystem(SystemConfig config)
   toolstack_ = std::make_unique<Toolstack>(*hv_, *xs_, *devices_, loop_, costs_, services());
   engine_ = std::make_unique<CloneEngine>(*hv_, services());
   engine_->SetWorkerThreads(config_.clone_worker_threads);
+  engine_->SetLazyConfig(config_.lazy_clone);
   // The toolstack's administrator knob routes through the system so
   // config() keeps reflecting the effective thread count.
   toolstack_->AttachCloneThreadSetter([this](unsigned n) { SetCloneWorkerThreads(n); });

@@ -39,6 +39,10 @@ struct SystemConfig {
   // Clone-scheduler knobs (batch window, max batch, warm-pool capacity,
   // queue depth, ...). Consumed by CloneScheduler(NepheleSystem&).
   SchedulerConfig sched;
+  // Lazy-clone (post-copy) knobs: prefetcher batch size, rate limit,
+  // auto/manual streaming. Consumed by CloneEngine for requests with
+  // CloneRequest::lazy set.
+  LazyCloneConfig lazy_clone;
   // Telemetry-pipeline knobs (tick interval, ring capacity). Consumed by
   // TsdbCollector(system.metrics(), system.loop(), system.config().tsdb);
   // like the scheduler, systems that never collect pay nothing.

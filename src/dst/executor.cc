@@ -35,6 +35,8 @@ constexpr const char* kTrackedCounters[] = {
     "xencloned/clones_aborted",   "toolstack/domains_booted",
     "toolstack/domains_restored",  "toolstack/domains_destroyed",
     "hypervisor/domains/created", "hypervisor/domains/destroyed",
+    "clone/lazy/clones",          "clone/streamed_pages",
+    "clone/lazy/demand_faults",
 };
 
 std::string EncodeDevioValue(std::uint32_t v) {
@@ -58,8 +60,12 @@ class Executor {
  private:
   void ExecuteOp(const Op& op, std::size_t index);
   void OpLaunch(const Op& op);
-  void OpClone(const Op& op);
+  void OpClone(const Op& op, bool lazy);
   void OpWrite(const Op& op);
+  void OpTouchUnmapped(const Op& op);
+  // Shared tail of kCowWrite and kTouchUnmapped: performs the tracked-cell
+  // write, predicting the demand-fault materialisations it must cause.
+  void WriteCell(DomId dom, std::uint32_t slot, std::uint8_t value);
   void OpReset(const Op& op);
   void OpDestroy(const Op& op);
   void OpMigrateOut(const Op& op);
@@ -95,6 +101,44 @@ class Executor {
   }
   Gfn CellGfn(std::uint32_t slot) const {
     return heap0_ + static_cast<Gfn>(ReferenceModel::SlotPage(slot % ReferenceModel::kCells));
+  }
+
+  // --- Post-copy (lazy clone) predictions. The engine counts every hook
+  // materialisation — the writer's own fault and parent-write pushes — in
+  // clone/lazy/demand_faults; mirror its decision by peeking p2m presence
+  // before the op runs. ---
+  std::size_t PredictDemandFaults(DomId dom, Gfn gfn) const {
+    const CloneEngine& engine = sys_->clone_engine();
+    const Domain* d = sys_->hypervisor().FindDomain(dom);
+    if (d == nullptr || gfn >= d->p2m.size()) {
+      return 0;
+    }
+    if (engine.IsStreaming(dom) && d->p2m[gfn].mfn == kInvalidMfn) {
+      return 1;  // the writer demand-faults its own deferred page
+    }
+    // A parent write pushes the pre-write frame to every streaming child
+    // still deferring this gfn, one demand fault each.
+    std::size_t pushes = 0;
+    for (DomId child : live_) {
+      const Domain* c = sys_->hypervisor().FindDomain(child);
+      if (c != nullptr && c->parent == dom && engine.IsStreaming(child) &&
+          gfn < c->p2m.size() && c->p2m[gfn].mfn == kInvalidMfn) {
+        ++pushes;
+      }
+    }
+    return pushes;
+  }
+  // Pages force-streamed when `dom`'s streaming children must finish
+  // (clone_reset of dom, destroy of dom).
+  std::size_t PendingChildStreamPages(DomId dom) const {
+    std::size_t pending = 0;
+    for (DomId child : live_) {
+      const Domain* c = sys_->hypervisor().FindDomain(child);
+      if (c != nullptr && c->parent == dom) {
+        pending += sys_->clone_engine().PendingStreamPages(child);
+      }
+    }
+    return pending;
   }
 
   void Expect(std::string_view counter, std::uint64_t delta) { expected_[std::string(counter)] += delta; }
@@ -147,6 +191,14 @@ RunResult Executor::Run() {
   config.sched.warm_pool_capacity = 2;
   config.sched.max_queue_depth = 4;
   config.sched.request_timeout = SimDuration::Millis(100);
+  // Manual streaming: the prefetcher never self-schedules; ExecuteOp pumps
+  // exactly one batch after every op, so each op sits in a deterministic
+  // mid-stream window. max_hot_pages = 0 keeps the tracked heap pages out of
+  // the hot set (beyond the explicit one-page hint a clone_lazy op carries),
+  // so touch_unmapped reliably finds not-present entries to demand-fault.
+  config.lazy_clone.auto_stream = false;
+  config.lazy_clone.stream_batch_pages = 256;
+  config.lazy_clone.max_hot_pages = 0;
   sys_ = std::make_unique<NepheleSystem>(config);
   sched_ = std::make_unique<CloneScheduler>(*sys_);
   WireScheduler();
@@ -212,7 +264,21 @@ void Executor::ExecuteOp(const Op& op, std::size_t index) {
       if (live_.empty()) {
         log_ << " skip";
       } else {
-        OpClone(op);
+        OpClone(op, /*lazy=*/false);
+      }
+      break;
+    case OpKind::kCloneLazy:
+      if (live_.empty()) {
+        log_ << " skip";
+      } else {
+        OpClone(op, /*lazy=*/true);
+      }
+      break;
+    case OpKind::kTouchUnmapped:
+      if (live_.empty()) {
+        log_ << " skip";
+      } else {
+        OpTouchUnmapped(op);
       }
       break;
     case OpKind::kCowWrite:
@@ -286,6 +352,15 @@ void Executor::ExecuteOp(const Op& op, std::size_t index) {
       }
       break;
   }
+  // Advance every in-flight post-copy stream by one manual batch, so lazy
+  // children make progress between ops and the oracle sees each partially
+  // mapped intermediate state. Scenarios without lazy clones pump nothing
+  // and keep their digests byte-identical.
+  const std::size_t pumped = sys_->clone_engine().StreamPump(1);
+  if (pumped > 0) {
+    Expect("clone/streamed_pages", pumped);
+    log_ << " p" << pumped;
+  }
   OpEdges(op, 0);
 }
 
@@ -306,7 +381,7 @@ void Executor::OpLaunch(const Op&) {
   }
 }
 
-void Executor::OpClone(const Op& op) {
+void Executor::OpClone(const Op& op, bool lazy) {
   DomId parent = Pick(op.dom);
   unsigned workers = options_.force_workers;
   if (workers == 0 && op.workers != 0) {
@@ -316,12 +391,25 @@ void Executor::OpClone(const Op& op) {
   const unsigned n = 1 + (op.n - 1) % 8;
   const bool would_validate = model_.CloneWouldValidate(parent, DstGuestConfig().max_clones, n);
   const std::uint64_t rolled_back_before = sys_->metrics().CounterValue("clone/rolled_back");
+  // A still-streaming parent finishes its own stream before it clones.
+  const std::size_t parent_pending = sys_->clone_engine().PendingStreamPages(parent);
 
-  auto children = sys_->clone_engine().Clone({parent, parent, StartInfoMfn(parent), n});
+  CloneRequest req(parent, parent, StartInfoMfn(parent), n, lazy);
+  if (lazy) {
+    // The op's slot hints one tracked page hot, so every lazy scenario
+    // exercises both sides of the hot/deferred split on oracle-visible pages.
+    req.hot_pages.push_back(
+        heap0_ + static_cast<Gfn>(op.slot % ReferenceModel::kTrackedPages));
+  }
+  auto children = sys_->clone_engine().Clone(req);
   sys_->Settle();
   log_ << ' ' << static_cast<int>(children.status().code()) << " parent=" << parent << " n=" << n;
 
   if (children.ok()) {
+    Expect("clone/streamed_pages", parent_pending);
+    if (lazy) {
+      Expect("clone/lazy/clones", n);
+    }
     model_.CloneBatchPlanned(parent, n);
     unsigned aborted = 0;
     for (DomId child : *children) {
@@ -363,28 +451,61 @@ void Executor::OpClone(const Op& op) {
 }
 
 void Executor::OpWrite(const Op& op) {
+  WriteCell(Pick(op.dom), op.slot % ReferenceModel::kCells,
+            static_cast<std::uint8_t>(op.value));
+}
+
+void Executor::OpTouchUnmapped(const Op& op) {
   DomId dom = Pick(op.dom);
-  const std::uint32_t slot = op.slot % ReferenceModel::kCells;
-  const std::uint8_t value = static_cast<std::uint8_t>(op.value);
+  const Domain* d = sys_->hypervisor().FindDomain(dom);
+  // Aim at a tracked page the domain still defers (scanning from the op's
+  // slot so different slots hit different pages); when the domain defers
+  // nothing this degrades to an ordinary tracked-cell write.
+  std::uint32_t page = op.slot % ReferenceModel::kTrackedPages;
+  for (std::size_t probe = 0; probe < ReferenceModel::kTrackedPages; ++probe) {
+    const std::uint32_t candidate =
+        static_cast<std::uint32_t>((page + probe) % ReferenceModel::kTrackedPages);
+    if (d->p2m[heap0_ + candidate].mfn == kInvalidMfn) {
+      page = candidate;
+      break;
+    }
+  }
+  WriteCell(dom, page * static_cast<std::uint32_t>(ReferenceModel::kSlotsPerPage),
+            static_cast<std::uint8_t>(op.value));
+}
+
+void Executor::WriteCell(DomId dom, std::uint32_t slot, std::uint8_t value) {
+  const std::size_t demand = PredictDemandFaults(dom, CellGfn(slot));
   Status status = sys_->hypervisor().WriteGuestPage(
       dom, CellGfn(slot), ReferenceModel::SlotOffset(slot), &value, 1);
   sys_->Settle();
   log_ << ' ' << static_cast<int>(status.code()) << " dom=" << dom << " slot=" << slot;
   if (status.ok()) {
     model_.Write(dom, slot, value);
-  } else if (!faults_armed_ && status.code() != StatusCode::kResourceExhausted) {
-    Fail("op-status", result_.ops_executed,
-         "guest write failed without faults armed: " + status.ToString());
+    Expect("clone/lazy/demand_faults", demand);
+  } else {
+    if (!faults_armed_ && status.code() != StatusCode::kResourceExhausted) {
+      Fail("op-status", result_.ops_executed,
+           "guest write failed without faults armed: " + status.ToString());
+    }
+    // A failed write can still have materialised some pushes before the
+    // injected error hit; re-baseline instead of predicting the partial.
+    ResyncCounters();
   }
 }
 
 void Executor::OpReset(const Op& op) {
   DomId dom = Pick(op.dom);
   const bool can_reset = model_.CanReset(dom);
+  // Reset finishes the target's own stream and the streams of its streaming
+  // children (their deferred pages reference frames the reset re-shares).
+  const std::size_t stream_pending =
+      sys_->clone_engine().PendingStreamPages(dom) + PendingChildStreamPages(dom);
   auto restored = sys_->clone_engine().CloneReset(kDom0, dom);
   sys_->Settle();
   log_ << ' ' << static_cast<int>(restored.status().code()) << " dom=" << dom;
   if (restored.ok()) {
+    Expect("clone/streamed_pages", stream_pending);
     if (!can_reset && !faults_armed_) {
       Fail("op-status", result_.ops_executed,
            "clone_reset succeeded for a domain the model says has no live parent");
@@ -407,6 +528,10 @@ void Executor::OpReset(const Op& op) {
 
 void Executor::OpDestroy(const Op& op) {
   DomId dom = Pick(op.dom);
+  // Destroying the parent of streaming children force-finishes their
+  // streams (the frames they defer are about to be released); destroying a
+  // streaming child just abandons its own stream.
+  const std::size_t stream_pending = PendingChildStreamPages(dom);
   Status status = sys_->toolstack().DestroyDomain(dom);
   if (sys_->hypervisor().FindDomain(dom) != nullptr) {
     status = sys_->hypervisor().DestroyDomain(dom);
@@ -421,6 +546,7 @@ void Executor::OpDestroy(const Op& op) {
     dead_.push_back(dom);
     Expect("toolstack/domains_destroyed", 1);
     Expect("hypervisor/domains/destroyed", 1);
+    Expect("clone/streamed_pages", stream_pending);
   } else if (!faults_armed_) {
     Fail("op-status", result_.ops_executed, "destroy left the domain alive: " + status.ToString());
   } else {
@@ -474,11 +600,14 @@ void Executor::WireScheduler() {
   // the model/counter bookkeeping OpClone would do for a direct batch and
   // logs the dispatch so batching decisions are part of the digest.
   sched_->SetCloneExecutor([this](const CloneRequest& req) {
+    const std::size_t parent_pending =
+        sys_->clone_engine().PendingStreamPages(req.parent);
     auto children = sys_->clone_engine().Clone(req);
     log_ << " B" << req.parent << "x" << req.num_children << "t" << sys_->Now().ns() << "s"
          << static_cast<int>(children.status().code());
     if (children.ok()) {
       model_.CloneBatchPlanned(req.parent, req.num_children);
+      Expect("clone/streamed_pages", parent_pending);
       Expect("clone/batches_total", 1);
       Expect("clone/clones_total", req.num_children);
       Expect("hypervisor/domains/created", req.num_children);
@@ -493,6 +622,7 @@ void Executor::WireScheduler() {
   // Evictions and fallback destroys tear the child down behind the op
   // stream's back; mirror them into the model and the live/dead lists.
   sched_->SetEvictFn([this](DomId dom) {
+    const std::size_t stream_pending = PendingChildStreamPages(dom);
     (void)sys_->toolstack().DestroyDomain(dom);
     if (sys_->hypervisor().FindDomain(dom) != nullptr) {
       (void)sys_->hypervisor().DestroyDomain(dom);
@@ -505,6 +635,7 @@ void Executor::WireScheduler() {
       dead_.push_back(dom);
       Expect("toolstack/domains_destroyed", 1);
       Expect("hypervisor/domains/destroyed", 1);
+      Expect("clone/streamed_pages", stream_pending);
     } else {
       ResyncCounters();
     }
@@ -573,6 +704,10 @@ void Executor::OpSchedAcquire(const Op& op) {
 void Executor::OpSchedRelease(const Op& op) {
   DomId child = granted_[op.slot % granted_.size()];
   const bool can_reset = model_.CanReset(child);
+  // Release finishes the child's own stream before parking; the reset inside
+  // it also finishes any streams of the child's own lazy children.
+  const std::size_t stream_pending =
+      sys_->clone_engine().PendingStreamPages(child) + PendingChildStreamPages(child);
   auto outcome = sched_->Release(child);
   sys_->Settle();
   log_ << ' ' << static_cast<int>(outcome.status().code()) << " dom=" << child;
@@ -587,6 +722,7 @@ void Executor::OpSchedRelease(const Op& op) {
     return;
   }
   if (outcome->reset_applied) {
+    Expect("clone/streamed_pages", stream_pending);
     const std::size_t predicted = model_.Reset(child);
     log_ << " restored=" << outcome->pages_restored << (outcome->parked ? " parked" : " evicted");
     if (outcome->pages_restored != predicted) {

@@ -26,6 +26,8 @@ constexpr const char* kFaultMenu[] = {
     "sched/admit",
     "sched/dispatch",
     "sched/park",
+    "lazy/stream",
+    "lazy/demand_fault",
 };
 
 // Tape reader: consumes mutation-controlled bytes first, then falls back to
@@ -71,7 +73,7 @@ constexpr Weighted kWeights[] = {
     {OpKind::kCloneReset, 4},  {OpKind::kDestroy, 2},    {OpKind::kMigrateOut, 1},
     {OpKind::kMigrateIn, 1},   {OpKind::kArmFault, 2},   {OpKind::kDisarmFaults, 2},
     {OpKind::kDeviceIo, 4},    {OpKind::kAdvanceTime, 2}, {OpKind::kSchedAcquire, 4},
-    {OpKind::kSchedRelease, 3},
+    {OpKind::kSchedRelease, 3}, {OpKind::kCloneLazy, 5},  {OpKind::kTouchUnmapped, 6},
 };
 
 }  // namespace
@@ -167,6 +169,18 @@ Scenario ScenarioFromTape(std::uint64_t seed, const std::vector<std::uint8_t>& t
         break;
       case OpKind::kSchedRelease:
         op.slot = t.Byte();
+        break;
+      case OpKind::kCloneLazy:
+        op.dom = t.Below(live != 0 ? live : 1);
+        op.n = 1 + t.Below(4);
+        op.workers = t.Below(5);  // 0 = keep current thread count
+        op.slot = t.Below(ReferenceModel::kTrackedPages);  // hot-page hint
+        live += op.n;
+        break;
+      case OpKind::kTouchUnmapped:
+        op.dom = t.Below(live != 0 ? live : 1);
+        op.slot = t.Below(ReferenceModel::kTrackedPages);
+        op.value = 1 + t.Below(255);
         break;
     }
     scenario.ops.push_back(std::move(op));

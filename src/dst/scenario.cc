@@ -10,7 +10,7 @@ namespace {
 constexpr const char* kOpNames[] = {
     "launch",      "clone",  "write",  "reset", "destroy",       "migrate_out",
     "migrate_in",  "arm",    "disarm", "devio", "advance",       "sched_acquire",
-    "sched_release",
+    "sched_release", "clone_lazy", "touch_unmapped",
 };
 
 bool SpecEquals(const FaultSpec& a, const FaultSpec& b) {
@@ -96,6 +96,16 @@ std::string Scenario::ToText() const {
         break;
       case OpKind::kSchedRelease:
         out << " slot=" << op.slot;
+        break;
+      case OpKind::kCloneLazy:
+        out << " dom=" << op.dom << " n=" << op.n;
+        if (op.workers != 0) {
+          out << " workers=" << op.workers;
+        }
+        out << " slot=" << op.slot;
+        break;
+      case OpKind::kTouchUnmapped:
+        out << " dom=" << op.dom << " slot=" << op.slot << " val=" << op.value;
         break;
     }
     out << "\n";

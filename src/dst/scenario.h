@@ -34,6 +34,11 @@ enum class OpKind : std::uint8_t {
   kAdvanceTime,      // advance virtual time by `amount` ns
   kSchedAcquire,     // CloneScheduler::Acquire: `n` children of domain `dom`
   kSchedRelease,     // CloneScheduler::Release of granted child `slot`
+  kCloneLazy,        // CLONEOP kClone with lazy=true: post-copy children of
+                     // `dom`; `slot` picks the tracked page hinted hot
+  kTouchUnmapped,    // guest write aimed at a not-present (deferred) page of
+                     // domain `dom` — the demand-fault path; falls back to
+                     // the tracked cell `slot` when nothing is deferred
 };
 
 // The canonical op names of the text encoding, in OpKind order.

@@ -74,6 +74,40 @@ std::vector<Op> SimplerVariants(const Op& op) {
       v.slot = 0;
       push(v);
       break;
+    case OpKind::kCloneLazy:
+      v.n = 1;
+      push(v);
+      v = op;
+      v.workers = 0;
+      push(v);
+      v = op;
+      v.dom = 0;
+      push(v);
+      v = op;
+      v.slot = 0;
+      push(v);
+      // The eager clone is the strictly simpler mechanism: if the failure
+      // does not need post-copy streaming, drop it.
+      v = op;
+      v.kind = OpKind::kCloneBatch;
+      v.slot = 0;
+      push(v);
+      break;
+    case OpKind::kTouchUnmapped:
+      v.slot = 0;
+      push(v);
+      v = op;
+      v.value = 1;
+      push(v);
+      v = op;
+      v.dom = 0;
+      push(v);
+      // A plain tracked-cell write is simpler than hunting for a deferred
+      // page: keep it if the failure doesn't need the demand-fault path.
+      v = op;
+      v.kind = OpKind::kCowWrite;
+      push(v);
+      break;
     case OpKind::kLaunchGuest:
     case OpKind::kDisarmFaults:
       break;

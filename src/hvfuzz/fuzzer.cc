@@ -46,9 +46,17 @@ std::vector<HvOp> SimplerTapeVariants(const HvOp& op) {
   add([](HvOp& v) { v.a = 0; });
   add([](HvOp& v) { v.b = 0; });
   add([](HvOp& v) { v.c = 0; });
-  add([](HvOp& v) { v.n = v.kind == HvOpKind::kClone ? 1 : 0; });
+  add([](HvOp& v) {
+    v.n = v.kind == HvOpKind::kClone || v.kind == HvOpKind::kLazyClone ? 1 : 0;
+  });
   add([](HvOp& v) { v.v = v.v > 1 ? 1 : v.v; });
   add([](HvOp& v) { v.flags = 0; });
+  // A lazy clone that eagerly maps everything is the simpler mechanism.
+  add([](HvOp& v) {
+    if (v.kind == HvOpKind::kLazyClone) {
+      v.kind = HvOpKind::kClone;
+    }
+  });
   add([](HvOp& v) { v.amount = v.amount > 1 ? 1 : v.amount; });
   add([](HvOp& v) { v.nth = 1; });
   return out;

@@ -255,7 +255,7 @@ class Harness {
 
   // --- Op implementations. ---
   void OpLaunch();
-  void OpClone(const HvOp& op);
+  void OpClone(const HvOp& op, bool lazy);
   void OpReset(const HvOp& op);
   void OpCow(const HvOp& op);
   void OpDestroy(const HvOp& op);
@@ -272,6 +272,8 @@ class Harness {
   void OpWrite(const HvOp& op);
   void OpRawAccess(const HvOp& op, bool write);
   void OpTouch(const HvOp& op);
+  void OpLazyTouch(const HvOp& op);
+  void OpStream(const HvOp& op);
   void OpArm(const HvOp& op);
 
   const HvTape& tape_;
@@ -312,6 +314,13 @@ HvRunResult Harness::Run() {
   SystemConfig config;
   config.hypervisor.pool_frames = kPoolFrames;
   config.clone_worker_threads = options_.force_workers != 0 ? options_.force_workers : 1;
+  // Manual streaming: lazy children stay half-mapped until a kStream op (or
+  // a demand fault) moves them along — the widest hostile window the lazy
+  // surface allows. max_hot_pages=0 keeps even the tracked cell pages
+  // deferred so kLazyTouch reliably finds not-present targets.
+  config.lazy_clone.auto_stream = false;
+  config.lazy_clone.stream_batch_pages = 128;
+  config.lazy_clone.max_hot_pages = 0;
   sys_ = std::make_unique<NepheleSystem>(config);
   p9_ = std::make_unique<P9BackendProcess>(sys_->loop(), sys_->costs(), fs_, "/srv/hv");
   // Seed host files so hostile 9p opens/reads have something legitimate to
@@ -391,7 +400,16 @@ void Harness::ExecuteOp(const HvOp& op) {
       OpLaunch();
       break;
     case HvOpKind::kClone:
-      OpClone(op);
+      OpClone(op, /*lazy=*/false);
+      break;
+    case HvOpKind::kLazyClone:
+      OpClone(op, /*lazy=*/true);
+      break;
+    case HvOpKind::kLazyTouch:
+      OpLazyTouch(op);
+      break;
+    case HvOpKind::kStream:
+      OpStream(op);
       break;
     case HvOpKind::kReset:
       OpReset(op);
@@ -475,7 +493,7 @@ void Harness::OpLaunch() {
   }
 }
 
-void Harness::OpClone(const HvOp& op) {
+void Harness::OpClone(const HvOp& op, bool lazy) {
   DomId parent = ResolveDom(op.a);
   DomId caller = parent;
   switch (op.b % 4) {
@@ -493,7 +511,7 @@ void Harness::OpClone(const HvOp& op) {
   }
   const Mfn si = (op.flags & 1) != 0 ? static_cast<Mfn>(0xDEADBEEF) : StartInfoMfnSafe(parent);
   const unsigned n = op.n == 0 ? 1 : 1 + (op.n - 1) % 4;
-  auto children = sys_->clone_engine().Clone({caller, parent, si, n});
+  auto children = sys_->clone_engine().Clone({caller, parent, si, n, lazy});
   if ((op.flags & 2) != 0) {
     unsettled_ = true;  // leave stage 2 pending: the clone-during-clone window
   } else {
@@ -501,6 +519,9 @@ void Harness::OpClone(const HvOp& op) {
   }
   OpCode(children.status());
   log_ << " parent=" << parent << " n=" << n;
+  if (lazy) {
+    log_ << " lazy";
+  }
   if (children.ok()) {
     for (DomId child : *children) {
       if (sys_->hypervisor().FindDomain(child) != nullptr) {
@@ -851,6 +872,45 @@ void Harness::OpTouch(const HvOp& op) {
     MarkDirtyRange(dom, gfn, count);
   } else if (cells_.contains(dom) && RangeIntersectsCells(gfn, count)) {
     tainted_.insert(dom);  // partial touch possible before the failure
+  }
+}
+
+void Harness::OpLazyTouch(const HvOp& op) {
+  DomId dom = ResolveDom(op.a);
+  // Aim at a genuinely not-present page when the target has one (the demand
+  // fault path); otherwise fall back to the hostile gfn menu like kTouch.
+  Gfn gfn = GfnMenu(op.c);
+  if (const Domain* d = sys_->hypervisor().FindDomain(dom); d != nullptr) {
+    for (std::size_t g = heap0_; g < d->p2m.size(); ++g) {
+      if (d->p2m[g].mfn == kInvalidMfn) {
+        gfn = static_cast<Gfn>(g);
+        break;
+      }
+    }
+  }
+  const std::size_t count = CountMenu(op.n);
+  Status s = sys_->hypervisor().TouchGuestPages(dom, gfn, count);
+  Settle();
+  OpCode(s);
+  log_ << " dom=" << dom << " gfn=" << gfn;
+  if (s.ok()) {
+    MarkDirtyRange(dom, gfn, count);
+  } else if (cells_.contains(dom) && RangeIntersectsCells(gfn, count)) {
+    tainted_.insert(dom);  // partial touch possible before the failure
+  }
+}
+
+void Harness::OpStream(const HvOp& op) {
+  if ((op.flags & 1) != 0) {
+    DomId dom = ResolveDom(op.a);
+    Status s = sys_->clone_engine().FinishStreaming(dom);
+    Settle();
+    OpCode(s);
+    log_ << " finish dom=" << dom;
+  } else {
+    const std::size_t pages = sys_->clone_engine().StreamPump(1 + op.n % 4);
+    Settle();
+    log_ << ' ' << last_code_ << " pages=" << pages;
   }
 }
 

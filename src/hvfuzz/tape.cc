@@ -13,6 +13,7 @@ constexpr const char* kKindNames[kNumHvOpKinds] = {
     "launch", "clone",   "reset",   "cow",     "destroy", "grant",  "map",   "unmap",
     "endgrant", "evalloc", "evbind",  "evsend",  "evclose", "xswrite", "p9",   "write",
     "rawwrite", "read",    "touch",   "arm",     "disarm",  "advance", "settle",
+    "lazyclone", "lazytouch", "stream",
 };
 
 // Fault points worth arming in fuzz tapes: the allocation, COW, grant,
@@ -23,7 +24,8 @@ constexpr const char* kFaultMenu[] = {
     "hypervisor/frame_alloc", "hypervisor/cow_resolve", "hypervisor/grant_access",
     "hypervisor/evtchn_alloc", "clone/stage1/memory",    "clone/stage1/share",
     "clone/stage1/grants",     "clone/stage1/evtchns",   "clone/reset",
-    "xencloned/stage2",        "xenstore/request",
+    "xencloned/stage2",        "xenstore/request",       "lazy/stream",
+    "lazy/demand_fault",
 };
 constexpr std::size_t kFaultMenuSize = sizeof(kFaultMenu) / sizeof(kFaultMenu[0]);
 
@@ -72,7 +74,8 @@ constexpr Weighted kWeights[] = {
     {HvOpKind::kEvClose, 4},  {HvOpKind::kXsWrite, 4}, {HvOpKind::kP9, 4},
     {HvOpKind::kWrite, 6},    {HvOpKind::kRawWrite, 5}, {HvOpKind::kRead, 3},
     {HvOpKind::kTouch, 4},    {HvOpKind::kArm, 2},     {HvOpKind::kDisarm, 2},
-    {HvOpKind::kAdvance, 3},  {HvOpKind::kSettle, 1},
+    {HvOpKind::kAdvance, 3},  {HvOpKind::kSettle, 1},  {HvOpKind::kLazyClone, 5},
+    {HvOpKind::kLazyTouch, 5}, {HvOpKind::kStream, 4},
 };
 
 }  // namespace
@@ -120,6 +123,7 @@ HvTape TapeFromBytes(std::uint64_t seed, const std::vector<std::uint8_t>& bytes)
       case HvOpKind::kSettle:
         break;
       case HvOpKind::kClone:
+      case HvOpKind::kLazyClone:
         op.a = t.Byte();
         op.b = t.Byte();
         op.n = 1 + t.Below(4);
@@ -131,9 +135,15 @@ HvTape TapeFromBytes(std::uint64_t seed, const std::vector<std::uint8_t>& bytes)
         break;
       case HvOpKind::kCow:
       case HvOpKind::kTouch:
+      case HvOpKind::kLazyTouch:
         op.a = t.Byte();
         op.c = t.Byte();
         op.n = t.Byte();
+        break;
+      case HvOpKind::kStream:
+        op.a = t.Byte();
+        op.n = t.Byte();
+        op.flags = t.Below(2);
         break;
       case HvOpKind::kDestroy:
         op.a = t.Byte();

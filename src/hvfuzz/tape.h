@@ -53,8 +53,14 @@ enum class HvOpKind : std::uint8_t {
   kDisarm,       // disarm all fault points
   kAdvance,      // advance virtual time by `amount` ns (capped)
   kSettle,       // drain the event loop
+  kLazyClone,    // clone_op with lazy=true (post-copy): same operands as
+                 // kClone; children stay partially mapped until streamed
+  kLazyTouch,    // guest touch aimed at a not-present (deferred) page:
+                 // a=dom sel, c=fallback gfn menu, n=count menu
+  kStream,       // advance post-copy streams: flags bit0 ? FinishStreaming
+                 // of a=dom sel : StreamPump(1 + n%4) manual batches
 };
-inline constexpr std::size_t kNumHvOpKinds = 23;
+inline constexpr std::size_t kNumHvOpKinds = 26;
 
 const char* HvOpKindName(HvOpKind kind);
 

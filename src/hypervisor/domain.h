@@ -105,6 +105,14 @@ struct Domain {
   bool log_dirty = false;
   std::set<Gfn> dirty_log;
 
+  // --- Lazy-clone deferred ledger (post-copy cloning). ---
+  // Number of p2m entries deliberately left not-present (mfn == kInvalidMfn)
+  // by a lazy stage 1 and not yet streamed or demand-faulted in. The
+  // invariant oracle requires the not-present entry count of every live
+  // domain to equal this ledger exactly: a stray kInvalidMfn outside an
+  // active lazy stream is a bug, not a tolerated hole.
+  std::size_t lazy_deferred_pages = 0;
+
   // Statistics.
   std::uint64_t cow_faults = 0;
   std::uint64_t cow_pages_copied = 0;

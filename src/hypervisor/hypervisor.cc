@@ -98,6 +98,7 @@ void Hypervisor::ReleaseDomainFrames(Domain& d) {
   }
   d.p2m_frames.clear();
   d.p2m.clear();
+  d.lazy_deferred_pages = 0;
 }
 
 void Hypervisor::ScrubGrantMappings(Domain& d) {
@@ -189,6 +190,12 @@ Status Hypervisor::DestroyDomain(DomId dom) {
     return ErrPermissionDenied("cannot destroy Dom0");
   }
   Domain& d = *it->second;
+  // Lazy-clone bookkeeping first: children still streaming from `d` must
+  // snapshot their remaining pages before the source frames are released,
+  // and a stream targeting `d` itself must be cancelled.
+  if (domain_destroy_hook_) {
+    domain_destroy_hook_(dom);
+  }
   d.state = DomainState::kDying;
   ReleaseDomainFrames(d);
   ScrubGrantMappings(d);
@@ -381,6 +388,15 @@ Status Hypervisor::ResolveCowForWrite(Domain& d, Gfn gfn) {
   if (entry.role == PageRole::kImageText) {
     return ErrPermissionDenied("write to read-only text page");
   }
+  // Lazy-clone interlock: materialise this domain's own not-present entry
+  // (demand fault) and push the page to lazy children still deferring it,
+  // so the COW resolution below never mutates an unsnapshotted frame.
+  if (lazy_touch_hook_) {
+    NEPHELE_RETURN_IF_ERROR(lazy_touch_hook_(d.id, gfn));
+  }
+  if (entry.mfn == kInvalidMfn) {
+    return ErrFailedPrecondition("write to not-present page with no lazy engine");
+  }
   // COW fault (Sec. 4.1 / 5.2).
   NEPHELE_RETURN_IF_ERROR(PokeFault(f_cow_resolve_));
   loop_.AdvanceBy(costs_.cow_fault_fixed);
@@ -420,6 +436,13 @@ Status Hypervisor::ForceCowResolve(DomId dom, Gfn gfn) {
   P2mEntry& entry = d->p2m[gfn];
   if (entry.writable) {
     return Status::Ok();
+  }
+  // Same lazy-clone interlock as the guest write-fault path.
+  if (lazy_touch_hook_) {
+    NEPHELE_RETURN_IF_ERROR(lazy_touch_hook_(dom, gfn));
+  }
+  if (entry.mfn == kInvalidMfn) {
+    return ErrFailedPrecondition("cow resolve of not-present page with no lazy engine");
   }
   if (!frames_.IsShared(entry.mfn)) {
     entry.writable = true;
@@ -476,7 +499,19 @@ Status Hypervisor::ReadGuestPage(DomId dom, Gfn gfn, std::size_t offset, void* o
   if (gfn >= d->p2m.size() || offset >= kPageSize || len > kPageSize - offset) {
     return ErrOutOfRange("guest read outside page");
   }
-  frames_.ReadBytes(d->p2m[gfn].mfn, offset, static_cast<std::uint8_t*>(out), len);
+  Mfn mfn = d->p2m[gfn].mfn;
+  if (mfn == kInvalidMfn) {
+    // Deferred (lazy-clone) page: reads are served straight from the
+    // parent's frame — the simulator's analogue of a read-only mapping of
+    // the stream source. Side-effect-free, so oracles may read every page
+    // of a partially-mapped child without perturbing the stream.
+    const Domain* p = FindDomain(d->parent);
+    if (p == nullptr || gfn >= p->p2m.size() || p->p2m[gfn].mfn == kInvalidMfn) {
+      return ErrFailedPrecondition("read of not-present page with no stream source");
+    }
+    mfn = p->p2m[gfn].mfn;
+  }
+  frames_.ReadBytes(mfn, offset, static_cast<std::uint8_t*>(out), len);
   return Status::Ok();
 }
 
@@ -531,6 +566,16 @@ Result<GrantRef> Hypervisor::GrantAccess(DomId granter, DomId grantee, Gfn gfn, 
   }
   if (gfn >= g->p2m.size()) {
     return ErrOutOfRange("gfn outside granter p2m");
+  }
+  if (g->p2m[gfn].mfn == kInvalidMfn) {
+    // Granting a deferred (lazy-clone) page: materialise it first so the
+    // mapping side never sees a hole.
+    if (lazy_touch_hook_) {
+      NEPHELE_RETURN_IF_ERROR(lazy_touch_hook_(granter, gfn));
+    }
+    if (g->p2m[gfn].mfn == kInvalidMfn) {
+      return ErrFailedPrecondition("grant of not-present page");
+    }
   }
   NEPHELE_RETURN_IF_ERROR(PokeFault(f_grant_access_));
   auto ref = g->grants.GrantAccess(grantee, gfn, readonly);

@@ -184,6 +184,21 @@ class Hypervisor {
   using CowFaultHook = std::function<void(DomId dom, Gfn gfn, bool copied)>;
   void SetCowFaultHook(CowFaultHook hook) { cow_fault_hook_ = std::move(hook); }
 
+  // Lazy-clone (post-copy) integration. The touch hook is invoked before a
+  // write fault or grant is resolved on a page that is not writable: the
+  // clone engine materialises the domain's own not-present entry (demand
+  // fault) and pushes the page to any lazy children still deferring it, so
+  // the subsequent COW resolution never mutates a frame a child has yet to
+  // snapshot. The destroy hook runs at the start of DestroyDomain, before
+  // frames are released, so the engine can finish (or cancel) streams whose
+  // source or target is going away.
+  using LazyTouchHook = std::function<Status(DomId dom, Gfn gfn)>;
+  void SetLazyTouchHook(LazyTouchHook hook) { lazy_touch_hook_ = std::move(hook); }
+  using DomainDestroyHook = std::function<void(DomId dom)>;
+  void SetDomainDestroyHook(DomainDestroyHook hook) {
+    domain_destroy_hook_ = std::move(hook);
+  }
+
   // Registry this hypervisor records into (its own fallback unless one was
   // injected).
   MetricsRegistry& metrics() { return *metrics_; }
@@ -227,6 +242,8 @@ class Hypervisor {
   FaultPoint* f_grant_access_ = nullptr;
   FaultPoint* f_evtchn_alloc_ = nullptr;
   CowFaultHook cow_fault_hook_;
+  LazyTouchHook lazy_touch_hook_;
+  DomainDestroyHook domain_destroy_hook_;
 
   std::map<DomId, std::unique_ptr<Domain>> domains_;
   std::map<DomId, EvtchnHandler> evtchn_handlers_;

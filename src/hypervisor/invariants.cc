@@ -63,9 +63,33 @@ std::string CheckP2mInvariants(const Hypervisor& hv) {
   const FrameTable& ft = hv.frames();
   for (DomId id : hv.DomainIds()) {
     const Domain* d = hv.FindDomain(id);
+    // Partially-mapped (lazy-clone) accounting: every not-present entry must
+    // be covered by the domain's deferred ledger, must be read-only, and must
+    // have a live parent still holding the page it defers to — otherwise the
+    // child's snapshot source is gone and the hole is a plain leak.
+    std::size_t not_present = 0;
     for (std::size_t gfn = 0; gfn < d->p2m.size(); ++gfn) {
       const P2mEntry& e = d->p2m[gfn];
       if (e.mfn == kInvalidMfn) {
+        ++not_present;
+        if (e.writable) {
+          return "dom " + DomStr(id) + " gfn " + std::to_string(gfn) +
+                 " not-present but writable";
+        }
+        if (d->lazy_deferred_pages == 0) {
+          return "dom " + DomStr(id) + " gfn " + std::to_string(gfn) +
+                 " not-present outside an active lazy stream (ledger is 0)";
+        }
+        const Domain* p = hv.FindDomain(d->parent);
+        if (p == nullptr) {
+          return "dom " + DomStr(id) + " gfn " + std::to_string(gfn) +
+                 " deferred with no live parent to stream from";
+        }
+        if (gfn >= p->p2m.size() || p->p2m[gfn].mfn == kInvalidMfn) {
+          return "dom " + DomStr(id) + " gfn " + std::to_string(gfn) +
+                 " deferred but parent dom " + DomStr(d->parent) +
+                 " holds no frame there";
+        }
         continue;
       }
       if (e.mfn >= ft.total_frames()) {
@@ -94,6 +118,11 @@ std::string CheckP2mInvariants(const Hypervisor& hv) {
         return "dom " + DomStr(id) + " gfn " + std::to_string(gfn) + " maps private mfn " +
                std::to_string(e.mfn) + " owned by " + DomStr(fi.owner);
       }
+    }
+    if (not_present != d->lazy_deferred_pages) {
+      return "dom " + DomStr(id) + " deferred ledger mismatch: " +
+             std::to_string(not_present) + " not-present entries, ledger says " +
+             std::to_string(d->lazy_deferred_pages);
     }
     const struct {
       const char* name;

@@ -62,6 +62,21 @@ std::vector<AlarmRule> AlarmEngine::DefaultNepheleRules() {
   storm.raise_after = 2;
   storm.clear_after = 2;
   rules.push_back(storm);
+  // Stream stall: lazy (post-copy) clones owe pages and the backlog never
+  // drained over the whole window — the prefetcher is stalled (armed
+  // lazy/stream fault, starved loop) and children keep paying demand
+  // faults. kMin over the pending gauge: a healthy stream touches 0
+  // between batches; a stalled one never does.
+  AlarmRule stall;
+  stall.name = "stream_stall";
+  stall.series = "clone/lazy_pending_pages";
+  stall.agg = WindowAgg::kMin;
+  stall.window = 4;
+  stall.raise_above = 0.0;  // min pending stayed > 0 across the window
+  stall.clear_below = 1.0;
+  stall.raise_after = 2;
+  stall.clear_after = 2;
+  rules.push_back(stall);
   return rules;
 }
 

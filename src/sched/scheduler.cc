@@ -43,6 +43,8 @@ CloneScheduler::CloneScheduler(Hypervisor& hv, CloneEngine& engine, Toolstack& t
       m_reset_fallback_(metrics_->GetCounter("sched/reset_fallback_destroys")),
       m_stale_drops_(metrics_->GetCounter("sched/stale_pool_drops")),
       m_feedback_transitions_(metrics_->GetCounter("sched/feedback_transitions")),
+      m_lazy_stream_finishes_(metrics_->GetCounter("sched/lazy_stream_finishes")),
+      m_lazy_streamed_pages_(metrics_->GetCounter("sched/lazy_streamed_pages")),
       m_batch_size_(metrics_->GetHistogram("sched/batch_size", {1, 2, 4, 8, 16, 32, 64})),
       m_wait_ns_(metrics_->GetHistogram("sched/wait_ns", Histogram::DefaultLatencyBoundsNs())),
       m_warm_grant_ns_(
@@ -266,6 +268,7 @@ void CloneScheduler::Dispatch(DomId parent) {
   req.parent = parent;
   req.start_info_mfn = d->p2m[d->start_info_gfn].mfn;
   req.num_children = n;
+  req.lazy = config_.lazy_dispatch;
 
   TraceSpan span = trace_ != nullptr ? trace_->BeginSpan("sched/dispatch") : TraceSpan();
   span.AddArg("parent", static_cast<std::int64_t>(parent));
@@ -358,6 +361,18 @@ Result<ReleaseOutcome> CloneScheduler::Release(DomId child) {
   }
 
   Status fault = PokeFault(f_park_);
+  // A half-streamed lazy child finishes its stream before it is scrubbed
+  // and parked: a warm hit must hand out a fully-mapped domain, never one
+  // that still demand-faults against its parent. (CloneReset would force
+  // the same finish; doing it here makes the work visible in sched/lazy_*.)
+  if (fault.ok() && engine_.IsStreaming(child)) {
+    const std::size_t pending = engine_.PendingStreamPages(child);
+    fault = engine_.FinishStreaming(child);
+    if (fault.ok()) {
+      m_lazy_stream_finishes_.Increment();
+      m_lazy_streamed_pages_.Increment(pending);
+    }
+  }
   Result<std::size_t> restored =
       fault.ok() ? engine_.CloneReset(kDom0, child) : Result<std::size_t>(fault);
   ReleaseOutcome outcome;

@@ -206,6 +206,10 @@ class CloneScheduler : public CloneObserver {
   Counter& m_reset_fallback_;
   Counter& m_stale_drops_;
   Counter& m_feedback_transitions_;
+  // Post-copy cloning: children whose stream Release() had to finish before
+  // the park-side CloneReset, and the pages those finishes materialised.
+  Counter& m_lazy_stream_finishes_;
+  Counter& m_lazy_streamed_pages_;
   Histogram& m_batch_size_;
   Histogram& m_wait_ns_;        // acquire -> cold grant
   Histogram& m_warm_grant_ns_;  // acquire -> warm grant

@@ -57,6 +57,14 @@ struct CostModel {
   // for ~8 pages, i.e. a fixed part plus ~25-30 us/page.
   SimDuration clone_reset_fixed = SimDuration::Micros(50);
   SimDuration clone_reset_per_page = SimDuration::Micros(25);
+  // Lazy (post-copy) cloning. One prefetcher batch pays a fixed wakeup +
+  // p2m-walk cost on top of the ordinary per-page share costs; a demand
+  // fault on a not-present entry pays a fixed trap + materialise cost before
+  // the regular COW resolution. Anchors: the "Virtual Memory Streaming"
+  // numbers (arXiv 1406.5760) put post-copy fault servicing within a small
+  // factor of a COW fault, and batch wakeups at a few microseconds.
+  SimDuration lazy_stream_batch_fixed = SimDuration::Micros(5);
+  SimDuration lazy_demand_fault_fixed = SimDuration::Micros(2.5);
 
   // ---------------------------------------------------------------------
   // Xenstore.

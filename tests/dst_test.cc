@@ -103,6 +103,19 @@ TEST(DstScenarioTest, TextRoundTripsEveryOpKind) {
   op.kind = OpKind::kSchedRelease;
   op.slot = 3;
   scenario.ops.push_back(op);
+  op = Op{};
+  op.kind = OpKind::kCloneLazy;
+  op.dom = 0;
+  op.n = 2;
+  op.workers = 2;
+  op.slot = 4;
+  scenario.ops.push_back(op);
+  op = Op{};
+  op.kind = OpKind::kTouchUnmapped;
+  op.dom = 1;
+  op.slot = 5;
+  op.value = 99;
+  scenario.ops.push_back(op);
 
   const std::string text = scenario.ToText();
   Scenario reparsed = MustParse(text);

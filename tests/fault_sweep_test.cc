@@ -130,6 +130,33 @@ class FaultSweepTest : public ::testing::Test {
       sys.Settle();
     }
 
+    // A lazy clone crosses the post-copy points: the guest touch of a still
+    // not-present page pokes lazy/demand_fault, and the stream batches (the
+    // auto-prefetcher plus the explicit finish) poke lazy/stream. The touch
+    // lands before the settle so the prefetcher cannot have won the race.
+    d = hv.FindDomain(run.parent);
+    if (d != nullptr && d->start_info_gfn != kInvalidGfn) {
+      auto lazy_kids = sys.clone_engine().Clone(
+          {run.parent, run.parent, d->p2m[d->start_info_gfn].mfn, 1, /*lazy=*/true});
+      if (lazy_kids.ok() && !lazy_kids->empty()) {
+        const DomId lc = lazy_kids->front();
+        if (const Domain* cd = hv.FindDomain(lc); cd != nullptr) {
+          // Touch the highest deferred gfn: the stream cursor walks upward,
+          // so this page is reliably still not-present.
+          for (std::size_t g = cd->p2m.size(); g-- > 0;) {
+            if (cd->p2m[g].mfn == kInvalidMfn) {
+              (void)hv.TouchGuestPages(lc, static_cast<Gfn>(g), 1);
+              break;
+            }
+          }
+        }
+        sys.Settle();
+        (void)sys.clone_engine().FinishStreaming(lc);
+      } else {
+        sys.Settle();
+      }
+    }
+
     // One more clone keeps the tail of the hit sequence on the clone path,
     // so "last hit" variants land after teardown has already happened once.
     d = hv.FindDomain(run.parent);

@@ -95,7 +95,8 @@ TEST(MetricNamesTest, SchedulerNameSetIsExact) {
       "sched/batch_failures",     "sched/batch_size",
       "sched/batches_dispatched", "sched/eviction_frozen",
       "sched/evictions",          "sched/evictions_pressure",
-      "sched/feedback_transitions", "sched/parked_total",
+      "sched/feedback_transitions", "sched/lazy_stream_finishes",
+      "sched/lazy_streamed_pages", "sched/parked_total",
       "sched/queue_depth",        "sched/rejected_queue_full",
       "sched/requests_total",     "sched/reset_fallback_destroys",
       "sched/stale_pool_drops",   "sched/timeouts",

@@ -272,15 +272,25 @@ TEST(AlarmEngineTest, BoundaryValuesAdvanceNeitherStreakSoNoFlap) {
   EXPECT_EQ(alarms.StateOf("demo"), AlarmState::kRaised);
 }
 
-TEST(AlarmEngineTest, DefaultRulesCoverThrashAndRollbacks) {
+TEST(AlarmEngineTest, DefaultRulesCoverThrashRollbacksAndStreamStalls) {
   auto rules = AlarmEngine::DefaultNepheleRules();
-  ASSERT_EQ(rules.size(), 2u);
+  ASSERT_EQ(rules.size(), 3u);
   EXPECT_EQ(rules[0].name, "warm_pool_thrash");
   EXPECT_EQ(rules[0].series, "sched/evictions");
   EXPECT_EQ(rules[1].name, "rollback_storm");
   EXPECT_EQ(rules[1].series, "clone/rolled_back");
-  for (const AlarmRule& r : rules) {
+  EXPECT_EQ(rules[2].name, "stream_stall");
+  EXPECT_EQ(rules[2].series, "clone/lazy_pending_pages");
+  EXPECT_EQ(rules[2].agg, WindowAgg::kMin);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const AlarmRule& r = rules[i];
     EXPECT_LT(r.clear_below, r.raise_above) << r.name << ": hysteresis band must be open";
+  }
+  // stream_stall watches an integral gauge: raise while min pending > 0,
+  // clear once it touches 0 — the band is the gap between 0 and 1.
+  EXPECT_EQ(rules[2].raise_above, 0.0);
+  EXPECT_EQ(rules[2].clear_below, 1.0);
+  for (const AlarmRule& r : rules) {
     EXPECT_GE(r.raise_after, 2u) << r.name;
   }
 }
