@@ -44,6 +44,7 @@ mkdir -p "${OUT}"
 run_sim_benches() {
   "${BENCH}/bench_fig04_instantiation" 40 1 --json="${OUT}/BENCH_fig04.json" >/dev/null
   "${BENCH}/bench_fig11_faas_scaling" 30 --json="${OUT}/BENCH_fig11.json" >/dev/null
+  "${BENCH}/bench_fig12_request_cloning" 2000 --json="${OUT}/BENCH_fig12.json" >/dev/null
 }
 
 # The wall-clock (micro-op) benches.
@@ -52,7 +53,8 @@ run_wall_benches() {
   "${BENCH}/bench_micro_ops" --json="${OUT}/BENCH_sched.json" --suite=sched
 }
 
-CURRENTS_SIM=(--current="${OUT}/BENCH_fig04.json" --current="${OUT}/BENCH_fig11.json")
+CURRENTS_SIM=(--current="${OUT}/BENCH_fig04.json" --current="${OUT}/BENCH_fig11.json"
+              --current="${OUT}/BENCH_fig12.json")
 CURRENTS_WALL=(--current="${OUT}/BENCH_clone.json" --current="${OUT}/BENCH_sched.json")
 
 case "${MODE}" in

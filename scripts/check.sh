@@ -5,8 +5,9 @@
 # deterministic-simulation suite (ctest label `dst`), a fifth running the
 # clone-scheduler suite (ctest label `sched`), a sixth running the
 # perf-regression gate, a seventh running the hostile-guest fuzzing
-# suite (ctest label `hvfuzz`), and an eighth running the post-copy
-# lazy-cloning suite (ctest label `lazy`) on the plain tree.
+# suite (ctest label `hvfuzz`), an eighth running the post-copy
+# lazy-cloning suite (ctest label `lazy`), and a ninth running the
+# heavy-traffic request layer (ctest label `load`) on the plain tree.
 #
 # The sanitizer legs also get a short hostile-guest fuzz round
 # (NEPHELE_HVFUZZ_ROUNDS=40): the fuzzer's malformed-argument storms are
@@ -70,4 +71,12 @@ echo "==== [hvfuzz] ctest -L hvfuzz ===="
 echo "==== [lazy] ctest -L lazy ===="
 (cd build && ctest --output-on-failure -j "${JOBS}" -L lazy "${CTEST_ARGS[@]}")
 
-echo "==== all eight legs passed ===="
+# Leg 9: the heavy-traffic request layer by label on the plain tree —
+# arrival-process statistical oracles, open-loop generator determinism,
+# first-response-wins exact accounting (plain and under dispatch-fault
+# injection), d=2 vs d=1 stochastic dominance, the req_tail alarm, and the
+# gateway scale-down pinning regression.
+echo "==== [load] ctest -L load ===="
+(cd build && ctest --output-on-failure -j "${JOBS}" -L load "${CTEST_ARGS[@]}")
+
+echo "==== all nine legs passed ===="

@@ -397,8 +397,12 @@ Status CloneEngine::PlanFirstChild(Domain& parent, BatchPlan& batch, ChildPlan& 
       continue;
     }
     NEPHELE_RETURN_IF_ERROR(PokeFault(f_stage1_share_));
+    // first_shared first: it already records every frame a previous child's
+    // plan turned shared, so the locked read only runs for frames shared
+    // before this batch. IsSharedSync (not IsShared) because staging of the
+    // previous child may still be flipping frames on the worker pool.
     const bool already_shared =
-        frames.IsShared(pe.mfn) || batch.first_shared.count(pe.mfn) > 0;
+        batch.first_shared.count(pe.mfn) > 0 || frames.IsSharedSync(pe.mfn);
     if (pe.role == PageRole::kIdcShared) {
       // IDC regions stay writable on both sides: true sharing, no COW
       // (Sec. 5.2.2 — ownership still moves to dom_cow like any shared page).
@@ -563,8 +567,12 @@ Status CloneEngine::PlanChildLazy(Domain& parent, BatchPlan& batch, ChildPlan& c
       continue;
     }
     NEPHELE_RETURN_IF_ERROR(PokeFault(f_stage1_share_));
+    // first_shared first: it already records every frame a previous child's
+    // plan turned shared, so the locked read only runs for frames shared
+    // before this batch. IsSharedSync (not IsShared) because staging of the
+    // previous child may still be flipping frames on the worker pool.
     const bool already_shared =
-        frames.IsShared(pe.mfn) || batch.first_shared.count(pe.mfn) > 0;
+        batch.first_shared.count(pe.mfn) > 0 || frames.IsSharedSync(pe.mfn);
     if (pe.role == PageRole::kIdcShared) {
       cp.lane += already_shared ? costs.page_share_again : costs.page_share_first;
       if (!already_shared) {

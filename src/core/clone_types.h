@@ -115,6 +115,64 @@ struct SchedulerConfig {
   bool lazy_dispatch = false;
 };
 
+// Arrival processes of the open-loop load generator (src/load/arrival.h).
+enum class ArrivalKind : int {
+  kPoisson = 0,  // homogeneous: i.i.d. exponential inter-arrival gaps
+  kBursty = 1,   // two-state MMPP: calm/burst rates with exponential dwells
+  kDiurnal = 2,  // nonhomogeneous Poisson, sinusoidal rate, sampled by thinning
+};
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  // Mean arrival rate (requests/s): the Poisson rate, the MMPP calm-state
+  // rate, and the baseline the diurnal sinusoid swings around. Must be > 0.
+  double rate_rps = 200.0;
+  // kBursty only: burst-state rate and the mean exponential dwell times.
+  double burst_rate_rps = 2000.0;
+  SimDuration calm_dwell_mean = SimDuration::Seconds(2);
+  SimDuration burst_dwell_mean = SimDuration::Millis(250);
+  // kDiurnal only: rate(t) = rate_rps * (1 + amplitude * sin(2*pi*t/period)).
+  double diurnal_amplitude = 0.8;  // in [0, 1)
+  SimDuration diurnal_period = SimDuration::Seconds(120);
+};
+
+// Knobs of the heavy-traffic request layer (src/load): the open-loop load
+// generator and the request-cloning dispatcher. Lives here — like
+// SchedulerConfig — so SystemConfig carries the whole knob surface without
+// the core layer depending on the request layer built on top of it.
+struct LoadConfig {
+  ArrivalConfig arrival;
+  // Seed of the whole request layer (arrival gaps, user-id draws, service
+  // times): one (config, seed) pair reproduces a run byte for byte.
+  std::uint64_t seed = 1;
+  // Simulated user population: each request carries a user id drawn
+  // uniformly from [0, user_population). Users are per-request records, not
+  // simulated objects — millions of users cost one id draw per request.
+  std::uint64_t user_population = 10'000'000;
+  // Request cloning (arXiv 2002.04416): every request is duplicated to this
+  // many cloned instances; the first response wins, the losers are
+  // cancelled immediately and their instances released to the warm pool.
+  unsigned clone_factor = 2;
+  // Scheduler-mode service slots (the c servers of the queueing model): at
+  // most this many duplicates hold an acquired instance at once; the rest
+  // wait in the dispatcher's FIFO.
+  std::size_t max_concurrent = 8;
+  // Pending duplicates the dispatcher queues; overflow rejects.
+  std::size_t max_pending = 4096;
+  // Per-request service demand, priced by the cost model: touching
+  // `service_pages` guest pages, `service_p9_rpcs` 9p RPCs and
+  // `service_net_packets` packets through the split driver. Each
+  // duplicate's actual service time is that base scaled by an independent
+  // Exp(1) draw — the i.i.d. assumption that makes first-response-wins cut
+  // the tail.
+  std::size_t service_pages = 512;
+  std::size_t service_p9_rpcs = 4;
+  std::size_t service_net_packets = 8;
+  // Recent win latencies backing the req/latency_p99_ns gauge (the series
+  // the req_tail alarm watches).
+  std::size_t tail_window = 256;
+};
+
 // One entry of the hypervisor -> xencloned notification ring. "A
 // notification contains only the minimum required information for xencloned
 // to proceed with the second stage" (Sec. 5.1).

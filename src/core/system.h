@@ -47,6 +47,11 @@ struct SystemConfig {
   // TsdbCollector(system.metrics(), system.loop(), system.config().tsdb);
   // like the scheduler, systems that never collect pay nothing.
   TsdbConfig tsdb;
+  // Heavy-traffic request-layer knobs (arrival process, clone factor,
+  // service model). Consumed by LoadGenerator(NepheleSystem&) and
+  // RequestCloneDispatcher(NepheleSystem&, CloneScheduler&); systems that
+  // never generate load pay nothing.
+  LoadConfig load;
 };
 
 class NepheleSystem {

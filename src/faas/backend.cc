@@ -1,9 +1,11 @@
 #include "src/faas/backend.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "src/apps/faas_app.h"
 #include "src/base/log.h"
+#include "src/load/dispatch.h"
 #include "src/sched/scheduler.h"
 
 namespace nephele {
@@ -77,11 +79,26 @@ Status UnikernelBackend::Deploy() {
       (void)ctx->arena().Allocate(config_.warmup_pages * kPageSize, /*resident=*/true);
     }
   });
-  loop.Post(config_.first_report_latency, [this] {
-    ++ready_;
-    readiness_.push_back(manager_.system().loop().Now().ToSeconds());
-  });
+  loop.Post(config_.first_report_latency, [this, dom] { ReportReady(dom); });
   return Status::Ok();
+}
+
+void UnikernelBackend::ReportReady(DomId dom) {
+  ++ready_;
+  readiness_.push_back(manager_.system().loop().Now().ToSeconds());
+  // Only instances still in the fleet join the dispatcher's server set — a
+  // scale-down may have retired this one while its readiness was in flight.
+  if (dispatcher_ != nullptr &&
+      std::find(instances_.begin(), instances_.end(), dom) != instances_.end()) {
+    dispatcher_->AddFleetInstance(dom);
+  }
+}
+
+void UnikernelBackend::AttachDispatcher(RequestCloneDispatcher* dispatcher) {
+  dispatcher_ = dispatcher;
+  if (dispatcher != nullptr) {
+    dispatcher->SetFleetMode(true);
+  }
 }
 
 void UnikernelBackend::AttachScheduler(CloneScheduler* sched) {
@@ -114,10 +131,7 @@ void UnikernelBackend::OnInstanceGranted(DomId dom, bool warm) {
   // A warm child's interpreter state survived CloneReset-then-park; it skips
   // pod creation and re-warming entirely.
   SimDuration latency = warm ? config_.warm_report_latency : config_.k8s_report_latency;
-  manager_.system().loop().Post(latency, [this] {
-    ++ready_;
-    readiness_.push_back(manager_.system().loop().Now().ToSeconds());
-  });
+  manager_.system().loop().Post(latency, [this, dom] { ReportReady(dom); });
 }
 
 Status UnikernelBackend::ScaleDown() {
@@ -127,11 +141,29 @@ Status UnikernelBackend::ScaleDown() {
   if (instances_.size() <= 1) {
     return ErrFailedPrecondition("nothing to scale down");
   }
-  // Retire the youngest instance; the root (front) is never released.
-  DomId victim = instances_.back();
-  instances_.pop_back();
+  // Retire the youngest instance the request layer can spare; the root
+  // (front) is never released. An instance serving a *redundant* duplicate
+  // (its request has another one unfinished) may be retired — its duplicate
+  // is cancelled — but the holder of a request's only unfinished duplicate
+  // is pinned until the request resolves.
+  std::size_t victim_idx = instances_.size();
+  for (std::size_t i = instances_.size(); i-- > 1;) {
+    if (dispatcher_ == nullptr || !dispatcher_->InstancePinned(instances_[i])) {
+      victim_idx = i;
+      break;
+    }
+  }
+  if (victim_idx >= instances_.size()) {
+    return ErrUnavailable(
+        "every retirable instance holds the only unfinished duplicate of a request");
+  }
+  DomId victim = instances_[victim_idx];
+  instances_.erase(instances_.begin() + static_cast<std::ptrdiff_t>(victim_idx));
   if (ready_ > 0) {
     --ready_;
+  }
+  if (dispatcher_ != nullptr) {
+    dispatcher_->HandleRetiredInstance(victim);
   }
   NEPHELE_ASSIGN_OR_RETURN(ReleaseOutcome outcome, sched_->Release(victim));
   (void)outcome;
@@ -185,11 +217,8 @@ Status UnikernelBackend::ScaleUp() {
         self->instances_.push_back(ctx.id());
         // The clone warms its own interpreter state (COW divergence).
         (void)ctx.arena().Allocate(warmup_pages * kPageSize, /*resident=*/true);
-        GuestManager& mgr = ctx.manager();
-        mgr.system().loop().Post(report_latency, [self, &mgr] {
-          ++self->ready_;
-          self->readiness_.push_back(mgr.system().loop().Now().ToSeconds());
-        });
+        ctx.manager().system().loop().Post(
+            report_latency, [self, dom = ctx.id()] { self->ReportReady(dom); });
       },
       /*caller=*/kDom0);
 }

@@ -15,6 +15,7 @@
 namespace nephele {
 
 class CloneScheduler;
+class RequestCloneDispatcher;
 
 class FunctionBackend {
  public:
@@ -103,6 +104,14 @@ class UnikernelBackend : public FunctionBackend {
   // scheduler's clone executor and evict hook; pass nullptr to detach.
   void AttachScheduler(CloneScheduler* sched);
 
+  // Wires the request-cloning dispatcher onto this fleet: instances join
+  // the dispatcher's server set as they report ready, and ScaleDown
+  // consults RequestCloneDispatcher::InstancePinned so it never retires
+  // the instance holding the only unfinished duplicate of a request (a
+  // retired instance's *redundant* duplicate is cancelled instead). Pass
+  // nullptr to detach.
+  void AttachDispatcher(RequestCloneDispatcher* dispatcher);
+
   Status Deploy() override;
   Status ScaleUp() override;
   Status ScaleDown() override;
@@ -116,10 +125,12 @@ class UnikernelBackend : public FunctionBackend {
 
  private:
   void OnInstanceGranted(DomId dom, bool warm);
+  void ReportReady(DomId dom);
 
   GuestManager& manager_;
   Config config_;
   CloneScheduler* sched_ = nullptr;
+  RequestCloneDispatcher* dispatcher_ = nullptr;
   std::vector<DomId> instances_;
   std::size_t ready_ = 0;
   std::vector<double> readiness_;

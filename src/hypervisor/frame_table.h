@@ -137,6 +137,15 @@ class FrameTable {
   bool IsShared(Mfn mfn) const { return frames_[mfn].shared; }
   DomId OwnerOf(Mfn mfn) const { return frames_[mfn].owner; }
 
+  // Shard-locked variant of IsShared for the clone plan phase, which runs
+  // on the engine thread while workers flip private frames to shared via
+  // StageShareAll. Takes the same shard lock that guards the flip; every
+  // other accessor assumes no staging is in flight.
+  bool IsSharedSync(Mfn mfn) const {
+    std::lock_guard<std::mutex> lock(share_locks_[mfn % kLockShards]);
+    return frames_[mfn].shared;
+  }
+
   // Reads `len` bytes at `offset` within the frame. Unwritten frames read as
   // zeroes.
   void ReadBytes(Mfn mfn, std::size_t offset, std::uint8_t* out, std::size_t len) const;
@@ -163,7 +172,7 @@ class FrameTable {
   std::size_t free_count_ = 0;
   std::atomic<std::size_t> shared_count_{0};
   std::atomic<std::size_t> saved_by_sharing_{0};
-  std::array<std::mutex, kLockShards> share_locks_;
+  mutable std::array<std::mutex, kLockShards> share_locks_;
 };
 
 }  // namespace nephele

@@ -1,0 +1,88 @@
+#include "src/load/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nephele {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+SimDuration GapFromSeconds(double s) {
+  const auto ns = static_cast<std::int64_t>(std::llround(s * 1e9));
+  return SimDuration::Nanos(ns < 1 ? 1 : ns);
+}
+
+}  // namespace
+
+ArrivalProcess::ArrivalProcess(ArrivalConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  if (config_.kind == ArrivalKind::kBursty) {
+    dwell_left_s_ = ExpSeconds(1.0 / std::max(config_.calm_dwell_mean.ToSeconds(), 1e-9));
+  }
+}
+
+double ArrivalProcess::ExpSeconds(double rate_per_s) {
+  // Inverse-CDF exponential; 1-U lies in (0, 1], so the log is finite.
+  return -std::log(1.0 - rng_.NextDouble()) / rate_per_s;
+}
+
+double ArrivalProcess::DiurnalRate(double t_seconds) const {
+  const double period = std::max(config_.diurnal_period.ToSeconds(), 1e-9);
+  const double rate =
+      config_.rate_rps *
+      (1.0 + config_.diurnal_amplitude * std::sin(kTwoPi * t_seconds / period));
+  return std::max(rate, 0.0);
+}
+
+SimDuration ArrivalProcess::NextGap() {
+  switch (config_.kind) {
+    case ArrivalKind::kPoisson:
+      return GapFromSeconds(ExpSeconds(config_.rate_rps));
+    case ArrivalKind::kBursty: {
+      // Exponential gaps at the current state's rate; by memorylessness the
+      // residual gap can be redrawn from scratch after each state switch.
+      double acc = 0;
+      for (;;) {
+        const double rate = in_burst_ ? config_.burst_rate_rps : config_.rate_rps;
+        const double gap = ExpSeconds(rate);
+        if (gap <= dwell_left_s_) {
+          dwell_left_s_ -= gap;
+          return GapFromSeconds(acc + gap);
+        }
+        acc += dwell_left_s_;
+        in_burst_ = !in_burst_;
+        ++state_switches_;
+        const SimDuration mean =
+            in_burst_ ? config_.burst_dwell_mean : config_.calm_dwell_mean;
+        dwell_left_s_ = ExpSeconds(1.0 / std::max(mean.ToSeconds(), 1e-9));
+      }
+    }
+    case ArrivalKind::kDiurnal: {
+      // Thinning (Lewis–Shedler): candidate gaps at the envelope rate
+      // lambda_max, each accepted with probability rate(t)/lambda_max.
+      const double lambda_max = config_.rate_rps * (1.0 + config_.diurnal_amplitude);
+      const double prev = cursor_s_;
+      for (;;) {
+        cursor_s_ += ExpSeconds(lambda_max);
+        if (rng_.NextDouble() * lambda_max <= DiurnalRate(cursor_s_)) {
+          return GapFromSeconds(cursor_s_ - prev);
+        }
+      }
+    }
+  }
+  return GapFromSeconds(ExpSeconds(config_.rate_rps));
+}
+
+double ArrivalProcess::MeanRate() const {
+  if (config_.kind == ArrivalKind::kBursty) {
+    const double calm_s = std::max(config_.calm_dwell_mean.ToSeconds(), 1e-9);
+    const double burst_s = std::max(config_.burst_dwell_mean.ToSeconds(), 1e-9);
+    return (config_.rate_rps * calm_s + config_.burst_rate_rps * burst_s) /
+           (calm_s + burst_s);
+  }
+  return config_.rate_rps;
+}
+
+}  // namespace nephele

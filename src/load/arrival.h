@@ -1,0 +1,55 @@
+// Seeded arrival processes for the open-loop load generator: homogeneous
+// Poisson, a two-state MMPP ("bursty"), and a diurnal (sinusoidally
+// modulated) nonhomogeneous Poisson sampled by thinning. All draws come
+// from one SplitMix64 stream, so a (config, seed) pair reproduces the
+// arrival sequence exactly — the statistical oracles in tests/load_test.cc
+// rely on that.
+
+#ifndef SRC_LOAD_ARRIVAL_H_
+#define SRC_LOAD_ARRIVAL_H_
+
+#include <cstdint>
+
+#include "src/core/clone_types.h"
+#include "src/sim/rng.h"
+#include "src/sim/time.h"
+
+namespace nephele {
+
+class ArrivalProcess {
+ public:
+  ArrivalProcess(ArrivalConfig config, std::uint64_t seed);
+
+  // The gap from the previous arrival to the next one. Always >= 1 ns, so
+  // two arrivals never collapse onto the same loop instant.
+  SimDuration NextGap();
+
+  // The long-run mean rate implied by the config (requests/s): the Poisson
+  // rate, the MMPP dwell-weighted mix, or the diurnal baseline (the
+  // sinusoid integrates to zero over whole periods). Statistical oracles
+  // compare empirical rates against this.
+  double MeanRate() const;
+
+  // MMPP telemetry: calm<->burst transitions taken so far.
+  std::uint64_t state_switches() const { return state_switches_; }
+
+  const ArrivalConfig& config() const { return config_; }
+
+ private:
+  double ExpSeconds(double rate_per_s);
+  double DiurnalRate(double t_seconds) const;
+
+  ArrivalConfig config_;
+  Rng rng_;
+  // MMPP state: which rate regime we are in and how much of its
+  // exponentially drawn dwell remains.
+  bool in_burst_ = false;
+  double dwell_left_s_ = 0;
+  std::uint64_t state_switches_ = 0;
+  // Diurnal thinning cursor: absolute seconds since construction.
+  double cursor_s_ = 0;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_LOAD_ARRIVAL_H_

@@ -77,6 +77,21 @@ std::vector<AlarmRule> AlarmEngine::DefaultNepheleRules() {
   stall.raise_after = 2;
   stall.clear_after = 2;
   rules.push_back(stall);
+  // Request-tail breach: the windowed p99 of first-response-wins latency
+  // (req/latency_p99_ns, maintained by the request-cloning dispatcher over
+  // its recent-wins ring) never dipped below 50 ms across the window — the
+  // request layer is tail-degraded, not one unlucky spike. kMin, like
+  // stream_stall: a healthy tail touches low values between bursts.
+  AlarmRule tail;
+  tail.name = "req_tail";
+  tail.series = "req/latency_p99_ns";
+  tail.agg = WindowAgg::kMin;
+  tail.window = 4;
+  tail.raise_above = 50e6;  // ns: p99 stayed above 50 ms
+  tail.clear_below = 20e6;
+  tail.raise_after = 2;
+  tail.clear_after = 2;
+  rules.push_back(tail);
   return rules;
 }
 

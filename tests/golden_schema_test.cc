@@ -17,8 +17,11 @@
 #include <string>
 
 #include "src/core/system.h"
+#include "src/load/dispatch.h"
+#include "src/load/load_gen.h"
 #include "src/obs/tsdb/alarm.h"
 #include "src/obs/tsdb/tsdb.h"
+#include "src/sched/scheduler.h"
 #include "src/toolstack/domain_config.h"
 
 namespace nephele {
@@ -106,6 +109,59 @@ TsdbExports RunTsdbGoldenWorkload(NepheleSystem& sys) {
   tsdb.ScheduleTicks(4);
   sys.Settle();
   return {tsdb.ExportJson(), alarms.ExportJson()};
+}
+
+// The request layer's TSDB surface: a fixed seeded load run (scheduler-mode
+// request cloning against one parent) under a ticking collector with the
+// stock rules. Locks the schema of the new load/* and req/* series and the
+// req_tail alarm export.
+TsdbExports RunRequestLayerGoldenWorkload(NepheleSystem& sys) {
+  TsdbConfig tcfg;
+  tcfg.tick_interval = SimDuration::Millis(5);
+  tcfg.ring_capacity = 32;
+  TsdbCollector tsdb(sys.metrics(), sys.loop(), tcfg);
+  AlarmEngine alarms(tsdb, sys.metrics());
+  for (const AlarmRule& rule : AlarmEngine::DefaultNepheleRules()) {
+    alarms.AddRule(rule);
+  }
+  CloneScheduler sched(sys);
+  DomainConfig cfg;
+  cfg.name = "req-golden";
+  cfg.max_clones = 64;
+  auto parent = sys.toolstack().CreateDomain(cfg);
+  EXPECT_TRUE(parent.ok());
+  sys.Settle();
+  LoadGenerator generator(sys);
+  RequestCloneDispatcher dispatcher(sys, sched);
+  dispatcher.SetParent(*parent);
+  tsdb.ScheduleTicks(4);
+  sys.Settle();
+  generator.Start(SimDuration::Millis(100),
+                  [&dispatcher](const LoadRequest& r) { dispatcher.Submit(r); });
+  tsdb.ScheduleTicks(24);  // interleaves with the load run (5 ms apart)
+  sys.Settle();
+  return {tsdb.ExportJson(), alarms.ExportJson()};
+}
+
+TEST(GoldenSchemaTest, RequestLayerTsdbExportMatchesGolden) {
+  NepheleSystem sys;
+  TsdbExports exports = RunRequestLayerGoldenWorkload(sys);
+  CompareOrUpdate("req_tsdb_export.json", exports.tsdb);
+}
+
+TEST(GoldenSchemaTest, RequestLayerAlarmExportMatchesGolden) {
+  NepheleSystem sys;
+  TsdbExports exports = RunRequestLayerGoldenWorkload(sys);
+  CompareOrUpdate("req_alarm_export.json", exports.alarms);
+}
+
+TEST(GoldenSchemaTest, RequestLayerExportsAreDeterministicAcrossRuns) {
+  NepheleSystem a;
+  NepheleSystem b;
+  TsdbExports ea = RunRequestLayerGoldenWorkload(a);
+  TsdbExports eb = RunRequestLayerGoldenWorkload(b);
+  EXPECT_EQ(ea.tsdb, eb.tsdb);
+  EXPECT_EQ(ea.alarms, eb.alarms);
 }
 
 TEST(GoldenSchemaTest, TsdbExportMatchesGolden) {

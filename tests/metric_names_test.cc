@@ -12,6 +12,8 @@
 #include <string>
 
 #include "src/core/system.h"
+#include "src/load/dispatch.h"
+#include "src/load/load_gen.h"
 #include "src/obs/tsdb/alarm.h"
 #include "src/obs/tsdb/tsdb.h"
 #include "src/sched/feedback.h"
@@ -23,7 +25,8 @@ namespace {
 
 // Construct and exercise every metric-registering subsystem so AllNames()
 // sees the full surface: system (hypervisor, xenstore, toolstack, clone
-// engine, xencloned, fault injector), scheduler + feedback, TSDB + alarms.
+// engine, xencloned, fault injector), scheduler + feedback, TSDB + alarms,
+// and the request layer (load generator + request-cloning dispatcher).
 void ExerciseEverything(NepheleSystem& sys) {
   TsdbCollector tsdb(sys.metrics(), sys.loop(), sys.config().tsdb);
   AlarmEngine alarms(tsdb, sys.metrics());
@@ -32,6 +35,8 @@ void ExerciseEverything(NepheleSystem& sys) {
   }
   CloneScheduler sched(sys);
   SchedulerAlarmFeedback feedback(alarms, sched);
+  LoadGenerator generator(sys);
+  RequestCloneDispatcher dispatcher(sys, sched);
 
   DomainConfig cfg;
   cfg.name = "audit";
@@ -52,6 +57,10 @@ void ExerciseEverything(NepheleSystem& sys) {
     (void)sched.Release(got);
     sys.Settle();
   }
+  dispatcher.SetParent(*parent);
+  generator.Start(SimDuration::Millis(50),
+                  [&dispatcher](const LoadRequest& r) { dispatcher.Submit(r); });
+  sys.Settle();
   tsdb.ScheduleTicks(2);
   sys.Settle();
 }
@@ -70,8 +79,9 @@ TEST(MetricNamesTest, EverySubsystemPrefixIsKnown) {
   NepheleSystem sys;
   ExerciseEverything(sys);
   const std::set<std::string> known = {"alarm",  "clone",      "cow",  "fault",
-                                       "hypervisor", "sched",  "toolstack",
-                                       "tsdb",   "xencloned",  "xenstore"};
+                                       "hypervisor", "load",   "req",  "sched",
+                                       "toolstack",  "tsdb",   "xencloned",
+                                       "xenstore"};
   for (const std::string& name : sys.metrics().AllNames()) {
     const std::string prefix = name.substr(0, name.find('/'));
     EXPECT_TRUE(known.count(prefix) == 1)
@@ -104,6 +114,31 @@ TEST(MetricNamesTest, SchedulerNameSetIsExact) {
       "sched/warm_hits",          "sched/warm_misses",
       "sched/warm_pool_size"};
   EXPECT_EQ(sched_names, expected);
+}
+
+// Same lock for the request layer: the req_tail alarm and the fig12 bench
+// address these names literally.
+TEST(MetricNamesTest, RequestLayerNameSetsAreExact) {
+  NepheleSystem sys;
+  ExerciseEverything(sys);
+  std::set<std::string> load_names;
+  std::set<std::string> req_names;
+  for (const std::string& name : sys.metrics().AllNames()) {
+    if (name.rfind("load/", 0) == 0) {
+      load_names.insert(name);
+    } else if (name.rfind("req/", 0) == 0) {
+      req_names.insert(name);
+    }
+  }
+  const std::set<std::string> expected_load = {
+      "load/generated", "load/interarrival_ns", "load/state_switches"};
+  const std::set<std::string> expected_req = {
+      "req/cancelled",  "req/dispatched",     "req/failed",
+      "req/in_flight",  "req/latency_ns",     "req/latency_p99_ns",
+      "req/rejected",   "req/service_ns",     "req/submitted",
+      "req/wins"};
+  EXPECT_EQ(load_names, expected_load);
+  EXPECT_EQ(req_names, expected_req);
 }
 
 }  // namespace

@@ -272,9 +272,9 @@ TEST(AlarmEngineTest, BoundaryValuesAdvanceNeitherStreakSoNoFlap) {
   EXPECT_EQ(alarms.StateOf("demo"), AlarmState::kRaised);
 }
 
-TEST(AlarmEngineTest, DefaultRulesCoverThrashRollbacksAndStreamStalls) {
+TEST(AlarmEngineTest, DefaultRulesCoverThrashRollbacksStreamStallsAndReqTails) {
   auto rules = AlarmEngine::DefaultNepheleRules();
-  ASSERT_EQ(rules.size(), 3u);
+  ASSERT_EQ(rules.size(), 4u);
   EXPECT_EQ(rules[0].name, "warm_pool_thrash");
   EXPECT_EQ(rules[0].series, "sched/evictions");
   EXPECT_EQ(rules[1].name, "rollback_storm");
@@ -282,6 +282,9 @@ TEST(AlarmEngineTest, DefaultRulesCoverThrashRollbacksAndStreamStalls) {
   EXPECT_EQ(rules[2].name, "stream_stall");
   EXPECT_EQ(rules[2].series, "clone/lazy_pending_pages");
   EXPECT_EQ(rules[2].agg, WindowAgg::kMin);
+  EXPECT_EQ(rules[3].name, "req_tail");
+  EXPECT_EQ(rules[3].series, "req/latency_p99_ns");
+  EXPECT_EQ(rules[3].agg, WindowAgg::kMin);
   for (std::size_t i = 0; i < 2; ++i) {
     const AlarmRule& r = rules[i];
     EXPECT_LT(r.clear_below, r.raise_above) << r.name << ": hysteresis band must be open";
@@ -290,6 +293,10 @@ TEST(AlarmEngineTest, DefaultRulesCoverThrashRollbacksAndStreamStalls) {
   // clear once it touches 0 — the band is the gap between 0 and 1.
   EXPECT_EQ(rules[2].raise_above, 0.0);
   EXPECT_EQ(rules[2].clear_below, 1.0);
+  // req_tail raises only when the *windowed minimum* of the rolling p99
+  // stays past 50 ms — a sustained tail, not one slow request.
+  EXPECT_EQ(rules[3].raise_above, 50e6);
+  EXPECT_LT(rules[3].clear_below, rules[3].raise_above);
   for (const AlarmRule& r : rules) {
     EXPECT_GE(r.raise_after, 2u) << r.name;
   }
