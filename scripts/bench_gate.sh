@@ -45,6 +45,7 @@ run_sim_benches() {
   "${BENCH}/bench_fig04_instantiation" 40 1 --json="${OUT}/BENCH_fig04.json" >/dev/null
   "${BENCH}/bench_fig11_faas_scaling" 30 --json="${OUT}/BENCH_fig11.json" >/dev/null
   "${BENCH}/bench_fig12_request_cloning" 2000 --json="${OUT}/BENCH_fig12.json" >/dev/null
+  "${BENCH}/bench_fig13_cluster_scaling" 1024 --json="${OUT}/BENCH_fig13.json" >/dev/null
 }
 
 # The wall-clock (micro-op) benches.
@@ -54,7 +55,7 @@ run_wall_benches() {
 }
 
 CURRENTS_SIM=(--current="${OUT}/BENCH_fig04.json" --current="${OUT}/BENCH_fig11.json"
-              --current="${OUT}/BENCH_fig12.json")
+              --current="${OUT}/BENCH_fig12.json" --current="${OUT}/BENCH_fig13.json")
 CURRENTS_WALL=(--current="${OUT}/BENCH_clone.json" --current="${OUT}/BENCH_sched.json")
 
 case "${MODE}" in

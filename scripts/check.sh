@@ -6,8 +6,11 @@
 # clone-scheduler suite (ctest label `sched`), a sixth running the
 # perf-regression gate, a seventh running the hostile-guest fuzzing
 # suite (ctest label `hvfuzz`), an eighth running the post-copy
-# lazy-cloning suite (ctest label `lazy`), and a ninth running the
-# heavy-traffic request layer (ctest label `load`) on the plain tree.
+# lazy-cloning suite (ctest label `lazy`), a ninth running the
+# heavy-traffic request layer (ctest label `load`), and a tenth running
+# the multi-host cluster-fabric suite (ctest label `cluster`) on the
+# plain tree. The cluster suite also runs under both sanitizer legs via
+# their build-wide labels.
 #
 # The sanitizer legs also get a short hostile-guest fuzz round
 # (NEPHELE_HVFUZZ_ROUNDS=40): the fuzzer's malformed-argument storms are
@@ -79,4 +82,12 @@ echo "==== [lazy] ctest -L lazy ===="
 echo "==== [load] ctest -L load ===="
 (cd build && ctest --output-on-failure -j "${JOBS}" -L load "${CTEST_ARGS[@]}")
 
-echo "==== all nine legs passed ===="
+# Leg 10: the multi-host cluster fabric by label on the plain tree —
+# Host/ClusterFabric facade identity, parent replication, typed cross-host
+# migration with link-fault/partition rollback, the three placement
+# policies, cross-host warm pools, and merged-export digest determinism
+# across reruns and clone-worker counts.
+echo "==== [cluster] ctest -L cluster ===="
+(cd build && ctest --output-on-failure -j "${JOBS}" -L cluster "${CTEST_ARGS[@]}")
+
+echo "==== all ten legs passed ===="

@@ -1,9 +1,13 @@
-#include "src/core/system.h"
+#include "src/core/host.h"
 
 namespace nephele {
 
-NepheleSystem::NepheleSystem(SystemConfig config)
-    : config_(std::move(config)), costs_(config_.costs) {
+Host::Host(EventLoop& loop, SystemConfig config, std::size_t index)
+    : config_(std::move(config)),
+      costs_(config_.costs),
+      loop_(loop),
+      index_(index),
+      metrics_prefix_("host" + std::to_string(index) + "/") {
   hv_ = std::make_unique<Hypervisor>(loop_, costs_, config_.hypervisor, &metrics_, &faults_);
   xs_ = std::make_unique<XenstoreDaemon>(loop_, costs_, &metrics_, &faults_);
   devices_ = std::make_unique<DeviceManager>(*hv_, *xs_, loop_, costs_, &faults_);
@@ -11,8 +15,8 @@ NepheleSystem::NepheleSystem(SystemConfig config)
   engine_ = std::make_unique<CloneEngine>(*hv_, services());
   engine_->SetWorkerThreads(config_.clone_worker_threads);
   engine_->SetLazyConfig(config_.lazy_clone);
-  // The toolstack's administrator knob routes through the system so
-  // config() keeps reflecting the effective thread count.
+  // The toolstack's administrator knob routes through the host so config()
+  // keeps reflecting the effective thread count.
   toolstack_->AttachCloneThreadSetter([this](unsigned n) { SetCloneWorkerThreads(n); });
   xencloned_ = std::make_unique<Xencloned>(*hv_, *engine_, *xs_, *devices_, *toolstack_, loop_,
                                            costs_, services());

@@ -1,121 +1,84 @@
-// NepheleSystem: one fully-wired virtualization environment — hypervisor,
-// Xenstore, device backends, toolstack, clone engine and xencloned — driven
-// by a single discrete-event loop. This is the library's main entry point;
-// see examples/quickstart.cc.
+// NepheleSystem: the single-host convenience facade — one fully-wired
+// virtualization environment (hypervisor, Xenstore, device backends,
+// toolstack, clone engine and xencloned) driven by a discrete-event loop.
+// This remains the library's main entry point (see examples/quickstart.cc);
+// since the cluster redesign it is a thin, permanent facade over a
+// single-host ClusterFabric: the wired machinery lives in Host
+// (src/core/host.h), the loop in the fabric (src/core/fabric.h), and every
+// accessor below forwards to the one host. Components built on top take
+// `Host&` and accept a NepheleSystem via the implicit conversion, so
+// single-host code reads exactly as before while multi-host code constructs
+// a ClusterFabric directly.
 
 #ifndef SRC_CORE_SYSTEM_H_
 #define SRC_CORE_SYSTEM_H_
 
-#include <memory>
-
-#include "src/core/clone_engine.h"
-#include "src/core/xencloned.h"
-#include "src/devices/device_manager.h"
-#include "src/fault/fault.h"
-#include "src/hypervisor/hypervisor.h"
-#include "src/obs/clone_metrics.h"
-#include "src/obs/metrics.h"
-#include "src/obs/trace.h"
-#include "src/obs/tsdb/tsdb.h"
-#include "src/sim/cost_model.h"
-#include "src/sim/event_loop.h"
-#include "src/toolstack/toolstack.h"
-#include "src/xenstore/store.h"
+#include "src/core/fabric.h"
+#include "src/core/host.h"
 
 namespace nephele {
 
-// The single source of truth for every host-side knob. Runtime setters
-// (NepheleSystem::SetCloneWorkerThreads, Toolstack::SetCloneWorkerThreads)
-// are thin forwards that update this struct and push the value down; reading
-// NepheleSystem::config() always reflects the current effective settings.
-struct SystemConfig {
-  HypervisorConfig hypervisor;
-  CostModel costs;
-  // Start xencloned (and enable cloning globally) at construction.
-  bool start_xencloned = true;
-  // Host threads staging clone batches. 1 = serial; results are identical
-  // at any setting.
-  unsigned clone_worker_threads = 1;
-  // Clone-scheduler knobs (batch window, max batch, warm-pool capacity,
-  // queue depth, ...). Consumed by CloneScheduler(NepheleSystem&).
-  SchedulerConfig sched;
-  // Lazy-clone (post-copy) knobs: prefetcher batch size, rate limit,
-  // auto/manual streaming. Consumed by CloneEngine for requests with
-  // CloneRequest::lazy set.
-  LazyCloneConfig lazy_clone;
-  // Telemetry-pipeline knobs (tick interval, ring capacity). Consumed by
-  // TsdbCollector(system.metrics(), system.loop(), system.config().tsdb);
-  // like the scheduler, systems that never collect pay nothing.
-  TsdbConfig tsdb;
-  // Heavy-traffic request-layer knobs (arrival process, clone factor,
-  // service model). Consumed by LoadGenerator(NepheleSystem&) and
-  // RequestCloneDispatcher(NepheleSystem&, CloneScheduler&); systems that
-  // never generate load pay nothing.
-  LoadConfig load;
-};
-
 class NepheleSystem {
  public:
-  explicit NepheleSystem(SystemConfig config = {});
+  explicit NepheleSystem(SystemConfig config = {})
+      : fabric_(MakeSingleHostConfig(std::move(config))), host_(&fabric_.host(0)) {}
 
   NepheleSystem(const NepheleSystem&) = delete;
   NepheleSystem& operator=(const NepheleSystem&) = delete;
 
-  EventLoop& loop() { return loop_; }
-  const CostModel& costs() const { return costs_; }
-  Hypervisor& hypervisor() { return *hv_; }
-  XenstoreDaemon& xenstore() { return *xs_; }
-  DeviceManager& devices() { return *devices_; }
-  Toolstack& toolstack() { return *toolstack_; }
-  CloneEngine& clone_engine() { return *engine_; }
-  Xencloned& xencloned() { return *xencloned_; }
+  // The underlying host and its fabric. Components take Host&; the
+  // conversion lets `CloneScheduler sched(system)` keep reading naturally.
+  Host& host() { return *host_; }
+  const Host& host() const { return *host_; }
+  ClusterFabric& fabric() { return fabric_; }
+  operator Host&() { return *host_; }  // NOLINT(google-explicit-constructor)
 
-  // The system-wide observability surface: every subsystem records into this
-  // one registry, so MetricsRegistry::ExportJson() is the whole story of a
-  // run. Deterministic for a seeded scenario.
-  MetricsRegistry& metrics() { return metrics_; }
-  const MetricsRegistry& metrics() const { return metrics_; }
-  TraceRecorder& trace() { return trace_; }
+  EventLoop& loop() { return host_->loop(); }
+  const CostModel& costs() const { return host_->costs(); }
+  Hypervisor& hypervisor() { return host_->hypervisor(); }
+  XenstoreDaemon& xenstore() { return host_->xenstore(); }
+  DeviceManager& devices() { return host_->devices(); }
+  Toolstack& toolstack() { return host_->toolstack(); }
+  CloneEngine& clone_engine() { return host_->clone_engine(); }
+  Xencloned& xencloned() { return host_->xencloned(); }
+
+  // The system-wide observability surface: every subsystem records into the
+  // host's one registry, so MetricsRegistry::ExportJson() is the whole
+  // story of a run. Deterministic for a seeded scenario.
+  MetricsRegistry& metrics() { return host_->metrics(); }
+  const MetricsRegistry& metrics() const { return host_->metrics(); }
+  TraceRecorder& trace() { return host_->trace(); }
 
   // The system-wide deterministic fault injector. Every subsystem registers
   // its fault points here at construction; tests arm them by name (see
   // src/fault/fault.h) to drive error paths that are otherwise unreachable.
-  FaultInjector& fault_injector() { return faults_; }
+  FaultInjector& fault_injector() { return host_->fault_injector(); }
 
   // The service bundle (metrics + trace + faults) components constructed on
   // top of this system (GuestManager, CloneScheduler, ...) should receive.
-  SystemServices services() { return SystemServices{&metrics_, &trace_, &faults_}; }
+  SystemServices services() { return host_->services(); }
 
   // The effective configuration. Runtime setters below keep it current, so
   // this is always what the system is actually running with.
-  const SystemConfig& config() const { return config_; }
+  const SystemConfig& config() const { return host_->config(); }
 
-  // Single entry point for retuning clone staging parallelism at runtime:
-  // updates config() and forwards to the engine. Toolstack's administrator
-  // knob is wired here too, so every path converges on one source of truth.
-  void SetCloneWorkerThreads(unsigned n) {
-    config_.clone_worker_threads = n == 0 ? 1 : n;
-    engine_->SetWorkerThreads(n);
-  }
+  // Single entry point for retuning clone staging parallelism at runtime.
+  void SetCloneWorkerThreads(unsigned n) { host_->SetCloneWorkerThreads(n); }
 
   // Runs the event loop until idle.
-  void Settle() { loop_.Run(); }
-  SimTime Now() const { return loop_.Now(); }
+  void Settle() { fabric_.Settle(); }
+  SimTime Now() const { return fabric_.Now(); }
 
  private:
-  SystemConfig config_;
-  CostModel costs_;
-  EventLoop loop_;
-  MetricsRegistry metrics_;  // constructed before every subsystem using it
-  TraceRecorder trace_{loop_};
-  FaultInjector faults_{&metrics_};
-  std::unique_ptr<Hypervisor> hv_;
-  std::unique_ptr<XenstoreDaemon> xs_;
-  std::unique_ptr<DeviceManager> devices_;
-  std::unique_ptr<Toolstack> toolstack_;
-  std::unique_ptr<CloneEngine> engine_;
-  std::unique_ptr<Xencloned> xencloned_;
-  std::unique_ptr<CloneMetricsObserver> clone_metrics_;
+  static ClusterConfig MakeSingleHostConfig(SystemConfig config) {
+    ClusterConfig cluster;
+    cluster.hosts = 1;
+    cluster.host = std::move(config);
+    return cluster;
+  }
+
+  ClusterFabric fabric_;
+  Host* host_;
 };
 
 }  // namespace nephele

@@ -31,7 +31,7 @@ DomainConfig FuzzGuestConfig() {
 }  // namespace
 
 FuzzSessionResult RunFuzzSession(GuestManager& manager, const FuzzSessionConfig& config) {
-  NepheleSystem& sys = manager.system();
+  Host& sys = manager.system();
   EventLoop& loop = sys.loop();
   const CostModel& costs = sys.costs();
   AflEngine afl(config.seed);

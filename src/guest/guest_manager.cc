@@ -50,7 +50,7 @@ void GuestContext::Exit() {
 // GuestManager
 // ---------------------------------------------------------------------------
 
-GuestManager::GuestManager(NepheleSystem& system) : system_(system) {
+GuestManager::GuestManager(Host& system) : system_(system) {
   system_.clone_engine().AddObserver(this);
 }
 

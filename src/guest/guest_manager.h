@@ -21,10 +21,10 @@ namespace nephele {
 // OnResume drives fork continuation dispatch on both sides.
 class GuestManager : public CloneObserver {
  public:
-  explicit GuestManager(NepheleSystem& system);
+  explicit GuestManager(Host& system);
   ~GuestManager() override;
 
-  NepheleSystem& system() { return system_; }
+  Host& system() { return system_; }
 
   // Boots a domain and schedules app->OnBoot() after the guest boot delay.
   Result<DomId> Launch(const DomainConfig& config, std::unique_ptr<GuestApp> app);
@@ -90,7 +90,7 @@ class GuestManager : public CloneObserver {
                                              const GuestContext* parent_ctx);
   void WireDelivery(DomId dom, GuestInstance& instance);
 
-  NepheleSystem& system_;
+  Host& system_;
   std::map<DomId, GuestInstance> guests_;
   std::map<DomId, PendingFork> pending_forks_;   // keyed by parent
   std::map<DomId, DomId> pending_child_parent_;  // child -> parent

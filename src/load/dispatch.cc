@@ -5,27 +5,27 @@
 
 namespace nephele {
 
-RequestCloneDispatcher::RequestCloneDispatcher(NepheleSystem& system, CloneScheduler& sched)
-    : loop_(system.loop()),
+RequestCloneDispatcher::RequestCloneDispatcher(Host& host, CloneScheduler& sched)
+    : loop_(host.loop()),
       sched_(sched),
-      costs_(system.costs()),
-      config_(system.config().load),
+      costs_(host.costs()),
+      config_(host.config().load),
       // A stream of its own: service draws must not perturb arrival or
       // user draws (and vice versa), or the d=1 and d=2 runs of the
       // dominance oracle would see different arrival sequences.
-      service_rng_(system.config().load.seed ^ 0xd15b47c4e5ULL),
-      c_submitted_(system.metrics().GetCounter("req/submitted")),
-      c_dispatched_(system.metrics().GetCounter("req/dispatched")),
-      c_wins_(system.metrics().GetCounter("req/wins")),
-      c_cancelled_(system.metrics().GetCounter("req/cancelled")),
-      c_rejected_(system.metrics().GetCounter("req/rejected")),
-      c_failed_(system.metrics().GetCounter("req/failed")),
-      h_latency_(system.metrics().GetHistogram("req/latency_ns",
+      service_rng_(host.config().load.seed ^ 0xd15b47c4e5ULL),
+      c_submitted_(host.metrics().GetCounter("req/submitted")),
+      c_dispatched_(host.metrics().GetCounter("req/dispatched")),
+      c_wins_(host.metrics().GetCounter("req/wins")),
+      c_cancelled_(host.metrics().GetCounter("req/cancelled")),
+      c_rejected_(host.metrics().GetCounter("req/rejected")),
+      c_failed_(host.metrics().GetCounter("req/failed")),
+      h_latency_(host.metrics().GetHistogram("req/latency_ns",
                                                Histogram::DefaultLatencyBoundsNs())),
-      h_service_(system.metrics().GetHistogram("req/service_ns",
+      h_service_(host.metrics().GetHistogram("req/service_ns",
                                                Histogram::DefaultLatencyBoundsNs())),
-      g_in_flight_(system.metrics().GetGauge("req/in_flight")),
-      g_latency_p99_(system.metrics().GetGauge("req/latency_p99_ns")) {}
+      g_in_flight_(host.metrics().GetGauge("req/in_flight")),
+      g_latency_p99_(host.metrics().GetGauge("req/latency_p99_ns")) {}
 
 SimDuration RequestCloneDispatcher::MeanServiceTime(const LoadConfig& config,
                                                     const CostModel& costs) {

@@ -37,7 +37,7 @@ namespace nephele {
 
 class RequestCloneDispatcher {
  public:
-  RequestCloneDispatcher(NepheleSystem& system, CloneScheduler& sched);
+  RequestCloneDispatcher(Host& host, CloneScheduler& sched);
 
   // Scheduler mode: the parent whose clones serve duplicates. Must be set
   // before the first Submit unless fleet mode is active.

@@ -31,9 +31,10 @@ class LoadGenerator {
   using Sink = std::function<void(const LoadRequest&)>;
 
   LoadGenerator(EventLoop& loop, const LoadConfig& config, MetricsRegistry& metrics);
-  // Convenience: loop, knobs and registry from the system.
-  explicit LoadGenerator(NepheleSystem& system)
-      : LoadGenerator(system.loop(), system.config().load, system.metrics()) {}
+  // Convenience: loop, knobs and registry from the host (or a NepheleSystem
+  // via its Host conversion).
+  explicit LoadGenerator(Host& host)
+      : LoadGenerator(host.loop(), host.config().load, host.metrics()) {}
 
   // Emits arrivals into `sink` from now until `duration` has elapsed (or
   // Stop()). Draining the loop then plays out the whole run.

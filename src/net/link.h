@@ -1,0 +1,83 @@
+// FabricLink: one direction of a latency/bandwidth-costed inter-host link.
+// Migration and replication streams cross the cluster on these; the cost
+// model reuses the packet framing of src/net (Packet::wire_size() charges a
+// 54-byte L2+L3+L4 header per frame), so a stream's virtual-time cost is
+//
+//   latency + (payload + ceil(payload/mtu) * 54 bytes) * 8 / bandwidth
+//
+// charged synchronously on the shared cluster event loop. Links carry a
+// down flag (partition injection) and poke the fabric-level fault point
+// "fabric/link" once per transfer, so tests can fail a stream mid-flight
+// deterministically.
+
+#ifndef SRC_NET_LINK_H_
+#define SRC_NET_LINK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/result.h"
+#include "src/fault/fault.h"
+#include "src/net/packet.h"
+#include "src/obs/metrics.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/time.h"
+
+namespace nephele {
+
+struct LinkConfig {
+  // One-way propagation delay, charged once per Transfer.
+  SimDuration latency = SimDuration::Micros(50);
+  // Serialization rate. 10 Gbps is the paper's testbed NIC class.
+  double bandwidth_gbps = 10.0;
+  // Payload bytes per frame; each frame pays the 54-byte wire header.
+  std::size_t mtu_bytes = 1500;
+};
+
+class FabricLink {
+ public:
+  // `metrics` and `faults` may be null (standalone constructions): the link
+  // then skips counting and never injects.
+  FabricLink(EventLoop& loop, std::string name, LinkConfig config,
+             MetricsRegistry* metrics = nullptr, FaultInjector* faults = nullptr);
+
+  FabricLink(const FabricLink&) = delete;
+  FabricLink& operator=(const FabricLink&) = delete;
+
+  const std::string& name() const { return name_; }
+  const LinkConfig& config() const { return config_; }
+
+  // Partition injection: a down link refuses every Transfer with
+  // kUnavailable until brought back up.
+  void SetDown(bool down) { down_ = down; }
+  bool down() const { return down_; }
+
+  // Ships `payload_bytes` across the link, charging propagation latency and
+  // per-frame serialization on the loop. Fails with kUnavailable when the
+  // link is down, or with whatever the armed "fabric/link" fault injects.
+  Status Transfer(std::size_t payload_bytes);
+
+  // Frames a payload the way Transfer charges it: full-MTU packets plus the
+  // per-frame header overhead.
+  std::size_t WireBytes(std::size_t payload_bytes) const;
+  std::size_t PacketCount(std::size_t payload_bytes) const;
+
+  std::uint64_t transfers() const { return transfers_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  EventLoop& loop_;
+  std::string name_;
+  LinkConfig config_;
+  Counter* c_bytes_ = nullptr;
+  Counter* c_packets_ = nullptr;
+  Counter* c_down_drops_ = nullptr;
+  FaultPoint* f_link_ = nullptr;
+  bool down_ = false;
+  std::uint64_t transfers_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace nephele
+
+#endif  // SRC_NET_LINK_H_

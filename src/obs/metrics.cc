@@ -220,4 +220,77 @@ std::string MetricsRegistry::ExportJson() const {
   return out;
 }
 
+std::string ExportMergedJson(
+    const std::vector<std::pair<std::string, const MetricsRegistry*>>& parts) {
+  // Collect prefixed snapshots first (one lock per part), then emit in
+  // exactly the ExportJson layout so merged and single-registry exports
+  // diff cleanly against each other.
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, const Histogram*> histograms;
+  for (const auto& [prefix, registry] : parts) {
+    if (registry == nullptr) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(registry->mu_);
+    for (const auto& [name, counter] : registry->counters_) {
+      counters[prefix + name] = counter->value();
+    }
+    for (const auto& [name, gauge] : registry->gauges_) {
+      gauges[prefix + name] = gauge->value();
+    }
+    for (const auto& [name, hist] : registry->histograms_) {
+      histograms[prefix + name] = hist.get();
+    }
+  }
+
+  std::string out;
+  out.reserve(1024);
+  out += "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    AppendKey(out, name);
+    out += std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    AppendKey(out, name);
+    out += std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    AppendKey(out, name);
+    out += "{\n      \"count\": " + std::to_string(hist->count());
+    out += ",\n      \"sum\": " + std::to_string(hist->sum());
+    out += ",\n      \"min\": " + std::to_string(hist->min());
+    out += ",\n      \"max\": " + std::to_string(hist->max());
+    out += ",\n      \"buckets\": [";
+    for (std::size_t i = 0; i < hist->bounds().size(); ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      out += "        {\"le\": " + std::to_string(hist->bounds()[i]) +
+             ", \"count\": " + std::to_string(hist->BucketCount(i)) + "}";
+    }
+    out += ",\n        {\"le\": \"+inf\", \"count\": " +
+           std::to_string(hist->BucketCount(hist->bounds().size())) + "}\n      ]\n    }";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
 }  // namespace nephele

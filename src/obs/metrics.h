@@ -157,11 +157,23 @@ class MetricsRegistry {
   std::string ExportJson() const;
 
  private:
+  friend std::string ExportMergedJson(
+      const std::vector<std::pair<std::string, const MetricsRegistry*>>& parts);
+
   mutable std::mutex mu_;  // guards the three maps (not the metrics themselves)
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
+
+// Merges several registries into one export, each metric name prefixed by
+// its part's tag (e.g. "host0/"). The output is byte-for-byte the ExportJson
+// format — same sections, sorting and histogram layout — so the cluster
+// export of a single host with an empty prefix equals that host's own
+// ExportJson(). Null registries are skipped; later parts win name collisions
+// (which prefixed callers never produce).
+std::string ExportMergedJson(
+    const std::vector<std::pair<std::string, const MetricsRegistry*>>& parts);
 
 }  // namespace nephele
 

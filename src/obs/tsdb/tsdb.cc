@@ -168,4 +168,27 @@ std::string TsdbCollector::ExportJson() const {
   return out;
 }
 
+std::string TsdbCollector::ExportMergedJson(
+    const std::vector<std::pair<std::string, const TsdbCollector*>>& parts) {
+  // Tags sorted, each part's own deterministic document embedded verbatim.
+  std::map<std::string, std::string> docs;
+  for (const auto& [tag, collector] : parts) {
+    if (collector != nullptr) {
+      docs[tag] = collector->ExportJson();
+    }
+  }
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"parts\": {";
+  bool first = true;
+  for (const auto& [tag, doc] : docs) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + tag + "\": " + doc;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
 }  // namespace nephele

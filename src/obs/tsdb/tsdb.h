@@ -21,6 +21,7 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/obs/metrics.h"
@@ -111,6 +112,13 @@ class TsdbCollector {
   // Deterministic export of the whole database: config, tick count, and
   // every series' retained samples in name order. Integer-only values.
   std::string ExportJson() const;
+
+  // Cluster-level export: each part's ExportJson() nested under its tag
+  // (a host's metrics_prefix() with the trailing '/' stripped, e.g.
+  // "host0"), tags sorted. Null collectors are skipped. One deterministic
+  // document for an N-host fabric, mirroring ExportMergedJson for metrics.
+  static std::string ExportMergedJson(
+      const std::vector<std::pair<std::string, const TsdbCollector*>>& parts);
 
   // Collector tick at which a series was discovered: global tick of ring
   // sample i is `base_tick + i`, so exports stay aligned even for metrics

@@ -86,11 +86,12 @@ class CloneScheduler : public CloneObserver {
 
   CloneScheduler(Hypervisor& hv, CloneEngine& engine, Toolstack& toolstack, EventLoop& loop,
                  SchedulerConfig config = {}, const SystemServices& services = {});
-  // Convenience wiring: knobs from system.config().sched, services from
-  // system.services().
-  explicit CloneScheduler(NepheleSystem& system)
-      : CloneScheduler(system.hypervisor(), system.clone_engine(), system.toolstack(),
-                       system.loop(), system.config().sched, system.services()) {}
+  // Convenience wiring: knobs from host.config().sched, services from
+  // host.services(). A NepheleSystem converts to its Host implicitly, so
+  // `CloneScheduler sched(system)` keeps working.
+  explicit CloneScheduler(Host& host)
+      : CloneScheduler(host.hypervisor(), host.clone_engine(), host.toolstack(),
+                       host.loop(), host.config().sched, host.services()) {}
 
   CloneScheduler(const CloneScheduler&) = delete;
   CloneScheduler& operator=(const CloneScheduler&) = delete;

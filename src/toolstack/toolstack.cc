@@ -392,7 +392,7 @@ Result<MigrationStream> Toolstack::MigrateOutLive(DomId dom, unsigned max_rounds
     return ErrNotFound("domain not managed by toolstack");
   }
   if (d->parent != kDomInvalid || !d->children.empty()) {
-    return ErrFailedPrecondition("domain has family relations; cannot migrate");
+    return RefuseFamilyMigration(*d);
   }
 
   MigrationStream stream;
@@ -465,7 +465,54 @@ Result<MigrationStream> Toolstack::MigrateOutLive(DomId dom, unsigned max_rounds
   return stream;
 }
 
-Result<MigrationStream> Toolstack::MigrateOut(DomId dom) {
+Status Toolstack::RefuseFamilyMigration(const Domain& d) {
+  // Sec. 8: moving family members off-host would break the page sharing
+  // potential; name the relatives so callers see exactly what blocks it.
+  std::string msg = "domain '" + d.name + "' (domid " + std::to_string(d.id) +
+                    ") has living family relations; cannot migrate: blocked by";
+  if (d.parent != kDomInvalid) {
+    const Domain* p = hv_.FindDomain(d.parent);
+    msg += " parent '" + (p != nullptr ? p->name : std::string("?")) + "' (domid " +
+           std::to_string(d.parent) + ")";
+  }
+  if (!d.children.empty()) {
+    msg += d.parent != kDomInvalid ? " and children" : " children";
+    bool first = true;
+    for (DomId c : d.children) {
+      const Domain* cd = hv_.FindDomain(c);
+      msg += first ? " " : ", ";
+      first = false;
+      msg += "'" + (cd != nullptr ? cd->name : std::string("?")) + "' (domid " +
+             std::to_string(c) + ")";
+    }
+  }
+  return ErrFailedPrecondition(msg);
+}
+
+Result<MigrationStream> Toolstack::SerializePages(const Domain& d, const DomainConfig& config) {
+  loop_.AdvanceBy(costs_.save_fixed);
+  MigrationStream stream;
+  stream.config = config;
+  stream.pages = d.tot_pages();
+  // Stop-and-copy: walk the p2m, shipping materialised page contents.
+  // Not-present entries (a lazy clone snapshotted mid-stream) ship as zero.
+  const FrameTable& frames = hv_.frames();
+  for (Gfn gfn = 0; gfn < d.p2m.size(); ++gfn) {
+    loop_.AdvanceBy(costs_.migrate_per_page);
+    if (d.p2m[gfn].mfn == kInvalidMfn) {
+      continue;
+    }
+    const FrameInfo& info = frames.info(d.p2m[gfn].mfn);
+    if (info.data != nullptr) {
+      stream.written_pages[gfn] =
+          std::vector<std::uint8_t>(info.data->begin(), info.data->end());
+      loop_.AdvanceBy(costs_.MigrateTransferCost(kPageSize));
+    }
+  }
+  return stream;
+}
+
+Result<MigrationStream> Toolstack::BeginMigrateOut(DomId dom) {
   Domain* d = hv_.FindDomain(dom);
   if (d == nullptr) {
     return ErrNotFound("no such domain");
@@ -474,29 +521,61 @@ Result<MigrationStream> Toolstack::MigrateOut(DomId dom) {
   if (cfg_it == configs_.end()) {
     return ErrNotFound("domain not managed by toolstack");
   }
-  // Sec. 8: moving family members off-host would break the page sharing
-  // potential; only unrelated domains migrate.
   if (d->parent != kDomInvalid || !d->children.empty()) {
-    return ErrFailedPrecondition("domain has family relations; cannot migrate");
+    return RefuseFamilyMigration(*d);
   }
+  if (pending_emigrations_.count(dom) != 0) {
+    return ErrFailedPrecondition("emigration already in progress for domid " +
+                                 std::to_string(dom));
+  }
+  const bool was_running = d->state == DomainState::kRunning;
   (void)hv_.PauseDomain(dom);
-  loop_.AdvanceBy(costs_.save_fixed);
+  NEPHELE_ASSIGN_OR_RETURN(MigrationStream stream, SerializePages(*d, cfg_it->second));
+  pending_emigrations_[dom] = was_running;
+  return stream;
+}
 
-  MigrationStream stream;
-  stream.config = cfg_it->second;
-  stream.pages = d->tot_pages();
-  // Stop-and-copy: walk the p2m, shipping materialised page contents.
-  const FrameTable& frames = hv_.frames();
-  for (Gfn gfn = 0; gfn < d->p2m.size(); ++gfn) {
-    loop_.AdvanceBy(costs_.migrate_per_page);
-    const FrameInfo& info = frames.info(d->p2m[gfn].mfn);
-    if (info.data != nullptr) {
-      stream.written_pages[gfn] =
-          std::vector<std::uint8_t>(info.data->begin(), info.data->end());
-      loop_.AdvanceBy(costs_.MigrateTransferCost(kPageSize));
-    }
+Status Toolstack::CompleteMigrateOut(DomId dom) {
+  if (pending_emigrations_.erase(dom) == 0) {
+    return ErrFailedPrecondition("no emigration in progress for domid " + std::to_string(dom));
   }
-  NEPHELE_RETURN_IF_ERROR(DestroyDomain(dom));
+  return DestroyDomain(dom);
+}
+
+Status Toolstack::AbortMigrateOut(DomId dom) {
+  auto it = pending_emigrations_.find(dom);
+  if (it == pending_emigrations_.end()) {
+    return ErrFailedPrecondition("no emigration in progress for domid " + std::to_string(dom));
+  }
+  const bool was_running = it->second;
+  pending_emigrations_.erase(it);
+  if (was_running) {
+    return hv_.UnpauseDomain(dom);
+  }
+  return Status::Ok();
+}
+
+Result<MigrationStream> Toolstack::MigrateOut(DomId dom) {
+  NEPHELE_ASSIGN_OR_RETURN(MigrationStream stream, BeginMigrateOut(dom));
+  NEPHELE_RETURN_IF_ERROR(CompleteMigrateOut(dom));
+  return stream;
+}
+
+Result<MigrationStream> Toolstack::SnapshotDomain(DomId dom) {
+  Domain* d = hv_.FindDomain(dom);
+  if (d == nullptr) {
+    return ErrNotFound("no such domain");
+  }
+  auto cfg_it = configs_.find(dom);
+  if (cfg_it == configs_.end()) {
+    return ErrNotFound("domain not managed by toolstack");
+  }
+  const bool was_running = d->state == DomainState::kRunning;
+  (void)hv_.PauseDomain(dom);
+  auto stream = SerializePages(*d, cfg_it->second);
+  if (was_running) {
+    (void)hv_.UnpauseDomain(dom);
+  }
   return stream;
 }
 

@@ -90,10 +90,30 @@ class Toolstack {
                                          LiveMigrationStats* stats);
 
   // xl migrate: stop-and-copy emigration. Serializes the guest's pages in
-  // p2m order and destroys the source domain. Refused for domains with
+  // p2m order and destroys the source domain. Refused with a typed
+  // kFailedPrecondition naming the blocking relatives for domains with
   // living family relations — migrating a clone "would break the page
-  // sharing potential" (Sec. 8).
+  // sharing potential" (Sec. 8). Equivalent to BeginMigrateOut +
+  // CompleteMigrateOut back to back.
   Result<MigrationStream> MigrateOut(DomId dom);
+
+  // First-class two-phase emigration, the RWTH-OS migration-framework shape
+  // the ClusterFabric drives: Begin pauses the source and serializes its
+  // pages (same checks, costs and stream as MigrateOut) but leaves the
+  // domain intact so a failed transfer can roll back. Exactly one of
+  // Complete (destroys the source — the copy landed) or Abort (resumes the
+  // source as if nothing happened) must follow.
+  Result<MigrationStream> BeginMigrateOut(DomId dom);
+  Status CompleteMigrateOut(DomId dom);
+  Status AbortMigrateOut(DomId dom);
+
+  // Serializes a domain WITHOUT emigrating it: pause, snapshot, resume.
+  // Family relations are allowed — the source keeps its sharing intact and
+  // only the copy travels; the fabric's parent-image replication is built
+  // on this. Not-present p2m entries (mid-stream lazy clones) ship as
+  // zero pages.
+  Result<MigrationStream> SnapshotDomain(DomId dom);
+
   // Immigration on the target host: rebuilds memory from the stream, then
   // rebuilds the page tables from the p2m (Sec. 5.2's stated purpose of the
   // p2m map) and reconnects devices.
@@ -157,6 +177,11 @@ class Toolstack {
   Status SetupP9(DomId dom, const DomainConfig& config, GuestDevices& devices);
   Status SetupVbd(DomId dom, const DomainConfig& config, GuestDevices& devices);
   Status PopulateGuestMemory(DomId dom, const DomainConfig& config, bool charge_image_copy);
+  // The typed Sec. 8 refusal: kFailedPrecondition naming every blocking
+  // relative (parent and children, with names and domids).
+  Status RefuseFamilyMigration(const Domain& d);
+  // Shared stop-and-copy serializer of BeginMigrateOut and SnapshotDomain.
+  Result<MigrationStream> SerializePages(const Domain& d, const DomainConfig& config);
   // Unwinds a partially-completed boot (create/restore/migrate-in): device
   // backends, console, xenstore subtrees and finally the domain itself, so
   // a failed xl create leaves Dom0 exactly as it found it.
@@ -184,6 +209,10 @@ class Toolstack {
   std::function<void(unsigned)> clone_threads_setter_;
   std::map<DomId, GuestDevices> guest_devices_;
   std::map<DomId, DomainConfig> configs_;
+  // Domains sitting paused between BeginMigrateOut and Complete/Abort;
+  // the value records whether the domain was running before Begin paused
+  // it, so Abort restores the exact prior state.
+  std::map<DomId, bool> pending_emigrations_;
   bool name_check_enabled_ = false;
   std::uint64_t next_mac_suffix_ = 1;
   std::uint32_t next_ip_suffix_ = 0;

@@ -347,5 +347,53 @@ TEST_F(HostileApiTest, CloneOpsRejectHostileRequests) {
   ExpectPoolBalanced(free_before);
 }
 
+TEST_F(HostileApiTest, MigrateOutOfFamilyLinkedDomainNamesTheBlockingRelatives) {
+  DomId parent = Boot();
+  auto children = system_.clone_engine().Clone({kDom0, parent, StartInfoMfn(parent), 2});
+  ASSERT_TRUE(children.ok());
+  system_.Settle();
+  const std::size_t free_before = system_.hypervisor().FreePoolFrames();
+
+  // The parent of living clones must not emigrate: CoW-shared frames would
+  // dangle. The refusal is typed and names every blocking relative.
+  Status refused = system_.toolstack().MigrateOut(parent).status();
+  ASSERT_EQ(refused.code(), StatusCode::kFailedPrecondition);
+  const std::string parent_msg(refused.message());
+  for (DomId child : *children) {
+    EXPECT_NE(parent_msg.find("domid " + std::to_string(child)), std::string::npos)
+        << parent_msg;
+  }
+  EXPECT_NE(parent_msg.find("children"), std::string::npos) << parent_msg;
+
+  // Same for a child, which names its parent.
+  Status child_refused = system_.toolstack().MigrateOut(children->front()).status();
+  ASSERT_EQ(child_refused.code(), StatusCode::kFailedPrecondition);
+  const std::string child_msg(child_refused.message());
+  EXPECT_NE(child_msg.find("hostile"), std::string::npos) << child_msg;
+  EXPECT_NE(child_msg.find("domid " + std::to_string(parent)), std::string::npos)
+      << child_msg;
+
+  // The split-phase entry point refuses identically, and nothing was left
+  // pending: the whole family is still running and the pool untouched.
+  EXPECT_EQ(system_.toolstack().BeginMigrateOut(parent).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(system_.hypervisor().FindDomain(parent)->state, DomainState::kRunning);
+  for (DomId child : *children) {
+    EXPECT_NE(system_.hypervisor().FindDomain(child), nullptr);
+  }
+  ExpectClean();
+  ExpectPoolBalanced(free_before);
+
+  // Once the family is gone the same domain emigrates cleanly.
+  for (DomId child : *children) {
+    EXPECT_TRUE(system_.toolstack().DestroyDomain(child).ok());
+  }
+  system_.Settle();
+  auto stream = system_.toolstack().BeginMigrateOut(parent);
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  EXPECT_TRUE(system_.toolstack().AbortMigrateOut(parent).ok());
+  ExpectClean();
+}
+
 }  // namespace
 }  // namespace nephele
